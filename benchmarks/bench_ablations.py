@@ -1,0 +1,181 @@
+"""Ablations of the under-specified design choices (DESIGN.md Section 5).
+
+The paper leaves several implementation choices open; these benches measure
+how much each one matters, so the defaults are justified by data:
+
+* **re-prefetch distance ``x`` (Eq. 11)** - our horizon-derived ``x`` vs a
+  fixed ``x = 1``;
+* **candidate frontier width** - how many tree candidates the cost-benefit
+  loop may consider per access period;
+* **EWMA constant for ``s``** - smoothing of the prefetches-per-period
+  estimate that feeds Eqs. 3/6;
+* **marginal hit-rate band** - how many stack positions are averaged for
+  the Eq. 13 demand-eviction cost.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.tables import render_table
+from repro.params import PAPER_PARAMS
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+
+TRACES = ("snake", "cad")
+CACHE = 1024
+
+
+def _run(ctx, trace, *, policy_kwargs=None, **sim_kwargs):
+    sim = Simulator(
+        PAPER_PARAMS,
+        make_policy("tree", **(policy_kwargs or {})),
+        CACHE,
+        **sim_kwargs,
+    )
+    return sim.run(ctx.trace(trace).as_list())
+
+
+def test_ablation_refetch_distance(benchmark, ctx, record):
+    """Eq. 11's ``x``: horizon-derived vs pinned values."""
+
+    def sweep():
+        rows = []
+        for trace in TRACES:
+            for label, kwargs in (
+                ("horizon", {}),
+                ("x=0", {"refetch_distance": 0}),
+                ("x=1", {"refetch_distance": 1}),
+                ("x=4", {"refetch_distance": 4}),
+            ):
+                st = _run(ctx, trace, **kwargs)
+                rows.append(
+                    [trace, label, round(st.miss_rate, 3),
+                     round(st.prefetch_cache_hit_rate, 2),
+                     round(st.prefetches_per_period, 3)]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(ExperimentResult(
+        exp_id="ablation_refetch_distance",
+        title="Eq. 11 re-prefetch distance x",
+        paper_expectation=(
+            "the paper leaves x open; with the paper's constants the "
+            "horizon is 1, so choices should differ little - this bench "
+            "certifies that"
+        ),
+        text=render_table(
+            ["trace", "x", "miss_rate", "pf_hit_rate", "s"], rows,
+            title=f"Ablation: Eq. 11 refetch distance (cache {CACHE})",
+            decimals=3,
+        ),
+        data={"rows": rows},
+    ))
+    by_trace = {}
+    for trace, label, miss, *_ in rows:
+        by_trace.setdefault(trace, []).append(miss)
+    for trace, misses in by_trace.items():
+        assert max(misses) - min(misses) < 5.0, trace
+
+
+def test_ablation_candidate_frontier(benchmark, ctx, record):
+    """Frontier width: how many candidates per period matter."""
+
+    def sweep():
+        rows = []
+        for trace in TRACES:
+            for width in (1, 4, 16, 64):
+                st = _run(ctx, trace,
+                          policy_kwargs={"max_candidates": width})
+                rows.append(
+                    [trace, width, round(st.miss_rate, 3),
+                     round(st.prefetches_per_period, 3)]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(ExperimentResult(
+        exp_id="ablation_candidate_frontier",
+        title="Candidate frontier width",
+        paper_expectation=(
+            "diminishing returns: a handful of candidates per period "
+            "captures nearly all of the benefit (probabilities below the "
+            "~0.037 profitability floor never prefetch)"
+        ),
+        text=render_table(
+            ["trace", "max_candidates", "miss_rate", "s"], rows,
+            title=f"Ablation: candidate frontier width (cache {CACHE})",
+            decimals=3,
+        ),
+        data={"rows": rows},
+    ))
+    # Widening beyond 16 changes little.
+    for trace in TRACES:
+        misses = [r[2] for r in rows if r[0] == trace]
+        assert abs(misses[-1] - misses[-2]) < 2.0
+
+
+def test_ablation_s_smoothing(benchmark, ctx, record):
+    """EWMA constant for the prefetches-per-period estimate ``s``."""
+
+    def sweep():
+        rows = []
+        for trace in TRACES:
+            for alpha in (0.01, 0.05, 0.3, 1.0):
+                st = _run(ctx, trace, s_alpha=alpha)
+                rows.append(
+                    [trace, alpha, round(st.miss_rate, 3),
+                     round(st.prefetches_per_period, 3)]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(ExperimentResult(
+        exp_id="ablation_s_smoothing",
+        title="EWMA constant for s",
+        paper_expectation=(
+            "with the paper's constants the model is insensitive to s "
+            "smoothing (the horizon stays 1 across plausible s)"
+        ),
+        text=render_table(
+            ["trace", "alpha", "miss_rate", "s"], rows,
+            title=f"Ablation: s EWMA constant (cache {CACHE})",
+            decimals=3,
+        ),
+        data={"rows": rows},
+    ))
+    for trace in TRACES:
+        misses = [r[2] for r in rows if r[0] == trace]
+        assert max(misses) - min(misses) < 5.0
+
+
+def test_ablation_marginal_band(benchmark, ctx, record):
+    """Stack-position band averaged for Eq. 13's marginal hit rate."""
+
+    def sweep():
+        rows = []
+        for trace in TRACES:
+            for band in (1, 8, 64):
+                st = _run(ctx, trace, marginal_band=band)
+                rows.append([trace, band, round(st.miss_rate, 3),
+                             round(st.prefetches_per_period, 3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(ExperimentResult(
+        exp_id="ablation_marginal_band",
+        title="Eq. 13 marginal hit-rate estimator band",
+        paper_expectation=(
+            "a single stack position is noisy; a small band stabilises the "
+            "demand-eviction cost without changing the outcome much"
+        ),
+        text=render_table(
+            ["trace", "band", "miss_rate", "s"], rows,
+            title=f"Ablation: marginal-rate band width (cache {CACHE})",
+            decimals=3,
+        ),
+        data={"rows": rows},
+    ))
+    for trace in TRACES:
+        misses = [r[2] for r in rows if r[0] == trace]
+        assert max(misses) - min(misses) < 6.0

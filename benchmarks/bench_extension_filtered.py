@@ -1,0 +1,69 @@
+"""Extension study: the misprediction filter (Section 9.2.2 / 9.6 direction).
+
+The paper's future-work notes ask for "strategies to reduce the number of
+blocks prefetched by eliminating mispredicted blocks" and for "bridging the
+gap between the tree and the perfect-selector prefetching schemes".  This
+bench measures our *tree-filtered* policy (per-block reliability feedback
+gating prefetches) against tree and the oracle:
+
+* prefetch precision (prefetch-cache hit rate) should improve,
+* wasted traffic should drop,
+* the miss rate should not regress,
+
+quantifying how much of the tree-to-oracle gap simple selection feedback
+recovers.
+"""
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.tables import render_table
+
+CACHES = (256, 1024)
+
+
+def test_extension_misprediction_filter(benchmark, ctx, record):
+    def sweep():
+        rows = []
+        for trace in ("cello", "snake", "cad", "sitar"):
+            for cache in CACHES:
+                tree = ctx.run(trace, "tree", cache)
+                filt = ctx.run(trace, "tree-filtered", cache)
+                oracle = ctx.run(trace, "perfect-selector", cache)
+                rows.append([
+                    trace, cache,
+                    round(tree.miss_rate, 2),
+                    round(filt.miss_rate, 2),
+                    round(oracle.miss_rate, 2),
+                    round(tree.prefetch_cache_hit_rate, 1),
+                    round(filt.prefetch_cache_hit_rate, 1),
+                    round(tree.traffic_increase, 1),
+                    round(filt.traffic_increase, 1),
+                ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(ExperimentResult(
+        exp_id="extension_filtered",
+        title="Misprediction filter vs tree vs oracle",
+        paper_expectation=(
+            "future work in the paper: eliminate mispredicted blocks to "
+            "close part of the tree-to-perfect-selector gap; the filter "
+            "should raise prefetch precision and cut wasted traffic "
+            "without regressing the miss rate"
+        ),
+        text=render_table(
+            ["trace", "cache", "tree_miss", "filt_miss", "oracle_miss",
+             "tree_pfhit", "filt_pfhit", "tree_traffic", "filt_traffic"],
+            rows,
+            title="Extension: per-block misprediction filtering",
+        ),
+        data={"rows": rows},
+    ))
+    for row in rows:
+        (trace, cache, tree_miss, filt_miss, oracle_miss,
+         tree_pfhit, filt_pfhit, tree_traffic, filt_traffic) = row
+        # No miss-rate regression beyond noise.
+        assert filt_miss <= tree_miss + 2.5, (trace, cache)
+        # Precision does not fall.
+        assert filt_pfhit >= tree_pfhit - 3.0, (trace, cache)
+        # The oracle stays the lower bound.
+        assert oracle_miss <= min(tree_miss, filt_miss) + 1.0, (trace, cache)

@@ -1,0 +1,51 @@
+"""Figure 6: miss rate vs cache size, four main schemes x four traces.
+
+The paper's headline comparison.  Shape checks assert the qualitative
+claims of Section 9.1:
+
+* prefetching beats no-prefetch everywhere it should;
+* cello/snake: both next-limit and the tree help; combined is best;
+* CAD: next-limit is useless (no sequentiality) while the tree cuts
+  misses by tens of percent;
+* sitar: next-limit cuts misses by ~73%-scale amounts, the basic tree
+  adds nearly nothing on top;
+* tree + next-limit gains are roughly additive.
+"""
+
+from repro.analysis.experiments import run_fig6
+from repro.analysis.metrics import miss_reduction
+
+
+def test_fig06_miss_rates(benchmark, ctx, record, calibrated):
+    result = benchmark.pedantic(lambda: run_fig6(ctx), rounds=1, iterations=1)
+    record(result)
+    data = result.data
+    red = data["max_reduction_vs_no_prefetch_pct"]
+
+    # cello / snake: sequential prefetching helps substantially...
+    assert red["cello"]["next-limit"] > 20.0
+    assert red["snake"]["next-limit"] > 20.0
+    # ...and the combined scheme is at least as good as next-limit alone.
+    assert red["cello"]["tree-next-limit"] >= red["cello"]["next-limit"] - 7.0
+    assert red["snake"]["tree-next-limit"] >= red["snake"]["next-limit"] - 7.0
+
+    # CAD: one-block lookahead is no better than no prefetching at all...
+    assert abs(red["cad"]["next-limit"]) < 8.0
+    # ...while tree-based prediction cuts misses substantially (paper: ~36%).
+    assert red["cad"]["tree"] > 5.0
+    if calibrated:
+        assert red["cad"]["tree"] > 15.0
+
+    # sitar: next-limit dominates (paper: up to 73%).
+    assert red["sitar"]["next-limit"] > 50.0
+    # The tree adds little on top of next-limit for sitar.
+    assert red["sitar"]["tree-next-limit"] >= red["sitar"]["next-limit"] - 5.0
+
+    # Additivity (Section 9.1): combined gain ~ tree gain + next-limit gain.
+    for trace in ("cello", "snake"):
+        base = data[trace]["no-prefetch"]
+        for i in range(len(base)):
+            tree_gain = base[i] - data[trace]["tree"][i]
+            nl_gain = base[i] - data[trace]["next-limit"][i]
+            combined = base[i] - data[trace]["tree-next-limit"][i]
+            assert combined >= 0.5 * max(tree_gain, nl_gain)

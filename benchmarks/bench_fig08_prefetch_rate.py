@@ -1,0 +1,18 @@
+"""Figure 8: blocks prefetched per access period (tree policy).
+
+Paper: prefetching is most aggressive at small caches (snake ~2/period, a
+180% traffic increase) and falls to less than a block every three access
+periods at large caches.
+"""
+
+from repro.analysis.experiments import run_fig8
+
+
+def test_fig08_prefetch_rate(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig8(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace, series in result.data.items():
+        # More prefetching at small caches than at large ones.
+        assert series[0] >= series[-1] - 0.05, trace
+        # Large caches: less than one block every ~2 periods.
+        assert series[-1] < 0.5, trace

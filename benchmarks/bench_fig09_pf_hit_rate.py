@@ -1,0 +1,19 @@
+"""Figure 9: hit rate in the prefetch cache (tree policy).
+
+Paper: CAD's prefetched blocks are referenced ~75% of the time; the other
+traces are far lower (~10%) - the tree prefetches many blocks that are
+never used or are displaced first.
+"""
+
+from repro.analysis.experiments import run_fig9
+
+
+def test_fig09_prefetch_cache_hit_rate(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig9(ctx), rounds=1, iterations=1)
+    record(result)
+    data = result.data
+    # CAD clearly leads the pack (paper: ~75% vs ~10%).
+    cad_mean = sum(data["cad"]) / len(data["cad"])
+    cello_mean = sum(data["cello"]) / len(data["cello"])
+    assert cad_mean > cello_mean + 10.0
+    assert all(0.0 <= v <= 100.0 for s in data.values() for v in s)

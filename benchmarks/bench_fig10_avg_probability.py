@@ -1,0 +1,18 @@
+"""Figure 10: average probability of the prefetched blocks (tree policy).
+
+Paper: CAD's prefetched blocks carry a higher average probability than the
+other traces', which explains its higher prefetch-cache hit rate (Fig 9).
+"""
+
+from repro.analysis.experiments import run_fig10
+
+
+def test_fig10_avg_probability(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig10(ctx), rounds=1, iterations=1)
+    record(result)
+    data = result.data
+    cad_mean = sum(data["cad"]) / len(data["cad"])
+    cello_mean = sum(data["cello"]) / len(data["cello"])
+    assert cad_mean > cello_mean
+    # All probabilities exceed the depth-1 profitability floor (~0.037).
+    assert all(v > 0.03 for s in data.values() for v in s if v > 0)

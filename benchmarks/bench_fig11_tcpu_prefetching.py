@@ -1,0 +1,18 @@
+"""Figure 11: prefetching rate s vs computation time T_cpu (cache 1024).
+
+Paper: s rises with T_cpu at first (longer periods hide more concurrent
+I/O, and the demand cache's marginal value shrinks relative to prefetch
+benefit) and then flattens - the cost-benefit analysis self-limits.
+"""
+
+from repro.analysis.experiments import run_fig11
+
+
+def test_fig11_tcpu_prefetch_rate(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig11(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace, series in result.data.items():
+        # Plateau: the top of the curve is not at the smallest T_cpu.
+        assert max(series) >= series[0], trace
+        # Self-limiting: the largest T_cpu is within 2x of the plateau.
+        assert series[-1] <= max(series) * 2.0 + 0.1, trace

@@ -1,0 +1,17 @@
+"""Figure 12: prefetch cache hit rate vs T_cpu (cache 1024).
+
+Paper: the hit rate decreases substantially as T_cpu first grows (more
+speculative prefetching) and levels out above ~50 ms; the CAD trace stays
+high (~74%).
+"""
+
+from repro.analysis.experiments import run_fig12
+
+
+def test_fig12_tcpu_hit_rate(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig12(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace, series in result.data.items():
+        assert all(0.0 <= v <= 100.0 for v in series), trace
+        # Hit rate does not improve as T_cpu grows from 20ms to 640ms.
+        assert series[-1] <= series[0] + 10.0, trace

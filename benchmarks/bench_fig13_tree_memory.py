@@ -1,0 +1,23 @@
+"""Figure 13: limiting the prefetch tree's memory (CAD trace).
+
+Paper: with the tree capped by an LRU list of substrings, ~32K nodes
+(~1.25 MB at 40 bytes/node) already matches the unbounded tree across
+cache sizes; much smaller budgets hurt.
+"""
+
+from repro.analysis.experiments import run_fig13
+
+
+def test_fig13_tree_memory(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: run_fig13(ctx, cache_sizes=(256, 1024)), rounds=1, iterations=1
+    )
+    record(result)
+    budgets = result.data["budgets"]
+    assert budgets[-1] == "unbounded"
+    for label, ratios in result.data["series"].items():
+        # Ratios are tree/no-prefetch: prefetching never hurts badly.
+        assert all(r <= 1.1 for r in ratios), label
+        # 32K nodes is within a whisker of unbounded (paper's headline).
+        idx_32k = budgets.index("32768")
+        assert ratios[idx_32k] <= ratios[-1] + 0.03, label

@@ -1,0 +1,18 @@
+"""Figure 14: percentage of predictable blocks NOT already cached.
+
+Paper: low (~15%) for snake, CAD and sitar - the tree identifies the
+right candidates, but most already reside in the cache, bounding how much
+the basic tree scheme can improve.
+"""
+
+from repro.analysis.experiments import run_fig14
+
+
+def test_fig14_predictable_uncached(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig14(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace in ("snake", "cad", "sitar"):
+        series = result.data[trace]
+        # Shrinks as the cache grows; small at the largest cache.
+        assert series[-1] <= series[0] + 5.0
+        assert series[-1] < 40.0

@@ -1,0 +1,28 @@
+"""Figure 15: no-prefetch vs tree vs the perfect-selector oracle.
+
+Paper: perfect-selector reduces miss rates considerably below tree for
+all traces - there is substantial headroom in candidate *selection* even
+with the same prediction structure.
+"""
+
+from repro.analysis.experiments import run_fig15
+
+
+def test_fig15_perfect_selector(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig15(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace, series in result.data.items():
+        for oracle, tree, base in zip(
+            series["perfect-selector"], series["tree"], series["no-prefetch"]
+        ):
+            assert oracle <= tree + 2.0, trace
+            assert oracle <= base + 1e-9, trace
+    # For the predictable traces the oracle's win over tree is material.
+    for trace in ("cad", "sitar"):
+        gaps = [
+            t - o
+            for t, o in zip(
+                result.data[trace]["tree"], result.data[trace]["perfect-selector"]
+            )
+        ]
+        assert max(gaps) > 2.0, trace

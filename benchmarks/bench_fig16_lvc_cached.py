@@ -1,0 +1,27 @@
+"""Figure 16 + Section 9.6: last-visited children are already cached,
+so tree-lvc cannot beat tree.
+
+Paper: >85% of last visited children are already cached at most cache
+sizes, and simulating tree-lvc shows "no noticeable difference" to tree.
+"""
+
+from repro.analysis.experiments import run_fig16, run_tree_lvc_comparison
+
+
+def test_fig16_lvc_cached(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig16(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace in ("cad", "sitar"):
+        series = result.data[trace]
+        assert series[-1] > 60.0, trace
+
+
+def test_sec96_tree_lvc_no_gain(benchmark, ctx, record):
+    result = benchmark.pedantic(
+        lambda: run_tree_lvc_comparison(ctx), rounds=1, iterations=1
+    )
+    record(result)
+    for trace, series in result.data.items():
+        for tree_miss, lvc_miss in zip(series["tree"], series["tree-lvc"]):
+            # "no noticeable difference" - within a few miss-rate points.
+            assert abs(tree_miss - lvc_miss) < 5.0, trace

@@ -1,0 +1,23 @@
+"""Figure 17: cost-benefit tree vs best-tuned parametric schemes.
+
+Paper: the untuned tree tracks the *best* tree-threshold and
+tree-children configurations - the cost-benefit analysis dynamically
+performs the optimal amount of prefetching without a parameter.
+"""
+
+from repro.analysis.experiments import run_fig17
+
+
+def test_fig17_tree_matches_best_parametric(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_fig17(ctx), rounds=1, iterations=1)
+    record(result)
+    for trace, series in result.data.items():
+        for tree, thr, chd in zip(
+            series["tree"],
+            series["best tree-threshold"],
+            series["best tree-children"],
+        ):
+            best_param = min(thr, chd)
+            # tree is close to the best tuned parametric scheme: within a
+            # few miss-rate points, despite having no parameter at all.
+            assert tree <= best_param + 8.0, trace

@@ -1,0 +1,55 @@
+"""Informed-prefetching (TIP) bound: what perfect hints would buy.
+
+The paper derives its cost-benefit analysis from Patterson's informed
+prefetching, where applications disclose their future accesses.  This
+bench places every workload on the ladder
+
+    no-prefetch  >=  tree  >=  perfect-selector  >=  informed
+
+quantifying how much of the gap to the deterministic optimum the
+*prediction* step loses (tree vs informed) versus the *selection* step
+(tree vs perfect-selector): the paper's Sections 9.5/9.6 discussion in one
+table.
+"""
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.tables import render_table
+
+LADDER = ("no-prefetch", "tree", "perfect-selector", "informed")
+CACHES = (256, 1024)
+
+
+def test_informed_bound(benchmark, ctx, record):
+    def sweep():
+        rows = []
+        for trace in ("cello", "snake", "cad", "sitar"):
+            for cache in CACHES:
+                misses = [
+                    round(ctx.run(trace, policy, cache).miss_rate, 2)
+                    for policy in LADDER
+                ]
+                rows.append([trace, cache, *misses])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(ExperimentResult(
+        exp_id="informed_bound",
+        title="From no hints to perfect hints",
+        paper_expectation=(
+            "informed prefetching with deterministic hints eliminates "
+            "nearly all misses under the paper's no-congestion model; the "
+            "tree-to-informed gap is the total cost of having to *predict*"
+        ),
+        text=render_table(
+            ["trace", "cache", *LADDER], rows,
+            title="Miss rate (%) ladder: prediction-free to perfect hints",
+        ),
+        data={"rows": rows},
+    ))
+    for row in rows:
+        trace, cache, base, tree, oracle, informed = row
+        assert tree <= base + 2.0, (trace, cache)
+        assert oracle <= tree + 2.0, (trace, cache)
+        assert informed <= oracle + 1.0, (trace, cache)
+        # TIP with perfect hints and infinite disks: almost no misses.
+        assert informed < 2.0, (trace, cache)

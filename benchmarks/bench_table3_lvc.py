@@ -1,0 +1,22 @@
+"""Table 3: how often the last visited child is revisited.
+
+Paper: cello 24.37%, snake 38.49%, CAD 68.61%, sitar 73.61%.  We report
+the all-node rate plus the non-root rate (short traces inflate the share
+of never-repeating root opportunities) and check the paper's ordering.
+"""
+
+from repro.analysis.experiments import run_table3
+
+
+def test_table3_lvc_repeats(benchmark, ctx, record):
+    result = benchmark.pedantic(lambda: run_table3(ctx), rounds=1, iterations=1)
+    record(result)
+    data = result.data
+    # Paper ordering: cello < snake < {CAD, sitar}, in both measures.
+    for key in ("all_nodes", "nonroot"):
+        assert data["cello"][key] < data["snake"][key]
+        assert data["snake"][key] < data["cad"][key]
+        assert data["snake"][key] < data["sitar"][key]
+    # CAD/sitar: strong path repetition (paper ~69-74%).
+    assert data["cad"]["nonroot"] > 60.0
+    assert data["sitar"]["nonroot"] > 60.0

@@ -1,0 +1,30 @@
+"""Table 4: tree-threshold's sensitivity to its threshold parameter.
+
+Paper: sweeping the threshold from 0.4 down to 0.001, no single value is
+best for every trace, and the worst choice costs up to ~15% extra misses
+relative to the best - the motivation for parameter-free cost-benefit.
+
+Reproduction note: the sensitivity magnitude reproduces (up to ~10% here
+vs the paper's 15%), but in our implementation the optimum is monotone -
+the lowest threshold always wins - where the paper found per-trace optima
+between 0.002 and 0.05.  The likely cause is a genuine implementation
+difference: this repository's prefetch cache evicts by Eq. 11 cost with
+overdue-probability decay for *every* policy, so an aggressive threshold's
+junk prefetches are shed cheaply before they displace useful blocks; in
+the paper's baselines a too-low threshold hurt.  The motivating conclusion
+is unchanged: the parameter matters, and the untuned cost-benefit tree
+matches the best-tuned configuration (Figure 17) without sweeping anything.
+"""
+
+from repro.analysis.experiments import run_table4
+
+
+def test_table4_threshold_sensitivity(benchmark, ctx, record, calibrated):
+    result = benchmark.pedantic(lambda: run_table4(ctx), rounds=1, iterations=1)
+    record(result)
+    data = result.data
+    # The tuning matters: at least one trace pays a material penalty for a
+    # bad threshold (paper: up to 15%; here up to ~10%).
+    if calibrated:
+        assert max(d["difference_pct"] for d in data.values()) > 4.0
+    assert max(d["difference_pct"] for d in data.values()) >= 0.0

@@ -1,0 +1,88 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Configuration via environment:
+
+* ``REPRO_BENCH_REFS``  - references per trace (default 30000).  The paper's
+  traces are 0.15-3.9M references; 30k keeps the full battery to tens of
+  minutes on one core while preserving every qualitative shape.  Raise it
+  for tighter numbers.
+* ``REPRO_BENCH_SEED``  - workload seed (default 1999).
+
+All benches share one memoised :class:`ExperimentContext`, so simulations
+reused across figures (e.g. the tree policy's cache-size sweep feeding
+Figures 7-10) run exactly once per session.
+
+Each bench ``record()``s its rendered table/series: the text is written to
+``benchmarks/results/<exp_id>.txt`` and echoed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+paper-shaped output.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.runner import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper-style cache-size axis (blocks).
+CACHE_SIZES = (128, 256, 512, 1024, 2048, 4096)
+
+_recorded: List[ExperimentResult] = []
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    refs = int(os.environ.get("REPRO_BENCH_REFS", "30000"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "1999"))
+    return ExperimentContext(
+        num_references=refs, seed=seed, cache_sizes=CACHE_SIZES
+    )
+
+
+@pytest.fixture(scope="session")
+def calibrated(ctx) -> bool:
+    """True when the run is large enough for magnitude assertions.
+
+    Below ~20k references the LZ tree is still warming up and the
+    paper-scale magnitudes (prediction accuracy, tree miss reductions,
+    threshold sensitivity) are depressed; ordering/shape assertions still
+    hold and remain enforced unconditionally.
+    """
+    return ctx.num_references >= 20_000
+
+
+@pytest.fixture()
+def record():
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.exp_id}.txt"
+        body = (
+            f"== {result.exp_id}: {result.title} ==\n"
+            f"paper: {result.paper_expectation}\n\n{result.text}\n"
+        )
+        path.write_text(body, encoding="utf-8")
+        _recorded.append(result)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _recorded:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for result in _recorded:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            f"== {result.exp_id}: {result.title} =="
+        )
+        terminalreporter.write_line(f"paper: {result.paper_expectation}")
+        for line in result.text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CAD scenario: prefetching object references with zero sequentiality.
+
+A design tool walks an object database along recurring traversal paths, but
+the objects' block addresses carry no sequential structure - OS readahead
+is useless.  This is exactly where the paper's probability-tree prediction
+pays off: the tree learns the traversal paths online and the cost-benefit
+analysis prefetches along them only when a buffer is worth spending.
+
+The example also reproduces the memory-budget result (Figure 13): a
+moderately sized tree (tens of thousands of nodes, ~1 MB) performs as well
+as an unbounded one, because the LRU-of-substrings eviction keeps the
+active patterns resident.
+
+Run:  python examples/cad_object_prefetching.py [--refs 100000]
+"""
+
+import argparse
+
+from repro import PAPER_PARAMS, make_policy, make_trace, simulate
+from repro.analysis.tables import render_table
+from repro.core.tree import PAPER_NODE_BYTES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refs", type=int, default=100_000)
+    parser.add_argument("--cache", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=1999)
+    args = parser.parse_args()
+
+    trace = make_trace("cad", num_references=args.refs, seed=args.seed)
+    blocks = trace.as_list()
+    print(f"CAD workload: {len(blocks)} object references, "
+          f"{trace.unique_blocks} objects, "
+          f"sequentiality {trace.sequentiality():.2%} (readahead-proof)\n")
+
+    base = simulate(PAPER_PARAMS, make_policy("no-prefetch"), blocks, args.cache)
+    nl = simulate(PAPER_PARAMS, make_policy("next-limit"), blocks, args.cache)
+    print(f"plain LRU miss rate:            {base.miss_rate:6.2f}%")
+    print(f"with sequential readahead:      {nl.miss_rate:6.2f}%   "
+          f"(no help - nothing is sequential)\n")
+
+    print("tree policy under different tree memory budgets:")
+    rows = []
+    for budget in (1024, 8192, 32768, None):
+        kwargs = {"max_tree_nodes": budget} if budget else {}
+        st = simulate(
+            PAPER_PARAMS, make_policy("tree", **kwargs), blocks, args.cache
+        )
+        label = f"{budget} nodes" if budget else "unbounded"
+        mem = (budget or st.extra["tree_nodes"]) * PAPER_NODE_BYTES / 1024
+        rows.append([
+            label,
+            f"{mem:.0f} KB",
+            round(st.miss_rate, 2),
+            round(100 * (base.miss_rate - st.miss_rate) / base.miss_rate, 1),
+            round(st.prefetch_cache_hit_rate, 1),
+            round(st.prediction_accuracy, 1),
+        ])
+    print(render_table(
+        ["tree budget", "tree_mem", "miss_%", "reduction_%", "pf_hit_%",
+         "predictable_%"],
+        rows,
+    ))
+    print("\n~1 MB of prefetch-tree memory captures the full benefit "
+          "(paper Section 9.3: 32K nodes x 40 B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare all of the paper's prefetching schemes on one workload.
+
+A miniature Figure 6 + 15 + 17: sweeps the cache size and prints the miss
+rate of every scheme, including the parametric ones (at fixed parameters)
+and the perfect-selector oracle.
+
+Run:  python examples/compare_policies.py [--trace cad] [--refs 60000]
+      python examples/compare_policies.py --trace sitar --sizes 128 512 2048
+"""
+
+import argparse
+
+from repro import PAPER_PARAMS, TRACE_NAMES, make_policy, make_trace, simulate
+from repro.analysis.tables import render_series
+
+SCHEMES = (
+    ("no-prefetch", {}),
+    ("next-limit", {}),
+    ("tree", {}),
+    ("tree-next-limit", {}),
+    ("tree-lvc", {}),
+    ("tree-threshold", {"threshold": 0.05}),
+    ("tree-children", {"num_children": 3}),
+    ("perfect-selector", {}),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", choices=TRACE_NAMES, default="cad")
+    parser.add_argument("--refs", type=int, default=60_000)
+    parser.add_argument("--seed", type=int, default=1999)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[128, 256, 512, 1024, 2048]
+    )
+    args = parser.parse_args()
+
+    trace = make_trace(args.trace, num_references=args.refs, seed=args.seed)
+    blocks = trace.as_list()
+    print(f"{trace.name}: {trace.description}")
+    print(f"{len(blocks)} references, {trace.unique_blocks} unique blocks, "
+          f"sequentiality {trace.sequentiality():.1%}\n")
+
+    series = {}
+    for name, kwargs in SCHEMES:
+        misses = []
+        for size in args.sizes:
+            stats = simulate(
+                PAPER_PARAMS, make_policy(name, **kwargs), blocks, size
+            )
+            misses.append(round(stats.miss_rate, 2))
+        label = name
+        if kwargs:
+            label += "(" + ",".join(str(v) for v in kwargs.values()) + ")"
+        series[label] = misses
+
+    print(render_series("cache_blocks", args.sizes, series,
+                        title="miss rate (%) by policy and cache size"))
+    print("\nperfect-selector is an oracle (knows the next access); the gap "
+          "between it and tree is selection headroom (paper Section 9.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""File-server scenario: combining readahead with predictive prefetching.
+
+The paper's motivating deployment: a file server whose disk stream mixes
+sequential file bodies (where classic one-block readahead shines) with
+recurring non-sequential request patterns (where only history-based
+prediction helps).  This example shows why the *combination* -
+tree-next-limit - wins: the two schemes fix different, mutually exclusive
+classes of misses, so their gains add (paper Section 9.1).
+
+It also demonstrates the timing model: simulated elapsed time, CPU stall
+time, and the extra disk traffic the prefetcher pays.
+
+Run:  python examples/file_server_readahead.py [--refs 80000] [--cache 1024]
+"""
+
+import argparse
+
+from repro import PAPER_PARAMS, make_policy, make_trace, simulate
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refs", type=int, default=80_000)
+    parser.add_argument("--cache", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=1999)
+    args = parser.parse_args()
+
+    trace = make_trace("snake", num_references=args.refs, seed=args.seed)
+    blocks = trace.as_list()
+    print(f"file-server workload: {len(blocks)} disk reads, "
+          f"{trace.unique_blocks} distinct blocks, "
+          f"sequentiality {trace.sequentiality():.1%}")
+    print(f"cache: {args.cache} buffers "
+          f"({args.cache * PAPER_PARAMS.block_size // (1024 * 1024)} MB)\n")
+
+    rows = []
+    baseline_time = None
+    for name in ("no-prefetch", "next-limit", "tree", "tree-next-limit"):
+        st = simulate(PAPER_PARAMS, make_policy(name), blocks, args.cache)
+        if baseline_time is None:
+            baseline_time = st.elapsed_time
+        rows.append([
+            name,
+            round(st.miss_rate, 2),
+            round(st.prefetch_cache_hit_rate, 1),
+            round(st.mean_access_time, 3),
+            round(100 * (baseline_time - st.elapsed_time) / baseline_time, 1),
+            round(st.traffic_increase, 1),
+            round(st.stall_time, 1),
+        ])
+
+    print(render_table(
+        ["policy", "miss_%", "pf_hit_%", "ms/access", "time_saved_%",
+         "extra_traffic_%", "stall_ms"],
+        rows,
+        title="file server, per policy",
+    ))
+
+    base, nl, tree, both = (r[1] for r in rows)
+    print(f"\nnext-limit fixes sequential-read misses:   "
+          f"{base:.1f}% -> {nl:.1f}%")
+    print(f"tree fixes recurring-pattern misses:       "
+          f"{base:.1f}% -> {tree:.1f}%")
+    print(f"combined, the gains are roughly additive:  "
+          f"{base:.1f}% -> {both:.1f}% "
+          f"(sum of individual gains: {base - (base - nl) - (base - tree):.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro: reproduction of "A Cost-Benefit Scheme for High Performance
+Predictive Prefetching" (Vellanki & Chervenak, SC 1999).
+
+Quickstart::
+
+    from repro import PAPER_PARAMS, make_policy, make_trace, simulate
+
+    trace = make_trace("cad", num_references=50_000)
+    stats = simulate(PAPER_PARAMS, make_policy("tree"), trace.as_list(), 1024)
+    print(f"miss rate: {stats.miss_rate:.1f}%")
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` - the LZ prefetch tree and the cost-benefit equations;
+* :mod:`repro.cache` - LRU demand cache, prefetch cache, combined pool;
+* :mod:`repro.policies` - the eight schemes compared in the paper;
+* :mod:`repro.sim` - the trace-driven simulation engine;
+* :mod:`repro.traces` - trace container/IO and the synthetic workloads;
+* :mod:`repro.analysis` - sweeps and per-figure experiment harnesses.
+"""
+
+from repro.core import PrefetchTree, best_candidates, prefetch_horizon
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies import Policy, make_policy, policy_names
+from repro.sim import SimulationStats, Simulator, simulate
+from repro.traces import TRACE_NAMES, Trace, make_paper_suite, make_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_PARAMS",
+    "Policy",
+    "PrefetchTree",
+    "SimulationStats",
+    "Simulator",
+    "SystemParams",
+    "TRACE_NAMES",
+    "Trace",
+    "__version__",
+    "best_candidates",
+    "make_paper_suite",
+    "make_policy",
+    "make_trace",
+    "policy_names",
+    "prefetch_horizon",
+    "simulate",
+]

@@ -1,0 +1,63 @@
+"""Experiment harnesses: sweeps, metrics, per-figure runners, reporting."""
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.experiments import ALL_EXPERIMENTS, ExperimentResult
+from repro.analysis.parallel import RunSpec, execute, run_batch
+from repro.analysis.metrics import (
+    additivity_gap,
+    max_miss_reduction,
+    miss_reduction,
+    reduction_series,
+)
+from repro.analysis.runner import ExperimentContext, default_context
+from repro.analysis.sweep import (
+    DEFAULT_CACHE_SIZES,
+    DEFAULT_TCPU_VALUES,
+    SweepResult,
+    cache_size_sweep,
+    parameter_sweep,
+    tcpu_sweep,
+    tree_nodes_sweep,
+)
+from repro.analysis.tables import render_dict, render_series, render_table
+from repro.analysis.tracestats import (
+    characterise,
+    first_access_share,
+    predictability,
+    reuse_profile,
+    sequential_run_lengths,
+    sequentiality,
+    working_set_curve,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_CACHE_SIZES",
+    "DEFAULT_TCPU_VALUES",
+    "ExperimentContext",
+    "ExperimentResult",
+    "SweepResult",
+    "additivity_gap",
+    "cache_size_sweep",
+    "characterise",
+    "default_context",
+    "first_access_share",
+    "max_miss_reduction",
+    "miss_reduction",
+    "parameter_sweep",
+    "predictability",
+    "reduction_series",
+    "RunSpec",
+    "execute",
+    "render_chart",
+    "render_dict",
+    "reuse_profile",
+    "run_batch",
+    "render_series",
+    "render_table",
+    "sequential_run_lengths",
+    "sequentiality",
+    "tcpu_sweep",
+    "tree_nodes_sweep",
+    "working_set_curve",
+]

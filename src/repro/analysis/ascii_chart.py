@@ -1,0 +1,115 @@
+"""Dependency-free ASCII line charts for the figure benchmarks.
+
+The paper's figures are line plots (miss rate vs cache size, s vs T_cpu);
+the benches print the underlying series as tables, and this module adds a
+terminal rendering so the *shape* - crossovers, plateaus, who-wins-where -
+is visible at a glance in ``bench_output.txt`` without any plotting
+dependency.
+
+Design: a fixed character grid; x positions map the series' sample indices
+(the paper's x axes are log-spaced cache sizes, so index spacing = visual
+log spacing); y is linearly scaled between the data extremes; each series
+draws with its own glyph, first-come wins on collisions (series are drawn
+in legend order, so earlier series stay visible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox*+#@%&"
+
+
+def render_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: Optional[str] = None,
+    height: int = 12,
+    width: Optional[int] = None,
+    y_label: str = "",
+) -> str:
+    """Render series sampled at common x positions as an ASCII chart.
+
+    ``width`` defaults to spreading the samples ~8 columns apart.  Returns
+    a multi-line string: optional title, the plot grid with a y scale, an
+    x-axis label row, and a legend mapping glyphs to series names.
+    """
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height!r}")
+    if not series:
+        raise ValueError("at least one series is required")
+    n_points = len(x_labels)
+    if n_points < 2:
+        raise ValueError("need at least two x positions")
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{n_points} x positions"
+            )
+    if len(series) > len(GLYPHS):
+        raise ValueError(f"at most {len(GLYPHS)} series supported")
+
+    if width is None:
+        width = max(8 * (n_points - 1) + 1, 24)
+    lo = min(min(v) for v in series.values())
+    hi = max(max(v) for v in series.values())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0  # flat data: centre it
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(i: int) -> int:
+        return round(i * (width - 1) / (n_points - 1))
+
+    def row(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for glyph, (name, values) in zip(GLYPHS, series.items()):
+        # Connect consecutive samples with interpolated points; blank cells
+        # only, so earlier series stay visible at collisions.
+        for i in range(n_points - 1):
+            c0, c1 = col(i), col(i + 1)
+            v0, v1 = values[i], values[i + 1]
+            span = max(c1 - c0, 1)
+            for c in range(c0, c1 + 1):
+                t = (c - c0) / span
+                r = row(v0 + t * (v1 - v0))
+                if grid[r][c] == " ":
+                    grid[r][c] = glyph
+
+    y_hi = f"{hi:.4g}"
+    y_lo = f"{lo:.4g}"
+    margin = max(len(y_hi), len(y_lo), len(y_label)) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            prefix = y_hi.rjust(margin - 1) + " "
+        elif r == height - 1:
+            prefix = y_lo.rjust(margin - 1) + " "
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(margin - 1) + " "
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(cells))
+    # x axis: tick labels under their columns.
+    axis = [" "] * (width + margin + 1)
+    for i, label in enumerate(x_labels):
+        text = str(label)
+        start = margin + 1 + col(i)
+        start = min(start, margin + 1 + width - len(text))
+        for j, ch in enumerate(text):
+            if start + j < len(axis):
+                axis[start + j] = ch
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append("".join(axis).rstrip())
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series)
+    )
+    lines.append(" " * margin + legend)
+    return "\n".join(lines)

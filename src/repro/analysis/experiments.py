@@ -1,0 +1,640 @@
+"""One harness function per paper table/figure (the per-experiment index).
+
+Each ``run_*`` function takes an :class:`~repro.analysis.runner.ExperimentContext`,
+executes the simulations the paper's artifact needs (memoised), and returns
+an :class:`ExperimentResult` whose ``text`` is the paper's rows/series and
+whose ``data`` is the structured equivalent used by tests and EXPERIMENTS.md.
+
+Paper-side expectations are recorded verbatim in ``paper_expectation`` so a
+reader can compare shapes without the paper at hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.metrics import miss_reduction
+from repro.analysis.runner import ExperimentContext
+from repro.analysis.tables import render_series, render_table
+from repro.traces.synthetic import TRACE_NAMES
+
+#: Main-comparison policies in Figure 6's legend order.
+FIG6_POLICIES = ("no-prefetch", "next-limit", "tree", "tree-next-limit")
+
+#: Table 4's threshold sweep bounds: "from 0.4 to 0.001".
+THRESHOLD_VALUES = (0.001, 0.002, 0.008, 0.025, 0.05, 0.1, 0.2, 0.4)
+#: Section 9.7: optimal child counts "ranged from 3 to 10".
+CHILDREN_VALUES = (1, 3, 5, 10, 20)
+#: Figure 13's tree node budgets (paper: best at 32K nodes ~ 1.25 MB).
+NODE_BUDGETS = (1024, 4096, 8192, 32768, 131072, None)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure."""
+
+    exp_id: str
+    title: str
+    paper_expectation: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+    def to_json(self) -> str:
+        """Machine-readable form (plotting scripts, downstream analysis)."""
+        import json
+
+        return json.dumps(
+            {
+                "exp_id": self.exp_id,
+                "title": self.title,
+                "paper_expectation": self.paper_expectation,
+                "data": self.data,
+            },
+            sort_keys=True,
+            default=str,
+        )
+
+
+# --------------------------------------------------------------------- T1
+
+
+def run_table1(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 1: the trace inventory."""
+    rows = []
+    for name in TRACE_NAMES:
+        summary = ctx.trace(name).summary()
+        rows.append(
+            [
+                summary["trace"],
+                summary["references"],
+                summary["unique_blocks"],
+                summary["l1_cache_blocks"],
+                summary["sequentiality"],
+            ]
+        )
+    text = render_table(
+        ["trace", "references", "unique_blocks", "l1_blocks", "sequentiality"],
+        rows,
+        title="Table 1: traces used in the study (synthetic stand-ins)",
+    )
+    return ExperimentResult(
+        exp_id="table1",
+        title="Traces used in the study",
+        paper_expectation=(
+            "cello 3.5M refs (30MB L1), snake 3.9M refs (5MB L1), CAD 147K "
+            "object refs, sitar 665K file-block refs"
+        ),
+        text=text,
+        data={"rows": rows},
+    )
+
+
+# --------------------------------------------------------------------- F6
+
+
+def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 6: miss rate vs cache size for the four main policies."""
+    data: Dict[str, Any] = {}
+    blocks_of_text: List[str] = []
+    for trace in TRACE_NAMES:
+        series = {}
+        for policy in FIG6_POLICIES:
+            runs = ctx.sweep(trace, policy)
+            series[policy] = [round(s.miss_rate, 2) for s in runs]
+        data[trace] = series
+        blocks_of_text.append(
+            render_series(
+                "cache_blocks",
+                ctx.cache_sizes,
+                series,
+                title=f"Figure 6 ({trace}): miss rate (%) vs cache size",
+                chart=True,
+            )
+        )
+    # Headline reductions the paper quotes.
+    reductions = {}
+    for trace in TRACE_NAMES:
+        base = data[trace]["no-prefetch"]
+        reductions[trace] = {
+            policy: round(
+                max(
+                    miss_reduction(b, v)
+                    for b, v in zip(base, data[trace][policy])
+                ),
+                1,
+            )
+            for policy in FIG6_POLICIES[1:]
+        }
+    data["max_reduction_vs_no_prefetch_pct"] = reductions
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Miss rate of the four main schemes vs cache size",
+        paper_expectation=(
+            "tree-next-limit lowest almost everywhere; cello/snake: up to "
+            "~54% below no-prefetch (next-limit alone ~32%); CAD: tree cuts "
+            "up to ~36% while next-limit == no-prefetch; sitar: next-limit "
+            "and tree-next-limit cut up to ~73% while tree == no-prefetch; "
+            "tree+next-limit gains are additive"
+        ),
+        text="\n\n".join(blocks_of_text),
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------- F7-F10
+
+
+def _tree_sweep_metric(
+    ctx: ExperimentContext, metric: str
+) -> Dict[str, List[float]]:
+    return {
+        trace: [
+            round(getattr(s, metric), 3) for s in ctx.sweep(trace, "tree")
+        ]
+        for trace in TRACE_NAMES
+    }
+
+
+def run_fig7(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 7: fraction of chosen prefetch candidates already cached."""
+    series = _tree_sweep_metric(ctx, "candidates_already_cached_rate")
+    return ExperimentResult(
+        exp_id="fig7",
+        title="Prefetch candidates already resident in the cache (%)",
+        paper_expectation=(
+            "rises with cache size; above ~2048 blocks, over 85% of chosen "
+            "candidates already reside in the cache (working sets fit)"
+        ),
+        text=render_series(
+            "cache_blocks", ctx.cache_sizes, series,
+            title="Figure 7: candidates already cached (%), tree policy",
+            chart=True,
+        ),
+        data=series,
+    )
+
+
+def run_fig8(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 8: blocks prefetched per access period."""
+    series = _tree_sweep_metric(ctx, "prefetches_per_period")
+    return ExperimentResult(
+        exp_id="fig8",
+        title="Blocks prefetched per access period (tree policy)",
+        paper_expectation=(
+            "highest at small caches (snake ~2/period, a 180% traffic "
+            "increase; others much less) and falls below ~1/3 per period at "
+            "large caches"
+        ),
+        text=render_series(
+            "cache_blocks", ctx.cache_sizes, series,
+            title="Figure 8: prefetches per access period, tree policy",
+            chart=True,
+        ),
+        data=series,
+    )
+
+
+def run_fig9(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 9: prefetch cache hit rate."""
+    series = _tree_sweep_metric(ctx, "prefetch_cache_hit_rate")
+    return ExperimentResult(
+        exp_id="fig9",
+        title="Hit rate in the prefetch cache (tree policy)",
+        paper_expectation=(
+            "CAD around 75% (predictions carry high probability); the "
+            "other traces much lower (paper: ~10%)"
+        ),
+        text=render_series(
+            "cache_blocks", ctx.cache_sizes, series,
+            title="Figure 9: prefetch cache hit rate (%), tree policy",
+            chart=True,
+        ),
+        data=series,
+    )
+
+
+def run_fig10(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 10: average probability of the prefetched blocks."""
+    series = _tree_sweep_metric(ctx, "mean_prefetched_probability")
+    return ExperimentResult(
+        exp_id="fig10",
+        title="Average probability of prefetched blocks (tree policy)",
+        paper_expectation=(
+            "CAD's prefetched blocks carry a higher average probability "
+            "than the other traces', explaining its higher prefetch cache "
+            "hit rate"
+        ),
+        text=render_series(
+            "cache_blocks", ctx.cache_sizes, series,
+            title="Figure 10: mean probability of prefetched blocks",
+            chart=True,
+        ),
+        data=series,
+    )
+
+
+# ---------------------------------------------------------------- F11-F12
+
+TCPU_VALUES = (20.0, 40.0, 50.0, 80.0, 160.0, 320.0, 640.0)
+
+
+def run_fig11(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
+    """Figure 11: s (prefetches per period) vs T_cpu, CAD trace."""
+    series: Dict[str, List[float]] = {}
+    for trace in TRACE_NAMES:
+        series[trace] = [
+            round(
+                ctx.run(trace, "tree", cache_size, t_cpu=t).prefetches_per_period,
+                3,
+            )
+            for t in TCPU_VALUES
+        ]
+    return ExperimentResult(
+        exp_id="fig11",
+        title="Prefetching rate vs computation time T_cpu",
+        paper_expectation=(
+            "s rises with T_cpu initially (more I/O can overlap) then "
+            "plateaus once the eviction cost caps further prefetching; "
+            "paper plots CAD at cache 1024.  Note: with T_disk = 15 ms, "
+            "per-period compute already exceeds the disk time at T_cpu = "
+            "20 ms, so in our implementation the whole 20-640 ms range "
+            "sits on the plateau - extend the sweep below ~10 ms to see "
+            "the rising edge"
+        ),
+        text=render_series(
+            "t_cpu_ms", list(TCPU_VALUES), series,
+            title=f"Figure 11: prefetches per period vs T_cpu (cache {cache_size})",
+            chart=True,
+        ),
+        data=series,
+    )
+
+
+def run_fig12(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
+    """Figure 12: prefetch cache hit rate vs T_cpu."""
+    series: Dict[str, List[float]] = {}
+    for trace in TRACE_NAMES:
+        series[trace] = [
+            round(
+                ctx.run(trace, "tree", cache_size, t_cpu=t).prefetch_cache_hit_rate,
+                2,
+            )
+            for t in TCPU_VALUES
+        ]
+    return ExperimentResult(
+        exp_id="fig12",
+        title="Prefetch cache hit rate vs computation time T_cpu",
+        paper_expectation=(
+            "hit rate decreases as T_cpu grows (more speculative prefetches "
+            "issued) and flattens above ~50 ms; combined miss rate is "
+            "insensitive to T_cpu above 50 ms"
+        ),
+        text=render_series(
+            "t_cpu_ms", list(TCPU_VALUES), series,
+            title=f"Figure 12: prefetch cache hit rate (%) vs T_cpu (cache {cache_size})",
+            chart=True,
+        ),
+        data=series,
+    )
+
+
+# --------------------------------------------------------------------- F13
+
+
+def run_fig13(
+    ctx: ExperimentContext, trace: str = "cad", cache_sizes: Any = None
+) -> ExperimentResult:
+    """Figure 13: limiting prefetch-tree memory (miss rate vs node budget)."""
+    sizes = list(cache_sizes) if cache_sizes is not None else ctx.cache_sizes[:4]
+    series: Dict[str, List[float]] = {}
+    budget_labels = [str(b) if b is not None else "unbounded" for b in NODE_BUDGETS]
+    for size in sizes:
+        base = ctx.run(trace, "no-prefetch", size).miss_rate
+        ratios = []
+        for budget in NODE_BUDGETS:
+            kwargs = {"max_tree_nodes": budget} if budget is not None else {}
+            st = ctx.run(trace, "tree", size, policy_kwargs=kwargs)
+            ratios.append(round(st.miss_rate / base, 4) if base > 0 else 1.0)
+        series[f"cache_{size}"] = ratios
+    return ExperimentResult(
+        exp_id="fig13",
+        title="Tree memory budget vs miss rate (ratio to no-prefetch)",
+        paper_expectation=(
+            "for CAD, ~32K nodes (~1.25 MB at 40 B/node) already achieves "
+            "the unbounded tree's performance across cache sizes"
+        ),
+        text=render_series(
+            "tree_nodes", budget_labels, series,
+            title=f"Figure 13: miss rate of tree / no-prefetch vs node budget ({trace})",
+            decimals=4,
+        ),
+        data={"budgets": budget_labels, "series": series},
+    )
+
+
+# --------------------------------------------------------------------- T2
+
+
+def run_table2(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
+    """Table 2: prediction accuracy per trace."""
+    rows = []
+    data = {}
+    for trace in TRACE_NAMES:
+        st = ctx.run(trace, "tree", cache_size)
+        rows.append([trace, round(st.prediction_accuracy, 2)])
+        data[trace] = st.prediction_accuracy
+    return ExperimentResult(
+        exp_id="table2",
+        title="Prediction accuracy of the prefetch tree",
+        paper_expectation=(
+            "cello 35.78%, snake 61.50%, CAD 59.90%, sitar 71.39%; cello "
+            "lowest because its 30MB L1 already captured the locality"
+        ),
+        text=render_table(
+            ["trace", "prediction_accuracy_%"], rows,
+            title="Table 2: prediction accuracies",
+        ),
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- F14
+
+
+def run_fig14(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 14: predictable blocks NOT already cached."""
+    series = _tree_sweep_metric(ctx, "predictable_uncached_rate")
+    return ExperimentResult(
+        exp_id="fig14",
+        title="Predictable blocks not already cached (%)",
+        paper_expectation=(
+            "low (~15%) for snake, CAD and sitar - the tree identifies "
+            "candidates well but most are already cached"
+        ),
+        text=render_series(
+            "cache_blocks", ctx.cache_sizes, series,
+            title="Figure 14: predictable blocks not cached (%), tree policy",
+        ),
+        data=series,
+    )
+
+
+# --------------------------------------------------------------------- F15
+
+
+def run_fig15(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 15: no-prefetch vs tree vs perfect-selector."""
+    data: Dict[str, Any] = {}
+    blocks_of_text: List[str] = []
+    for trace in TRACE_NAMES:
+        series = {}
+        for policy in ("no-prefetch", "tree", "perfect-selector"):
+            runs = ctx.sweep(trace, policy)
+            series[policy] = [round(s.miss_rate, 2) for s in runs]
+        data[trace] = series
+        blocks_of_text.append(
+            render_series(
+                "cache_blocks", ctx.cache_sizes, series,
+                title=f"Figure 15 ({trace}): miss rate (%) vs cache size",
+                chart=True,
+            )
+        )
+    return ExperimentResult(
+        exp_id="fig15",
+        title="Oracle selection bound (perfect-selector)",
+        paper_expectation=(
+            "perfect-selector reduces miss rate considerably below tree for "
+            "all traces - headroom is in candidate selection, not prediction"
+        ),
+        text="\n\n".join(blocks_of_text),
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- T3
+
+
+def run_table3(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
+    """Table 3: last-visited-child repeat rate."""
+    rows = []
+    data = {}
+    for trace in TRACE_NAMES:
+        st = ctx.run(trace, "tree", cache_size)
+        rows.append(
+            [trace, round(st.lvc_repeat_rate, 2),
+             round(st.lvc_repeat_rate_nonroot, 2)]
+        )
+        data[trace] = {
+            "all_nodes": st.lvc_repeat_rate,
+            "nonroot": st.lvc_repeat_rate_nonroot,
+        }
+    return ExperimentResult(
+        exp_id="table3",
+        title="Successive visits to the last visited child",
+        paper_expectation=(
+            "cello 24.37%, snake 38.49%, CAD 68.61%, sitar 73.61%.  With "
+            "traces ~30x shorter than the paper's, parse restarts at the "
+            "root depress the all-node rate; the non-root column shows the "
+            "mature per-node behaviour and the cross-trace ordering holds "
+            "in both"
+        ),
+        text=render_table(
+            ["trace", "lvc_repeat_%", "lvc_repeat_nonroot_%"], rows,
+            title="Table 3: last-visited-child repeat rate",
+        ),
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- F16
+
+
+def run_fig16(ctx: ExperimentContext) -> ExperimentResult:
+    """Figure 16: last visited children already cached (tree policy)."""
+    series = _tree_sweep_metric(ctx, "lvc_cached_rate")
+    return ExperimentResult(
+        exp_id="fig16",
+        title="Last visited children already cached (%)",
+        paper_expectation=(
+            "more than 85% of last-visited children are already cached at "
+            "most cache sizes, which is why tree-lvc gains nothing"
+        ),
+        text=render_series(
+            "cache_blocks", ctx.cache_sizes, series,
+            title="Figure 16: last visited children already cached (%)",
+        ),
+        data=series,
+    )
+
+
+def run_tree_lvc_comparison(
+    ctx: ExperimentContext,
+) -> ExperimentResult:
+    """Section 9.6's negative result: tree-lvc == tree."""
+    data: Dict[str, Any] = {}
+    rows = []
+    for trace in TRACE_NAMES:
+        tree_runs = ctx.sweep(trace, "tree")
+        lvc_runs = ctx.sweep(trace, "tree-lvc")
+        tree_miss = [round(s.miss_rate, 2) for s in tree_runs]
+        lvc_miss = [round(s.miss_rate, 2) for s in lvc_runs]
+        data[trace] = {"tree": tree_miss, "tree-lvc": lvc_miss}
+        for size, t, l in zip(ctx.cache_sizes, tree_miss, lvc_miss):
+            rows.append([trace, size, t, l, round(l - t, 2)])
+    return ExperimentResult(
+        exp_id="sec9.6",
+        title="tree vs tree-lvc miss rates",
+        paper_expectation=(
+            "no noticeable difference between tree and tree-lvc"
+        ),
+        text=render_table(
+            ["trace", "cache_blocks", "tree_miss", "tree_lvc_miss", "delta"],
+            rows,
+            title="Section 9.6: tree vs tree-lvc",
+        ),
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- T4
+
+
+def run_table4(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
+    """Table 4: best vs worst tree-threshold over the threshold sweep."""
+    rows = []
+    data: Dict[str, Any] = {}
+    for trace in TRACE_NAMES:
+        misses = {}
+        for threshold in THRESHOLD_VALUES:
+            st = ctx.run(
+                trace,
+                "tree-threshold",
+                cache_size,
+                policy_kwargs={"threshold": threshold},
+            )
+            misses[threshold] = st.miss_rate
+        best_t = min(misses, key=misses.get)
+        worst_t = max(misses, key=misses.get)
+        best, worst = misses[best_t], misses[worst_t]
+        diff = miss_reduction(worst, best)
+        rows.append(
+            [trace, round(best, 3), best_t, round(worst, 3), worst_t,
+             round(diff, 2)]
+        )
+        data[trace] = {
+            "misses": misses,
+            "best": (best_t, best),
+            "worst": (worst_t, worst),
+            "difference_pct": diff,
+        }
+    return ExperimentResult(
+        exp_id="table4",
+        title="Sensitivity of tree-threshold to its threshold",
+        paper_expectation=(
+            "no single threshold is best for all traces; worst can be up to "
+            "~15% above best (snake 15.12%, CAD 15.11%, sitar 10.95%, "
+            "cello 1.60%)"
+        ),
+        text=render_table(
+            ["trace", "best_miss", "best_thresh", "worst_miss",
+             "worst_thresh", "difference_%"],
+            rows,
+            title=f"Table 4: tree-threshold best vs worst (cache {cache_size})",
+            decimals=3,
+        ),
+        data=data,
+    )
+
+
+# --------------------------------------------------------------------- F17
+
+
+def run_fig17(
+    ctx: ExperimentContext,
+    traces: Any = ("cello", "snake"),
+    cache_sizes: Any = None,
+) -> ExperimentResult:
+    """Figure 17: tree vs best tree-threshold vs best tree-children.
+
+    The paper plots the cello and snake traces; each point of the parametric
+    curves is itself a sweep (8 thresholds / 5 child counts), so this is by
+    far the most simulation-hungry figure — the cache axis defaults to every
+    other size of the context's grid.
+    """
+    sizes = list(cache_sizes) if cache_sizes is not None else ctx.cache_sizes[::2]
+    data: Dict[str, Any] = {}
+    blocks_of_text: List[str] = []
+    for trace in traces:
+        tree_miss = [
+            round(s.miss_rate, 2)
+            for s in ctx.sweep(trace, "tree", cache_sizes=sizes)
+        ]
+        best_threshold: List[float] = []
+        best_children: List[float] = []
+        for size in sizes:
+            thr = min(
+                ctx.run(
+                    trace, "tree-threshold", size,
+                    policy_kwargs={"threshold": t},
+                ).miss_rate
+                for t in THRESHOLD_VALUES
+            )
+            chd = min(
+                ctx.run(
+                    trace, "tree-children", size,
+                    policy_kwargs={"num_children": k},
+                ).miss_rate
+                for k in CHILDREN_VALUES
+            )
+            best_threshold.append(round(thr, 2))
+            best_children.append(round(chd, 2))
+        series = {
+            "tree": tree_miss,
+            "best tree-threshold": best_threshold,
+            "best tree-children": best_children,
+        }
+        data[trace] = series
+        blocks_of_text.append(
+            render_series(
+                "cache_blocks", sizes, series,
+                title=f"Figure 17 ({trace}): miss rate (%) vs cache size",
+                chart=True,
+            )
+        )
+    return ExperimentResult(
+        exp_id="fig17",
+        title="Cost-benefit tree vs best-tuned parametric schemes",
+        paper_expectation=(
+            "tree's untuned miss rate tracks the best tuned tree-threshold "
+            "and tree-children - the cost-benefit analysis finds the "
+            "optimal prefetch volume dynamically"
+        ),
+        text="\n\n".join(blocks_of_text),
+        data=data,
+    )
+
+
+#: Every experiment in paper order; EXPERIMENTS.md and the benches iterate this.
+ALL_EXPERIMENTS = (
+    run_table1,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_table2,
+    run_fig14,
+    run_fig15,
+    run_table3,
+    run_fig16,
+    run_tree_lvc_comparison,
+    run_table4,
+    run_fig17,
+)

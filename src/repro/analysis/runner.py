@@ -1,0 +1,165 @@
+"""Memoised experiment runner shared by the benchmarks.
+
+Most paper figures reuse the same underlying simulations (Figures 7-10 all
+read off the *tree* policy's cache-size sweep; Figure 6's no-prefetch
+baseline reappears in Figures 13 and 15).  :class:`ExperimentContext`
+memoises generated traces and simulation runs by their full configuration
+so a bench session pays for each distinct simulation exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import DEFAULT_CACHE_SIZES
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.stats import SimulationStats
+from repro.traces.base import Trace
+from repro.traces.synthetic import make_trace
+
+
+def _freeze(kwargs: Optional[Dict[str, Any]]) -> str:
+    return json.dumps(kwargs or {}, sort_keys=True, default=str)
+
+
+class ExperimentContext:
+    """Shared configuration + memo for one benchmark/reproduction session."""
+
+    def __init__(
+        self,
+        params: SystemParams = PAPER_PARAMS,
+        *,
+        num_references: int = 120_000,
+        seed: int = 1999,
+        cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
+    ) -> None:
+        if num_references < 1:
+            raise ValueError(
+                f"num_references must be >= 1, got {num_references!r}"
+            )
+        self.params = params
+        self.num_references = num_references
+        self.seed = seed
+        self.cache_sizes = list(cache_sizes)
+        self._traces: Dict[str, Trace] = {}
+        self._stats: Dict[Tuple, SimulationStats] = {}
+
+    # ------------------------------------------------------------- traces
+
+    def trace(self, name: str) -> Trace:
+        cached = self._traces.get(name)
+        if cached is None:
+            cached = make_trace(
+                name, num_references=self.num_references, seed=self.seed
+            )
+            self._traces[name] = cached
+        return cached
+
+    # ---------------------------------------------------------------- runs
+
+    def run(
+        self,
+        trace_name: str,
+        policy_name: str,
+        cache_size: int,
+        *,
+        t_cpu: Optional[float] = None,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+        sim_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> SimulationStats:
+        """One memoised simulation run."""
+        key = (
+            trace_name,
+            policy_name,
+            cache_size,
+            t_cpu,
+            _freeze(policy_kwargs),
+            _freeze(sim_kwargs),
+        )
+        cached = self._stats.get(key)
+        if cached is not None:
+            return cached
+        params = self.params if t_cpu is None else self.params.with_t_cpu(t_cpu)
+        policy = make_policy(policy_name, **(policy_kwargs or {}))
+        trace = self.trace(trace_name)
+        # File-level policies need the workload's extent map; the synthetic
+        # file workloads publish it in their params.
+        from repro.policies.file_prefetch import FilePrefetchPolicy
+
+        if (
+            isinstance(policy, FilePrefetchPolicy)
+            and policy.extent_map is None
+            and trace.params.get("extents")
+        ):
+            policy.attach_extents(trace.params["extents"])
+        sim = Simulator(params, policy, cache_size, **(sim_kwargs or {}))
+        stats = sim.run(trace.as_list())
+        self._stats[key] = stats
+        return stats
+
+    def sweep(
+        self,
+        trace_name: str,
+        policy_name: str,
+        *,
+        cache_sizes: Optional[Sequence[int]] = None,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+        **run_kwargs,
+    ) -> List[SimulationStats]:
+        """One run per cache size (memoised individually)."""
+        sizes = self.cache_sizes if cache_sizes is None else list(cache_sizes)
+        return [
+            self.run(
+                trace_name,
+                policy_name,
+                size,
+                policy_kwargs=policy_kwargs,
+                **run_kwargs,
+            )
+            for size in sizes
+        ]
+
+    def metric_series(
+        self, runs: Sequence[SimulationStats], metric: str
+    ) -> List[float]:
+        """Extract a stats attribute/extra key across runs."""
+        out: List[float] = []
+        for stats in runs:
+            if hasattr(stats, metric):
+                out.append(getattr(stats, metric))
+            else:
+                out.append(stats.extra[metric])
+        return out
+
+
+#: Default context used by ``benchmarks/`` (module-level so pytest-benchmark
+#: repetitions and multiple bench files share one memo).
+_default_context: Optional[ExperimentContext] = None
+
+
+def default_context(
+    num_references: Optional[int] = None, seed: int = 1999
+) -> ExperimentContext:
+    """Process-wide shared context.
+
+    The first caller fixes the configuration; later callers must not ask
+    for a different one (that would silently mix configurations).
+    """
+    global _default_context
+    if _default_context is None:
+        _default_context = ExperimentContext(
+            num_references=num_references if num_references is not None else 60_000,
+            seed=seed,
+        )
+        return _default_context
+    if num_references is not None and (
+        _default_context.num_references != num_references
+        or _default_context.seed != seed
+    ):
+        raise RuntimeError(
+            "default_context already initialised with a different configuration"
+        )
+    return _default_context

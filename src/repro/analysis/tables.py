@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the output aligned and consistent.  Figures are
+rendered as series tables (x column plus one column per line in the
+figure), which is the faithful text equivalent of a line plot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: Any, decimals: int = 2) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    decimals: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_value(cell, decimals) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    decimals: int = 2,
+    chart: bool = False,
+) -> str:
+    """Render figure-style data: one x column, one column per series.
+
+    With ``chart=True`` an ASCII line chart of the same series is appended
+    below the table (numeric series only), so figure shapes are visible in
+    plain-text benchmark output.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    headers = [x_name, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    text = render_table(headers, rows, title=title, decimals=decimals)
+    if chart and len(x_values) >= 2:
+        from repro.analysis.ascii_chart import render_chart
+
+        numeric = {
+            name: [float(v) for v in values]
+            for name, values in series.items()
+        }
+        text += "\n\n" + render_chart(x_values, numeric, y_label=" ")
+    return text
+
+
+def render_dict(mapping: Dict[str, Any], *, title: Optional[str] = None) -> str:
+    """Key/value block, for run manifests."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in mapping), default=0)
+    for key, value in mapping.items():
+        lines.append(f"  {key.ljust(width)} : {format_value(value)}")
+    return "\n".join(lines)

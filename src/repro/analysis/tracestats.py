@@ -1,0 +1,138 @@
+"""Trace characterisation: the workload properties the paper reasons with.
+
+Quantifies, for any block reference stream, the properties that determine
+which prefetching scheme can help (and that the synthetic generators are
+calibrated against):
+
+* **sequentiality** - fraction of references equal to predecessor + 1
+  (one-block lookahead's food);
+* **run-length distribution** - lengths of maximal sequential runs;
+* **reuse profile** - LRU stack-distance histogram and the implied
+  hit-rate-vs-cache-size curve H(n) (what plain caching can do);
+* **predictability** - Table 2's measure, from a bare LZ-tree pass, plus
+  the last-visited-child repeat rates of Table 3;
+* **working set** - distinct blocks per window of the stream;
+* **first-access share** - compulsory misses no history scheme can fix
+  (only sequential lookahead inside cold runs can).
+
+``characterise(trace)`` bundles everything into one report dict; the
+``trace`` CLI and Table 1's bench use it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cache.ghost import StackDistanceProfiler
+from repro.core.tree import PrefetchTree
+
+
+def sequential_run_lengths(blocks: Sequence[int]) -> List[int]:
+    """Lengths of maximal runs where each block is predecessor + 1."""
+    runs: List[int] = []
+    current = 1
+    arr = list(blocks)
+    for prev, cur in zip(arr, arr[1:]):
+        if cur == prev + 1:
+            current += 1
+        else:
+            runs.append(current)
+            current = 1
+    if arr:
+        runs.append(current)
+    return runs
+
+
+def sequentiality(blocks: Sequence[int]) -> float:
+    """Fraction of references continuing a +1 run."""
+    arr = np.asarray(blocks, dtype=np.int64)
+    if arr.size < 2:
+        return 0.0
+    return float(np.mean(arr[1:] == arr[:-1] + 1))
+
+
+def first_access_share(blocks: Sequence[int]) -> float:
+    """Fraction of references that are first touches (compulsory misses)."""
+    if not len(blocks):
+        return 0.0
+    seen = set()
+    first = 0
+    for b in blocks:
+        if b not in seen:
+            seen.add(b)
+            first += 1
+    return first / len(blocks)
+
+
+def reuse_profile(
+    blocks: Sequence[int], *, max_depth: int = 8192
+) -> Dict[str, object]:
+    """Stack-distance statistics and the implied H(n) curve."""
+    profiler = StackDistanceProfiler(max_depth=max_depth)
+    for b in blocks:
+        profiler.record(b)
+    checkpoints = [n for n in (128, 256, 512, 1024, 2048, 4096, 8192)
+                   if n <= max_depth]
+    return {
+        "cold_share": (
+            profiler.cold_references / profiler.references
+            if profiler.references else 0.0
+        ),
+        "hit_rate_by_cache": {
+            n: profiler.cumulative_hit_rate(n) for n in checkpoints
+        },
+    }
+
+
+def predictability(blocks: Sequence[int]) -> Dict[str, float]:
+    """Table 2/3 measures from a bare LZ-tree pass (no cache involved)."""
+    tree = PrefetchTree()
+    tree.record_all(blocks)
+    stats = tree.stats
+    return {
+        "prediction_accuracy": stats.prediction_accuracy,
+        "lvc_repeat_rate": stats.lvc_repeat_rate,
+        "lvc_repeat_rate_nonroot": stats.lvc_repeat_rate_nonroot,
+        "tree_nodes": tree.node_count,
+    }
+
+
+def working_set_curve(
+    blocks: Sequence[int], *, windows: Sequence[int] = (1000, 10_000, 100_000)
+) -> Dict[int, float]:
+    """Mean distinct blocks per window of each size (Denning working set)."""
+    arr = list(blocks)
+    out: Dict[int, float] = {}
+    for window in windows:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        if len(arr) < window:
+            out[window] = float(len(set(arr)))
+            continue
+        sizes = []
+        step = max(1, window // 2)  # half-overlapping windows
+        for start in range(0, len(arr) - window + 1, step):
+            sizes.append(len(set(arr[start : start + window])))
+        out[window] = float(np.mean(sizes))
+    return out
+
+
+def characterise(blocks: Sequence[int], *, max_depth: int = 8192) -> Dict[str, object]:
+    """Full workload characterisation report."""
+    runs = sequential_run_lengths(blocks)
+    report: Dict[str, object] = {
+        "references": len(blocks),
+        "unique_blocks": len(set(blocks)),
+        "sequentiality": sequentiality(blocks),
+        "mean_run_length": float(np.mean(runs)) if runs else 0.0,
+        "max_run_length": max(runs) if runs else 0,
+        "first_access_share": first_access_share(blocks),
+        "working_set": working_set_curve(
+            blocks, windows=(1000, 10_000)
+        ),
+    }
+    report.update(reuse_profile(blocks, max_depth=max_depth))
+    report.update(predictability(blocks))
+    return report

@@ -1,0 +1,23 @@
+"""Buffer-cache substrate: LRU demand cache, prefetch cache, combined pool."""
+
+from repro.cache.buffer_cache import (
+    BufferCache,
+    Location,
+    ReferenceResult,
+    VictimKind,
+)
+from repro.cache.ghost import StackDistanceProfiler
+from repro.cache.lru import LRUCache
+from repro.cache.prefetch_cache import OVERDUE_DECAY, PrefetchCache, PrefetchEntry
+
+__all__ = [
+    "BufferCache",
+    "LRUCache",
+    "Location",
+    "OVERDUE_DECAY",
+    "PrefetchCache",
+    "PrefetchEntry",
+    "ReferenceResult",
+    "StackDistanceProfiler",
+    "VictimKind",
+]

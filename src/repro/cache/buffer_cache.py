@@ -1,0 +1,250 @@
+"""The combined demand + prefetch buffer cache (Figure 2).
+
+A fixed pool of ``total_buffers`` is shared by two partitions:
+
+* the **demand cache** -- LRU over previously referenced blocks;
+* the **prefetch cache** -- predicted blocks awaiting their first reference.
+
+The partition boundary is not fixed: whenever a new fetch (demand or
+prefetch) needs a buffer and the pool is full, a buffer is *reclaimed* from
+whichever partition currently holds the least valuable block -- the cheaper
+of Eq. 11 (prefetch-cache ejection) and Eq. 13 (demand-cache LRU ejection).
+A referenced prefetched block moves to the demand cache without changing
+pool occupancy (transition iii in Figure 2).
+
+The demand-side cost needs the marginal LRU hit rate ``H(n) - H(n-1)``;
+every application reference is fed to a stack-distance profiler and the
+marginal rate is read at the demand partition's current size.
+
+An optional hard cap on the prefetch partition implements the next-limit
+policy's "at most 10% of the cache for prefetched blocks" rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.cache.ghost import StackDistanceProfiler
+from repro.cache.lru import LRUCache
+from repro.cache.prefetch_cache import PrefetchCache, PrefetchEntry
+from repro.core import costbenefit
+from repro.params import SystemParams
+
+Block = Hashable
+
+
+class Location(enum.Enum):
+    """Where a referenced block was found."""
+
+    MISS = "miss"
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+
+class VictimKind(enum.Enum):
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Outcome of one application block reference."""
+
+    location: Location
+    entry: Optional[PrefetchEntry] = None
+    """The prefetch-cache entry the block was found in, when applicable."""
+
+
+class BufferCache:
+    """Fixed-size buffer pool with the Figure 2 reclaim protocol."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        total_buffers: int,
+        *,
+        prefetch_capacity: Optional[int] = None,
+        profiler_depth: Optional[int] = None,
+        profiler_decay: float = 0.9995,
+        marginal_band: int = 8,
+        refetch_distance: Optional[int] = None,
+    ) -> None:
+        if total_buffers < 1:
+            raise ValueError(f"total_buffers must be >= 1, got {total_buffers!r}")
+        if prefetch_capacity is None:
+            prefetch_capacity = total_buffers
+        if not (0 <= prefetch_capacity <= total_buffers):
+            raise ValueError(
+                f"prefetch_capacity must be in [0, {total_buffers}], "
+                f"got {prefetch_capacity!r}"
+            )
+        self.params = params
+        self.total_buffers = total_buffers
+        self.demand = LRUCache(capacity=total_buffers)
+        self.prefetch = PrefetchCache(
+            params, capacity=prefetch_capacity, refetch_distance=refetch_distance
+        )
+        depth = profiler_depth if profiler_depth is not None else 2 * total_buffers
+        depth = max(depth, total_buffers + 1)
+        self.profiler = StackDistanceProfiler(max_depth=depth, decay=profiler_decay)
+        self._marginal_band = marginal_band
+        self.forced_prefetch_evictions = 0
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.demand) + len(self.prefetch)
+
+    @property
+    def free_buffers(self) -> int:
+        return self.total_buffers - self.occupancy
+
+    def location_of(self, block: Block) -> Location:
+        """Where ``block`` currently resides, without touching any state."""
+        if block in self.demand:
+            return Location.DEMAND
+        if block in self.prefetch:
+            return Location.PREFETCH
+        return Location.MISS
+
+    def demand_eviction_cost(self) -> float:
+        """Eq. 13 at the demand partition's current size.
+
+        Infinite when the partition is empty (nothing to evict there).
+        """
+        n = len(self.demand)
+        if n == 0:
+            return costbenefit.INFINITE_COST
+        n = min(n, self.profiler.max_depth)
+        marginal = self.profiler.recent_marginal_rate(n, width=self._marginal_band)
+        return costbenefit.cost_demand_eviction(self.params, marginal)
+
+    def cheapest_victim(
+        self, current_period: int, s: float
+    ) -> Optional[Tuple[VictimKind, Block, float]]:
+        """The globally cheapest buffer to reclaim, per Eqs. 11 and 13.
+
+        Ties (within epsilon) go to the prefetch cache: a prefetched block
+        whose Eq. 11 cost has collapsed is a misprediction, while the demand
+        LRU block retains whatever recency standing the profiler has not yet
+        resolved.
+        """
+        best: Optional[Tuple[VictimKind, Block, float]] = None
+        pf = self.prefetch.min_cost_entry(current_period, s)
+        if pf is not None:
+            entry, cost = pf
+            best = (VictimKind.PREFETCH, entry.block, cost)
+        dc = self.demand_eviction_cost()
+        if dc != costbenefit.INFINITE_COST and (
+            best is None or dc < best[2] - 1e-9
+        ):
+            lru = self.demand.lru_block()
+            assert lru is not None
+            best = (VictimKind.DEMAND, lru, dc)
+        return best
+
+    # ----------------------------------------------------------- reference
+
+    def reference(self, block: Block, current_period: int) -> ReferenceResult:
+        """Apply one application reference.
+
+        Feeds the stack-distance profiler, performs the prefetch-to-demand
+        move on a prefetch hit, and refreshes demand-cache recency on a
+        demand hit.  On a miss the caller is responsible for fetching the
+        block and calling :meth:`insert_demand` after reclaiming a buffer.
+        """
+        self.profiler.record(block)
+        if self.demand.access(block):
+            return ReferenceResult(Location.DEMAND)
+        if block in self.prefetch:
+            entry = self.prefetch.take(block)
+            # Transition (iii): occupancy is unchanged by the move.
+            evicted = self.demand.insert(block)
+            assert evicted is None, "pool accounting must prevent LRU overflow"
+            return ReferenceResult(Location.PREFETCH, entry=entry)
+        return ReferenceResult(Location.MISS)
+
+    # ------------------------------------------------------------- reclaim
+
+    def _evict(self, victim: Tuple[VictimKind, Block, float]) -> None:
+        kind, block, _ = victim
+        if kind is VictimKind.DEMAND:
+            removed = self.demand.discard(block)
+            assert removed
+            self.demand.evictions += 1
+        else:
+            self.prefetch.evict(block)
+
+    def reclaim_for_demand(self, current_period: int, s: float) -> None:
+        """Guarantee a free buffer for a demand fetch (Figure 2, path ii).
+
+        A demand fetch cannot be refused, so if every candidate is
+        non-evictable by cost (possible only when the demand partition is
+        empty and all prefetched blocks are imminently due), the stalest
+        prefetched block is evicted anyway.
+        """
+        if self.free_buffers > 0:
+            return
+        victim = self.cheapest_victim(current_period, s)
+        if victim is not None and victim[2] != costbenefit.INFINITE_COST:
+            self._evict(victim)
+            return
+        # Forced fallback: evict the prefetched block with the lowest
+        # effective probability.
+        entries = list(self.prefetch)
+        if not entries:
+            # Demand partition must be non-empty; evict its LRU block.
+            assert len(self.demand) > 0
+            self.demand.evict_lru()
+            return
+        stalest = min(
+            entries, key=lambda e: (e.effective_probability(current_period), e.issue_period)
+        )
+        self.prefetch.evict(stalest.block)
+        self.forced_prefetch_evictions += 1
+
+    def try_reclaim_for_prefetch(
+        self, current_period: int, s: float, max_cost: float
+    ) -> Optional[float]:
+        """Reclaim a buffer for a prefetch if the cheapest victim costs
+        at most ``max_cost`` (the candidate's net benefit).
+
+        Returns the reclaim cost actually paid, or ``None`` if the prefetch
+        should be abandoned (no affordable victim, or the prefetch partition
+        is at its hard cap and holds nothing cheap enough).
+        """
+        if self.prefetch.is_full:
+            # Hard cap: must displace within the prefetch partition.
+            pf = self.prefetch.min_cost_entry(current_period, s)
+            if pf is None:
+                return None
+            entry, cost = pf
+            if cost > max_cost:
+                return None
+            self.prefetch.evict(entry.block)
+            return cost
+        if self.free_buffers > 0:
+            return 0.0
+        victim = self.cheapest_victim(current_period, s)
+        if victim is None or victim[2] > max_cost:
+            return None
+        self._evict(victim)
+        return victim[2]
+
+    # -------------------------------------------------------------- insert
+
+    def insert_demand(self, block: Block) -> None:
+        """Install a demand-fetched block; a buffer must be free."""
+        if self.free_buffers <= 0:
+            raise RuntimeError("no free buffer; call reclaim_for_demand first")
+        evicted = self.demand.insert(block)
+        assert evicted is None
+
+    def insert_prefetch(self, entry: PrefetchEntry) -> None:
+        """Install a prefetched block; a buffer must be free."""
+        if self.free_buffers <= 0:
+            raise RuntimeError("no free buffer; reclaim before prefetching")
+        self.prefetch.insert(entry)

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``  Run one policy over a workload and print the statistics.
+``sweep``     Miss rate vs cache size for one or more policies.
+``trace``     Generate a synthetic workload and write it to a file.
+``report``    Run the full experiment battery and write EXPERIMENTS.md
+              (thin wrapper over :mod:`repro.analysis.report`).
+``stats``     Characterise a workload (sequentiality, reuse, predictability).
+
+Examples
+--------
+::
+
+    python -m repro simulate --trace cad --policy tree --cache 1024
+    python -m repro sweep --trace sitar --policies no-prefetch next-limit tree
+    python -m repro trace --name snake --refs 200000 --out snake.npz
+    python -m repro report --refs 50000 --out EXPERIMENTS.md
+    python -m repro stats --trace cello --refs 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.tables import render_dict, render_series
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.registry import make_policy, policy_names
+from repro.sim.engine import Simulator
+from repro.traces import io as trace_io
+from repro.traces.synthetic import TRACE_NAMES, make_trace
+
+#: Policy parameters settable from the command line.
+_POLICY_KWARGS = ("threshold", "num_children", "max_tree_nodes",
+                  "max_candidates")
+
+
+def _load_workload(args) -> list:
+    """Resolve ``--trace`` (generator name or file path) to a block list."""
+    if args.trace in TRACE_NAMES:
+        trace = make_trace(args.trace, num_references=args.refs, seed=args.seed)
+    else:
+        trace = trace_io.load(args.trace)
+    return trace.as_list()
+
+
+def _params(args) -> SystemParams:
+    if args.t_cpu is None:
+        return PAPER_PARAMS
+    return PAPER_PARAMS.with_t_cpu(args.t_cpu)
+
+
+def _policy_kwargs(args) -> dict:
+    return {
+        key: getattr(args, key)
+        for key in _POLICY_KWARGS
+        if getattr(args, key, None) is not None
+    }
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", required=True,
+        help=f"workload name ({', '.join(TRACE_NAMES)}) or a trace file path",
+    )
+    parser.add_argument("--refs", type=int, default=100_000,
+                        help="references to generate (generator traces only)")
+    parser.add_argument("--seed", type=int, default=1999)
+    parser.add_argument("--t-cpu", type=float, default=None, dest="t_cpu",
+                        help="override T_cpu (ms); default 50")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="tree-threshold's probability threshold")
+    parser.add_argument("--num-children", type=int, default=None,
+                        dest="num_children",
+                        help="tree-children's child count")
+    parser.add_argument("--max-tree-nodes", type=int, default=None,
+                        dest="max_tree_nodes",
+                        help="prefetch-tree node budget (Figure 13)")
+    parser.add_argument("--max-candidates", type=int, default=None,
+                        dest="max_candidates",
+                        help="candidate frontier width per access period")
+
+
+def cmd_simulate(args) -> int:
+    blocks = _load_workload(args)
+    policy = make_policy(args.policy, **_policy_kwargs(args))
+    sim = Simulator(_params(args), policy, args.cache)
+    stats = sim.run(blocks)
+    d = stats.as_dict()
+    extra = d.pop("extra")
+    print(render_dict(d, title=f"{args.policy} on {args.trace} "
+                               f"(cache {args.cache} blocks)"))
+    if extra:
+        print(render_dict(extra, title="extra"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    blocks = _load_workload(args)
+    series = {}
+    for name in args.policies:
+        misses = []
+        for size in args.sizes:
+            policy = make_policy(name, **_policy_kwargs(args))
+            sim = Simulator(_params(args), policy, size)
+            misses.append(round(sim.run(blocks).miss_rate, 2))
+        series[name] = misses
+    print(render_series("cache_blocks", args.sizes, series,
+                        title=f"miss rate (%) on {args.trace}"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    trace = make_trace(args.name, num_references=args.refs, seed=args.seed)
+    trace_io.save(trace, args.out)
+    summary = trace.summary()
+    print(render_dict(summary, title=f"wrote {args.out}"))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.analysis.tracestats import characterise
+
+    blocks = _load_workload(args)
+    report = characterise(blocks)
+    flat = {}
+    for key, value in report.items():
+        if isinstance(value, dict):
+            for sub, v in value.items():
+                flat[f"{key}[{sub}]"] = v
+        else:
+            flat[key] = value
+    print(render_dict(flat, title=f"workload characterisation: {args.trace}"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis import report
+
+    return report.main(
+        ["--refs", str(args.refs), "--seed", str(args.seed),
+         "--out", args.out]
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-benefit predictive prefetching (SC '99) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one policy on one workload")
+    _add_common(p_sim)
+    p_sim.add_argument("--policy", choices=policy_names(), default="tree")
+    p_sim.add_argument("--cache", type=int, default=1024,
+                       help="cache size in blocks")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser("sweep", help="miss rate vs cache size")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--policies", nargs="+", default=["no-prefetch", "tree"],
+                         choices=policy_names())
+    p_sweep.add_argument("--sizes", type=int, nargs="+",
+                         default=[128, 256, 512, 1024, 2048, 4096])
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_trace = sub.add_parser("trace", help="generate a workload file")
+    p_trace.add_argument("--name", choices=TRACE_NAMES, required=True)
+    p_trace.add_argument("--refs", type=int, default=100_000)
+    p_trace.add_argument("--seed", type=int, default=1999)
+    p_trace.add_argument("--out", required=True,
+                         help="output path (.trace text or .npz)")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="characterise a workload's prefetchability"
+    )
+    _add_common(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_rep = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p_rep.add_argument("--refs", type=int, default=50_000)
+    p_rep.add_argument("--seed", type=int, default=1999)
+    p_rep.add_argument("--out", default="EXPERIMENTS.md")
+    p_rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

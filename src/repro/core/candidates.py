@@ -1,0 +1,144 @@
+"""Prefetch-candidate enumeration from the prefetch tree.
+
+A *candidate* is a block reachable from the tree's current node along a path
+of tree edges.  Its probability ``p_b`` is the product of the edge
+probabilities along the path, its *distance* ``d_b`` is the number of edges,
+and ``p_x`` is the cumulative probability of its parent on that path
+(Sections 2 and 5).  The cost-benefit loop (Section 7) consumes candidates in
+decreasing-benefit order; because ``B(b)`` is monotone in ``p_b`` at a fixed
+depth, a best-first expansion by cumulative probability lets the loop stop
+early without scanning the whole subtree.
+
+The same block can be reachable along several paths (it may appear at many
+places in the tree); we keep only the highest-probability occurrence, which
+is the one the cost-benefit comparison would select anyway.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.core.node import TreeNode
+from repro.core.tree import PrefetchTree
+
+Block = Hashable
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One prefetchable block proposed by the tree."""
+
+    block: Block
+    probability: float
+    """Cumulative probability ``p_b`` from the current node (Section 2)."""
+    depth: int
+    """Distance ``d_b`` in access periods (edges from the current node)."""
+    parent_probability: float
+    """Cumulative probability ``p_x`` of the path parent (depth ``d_b - 1``);
+    1.0 for depth-1 candidates (the parent is the current position itself)."""
+    parent_block: Optional[Block]
+    """Block id of the path parent, or ``None`` for depth-1 candidates."""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0 + 1e-12):
+            raise ValueError(f"probability out of range: {self.probability!r}")
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth!r}")
+        if self.probability > self.parent_probability + 1e-12:
+            raise ValueError(
+                "candidate probability cannot exceed its parent's "
+                f"({self.probability!r} > {self.parent_probability!r})"
+            )
+
+
+def iter_candidates(
+    tree: PrefetchTree,
+    *,
+    max_depth: int = 8,
+    min_probability: float = 1e-4,
+    start: Optional[TreeNode] = None,
+) -> Iterator[Candidate]:
+    """Yield candidates best-first by cumulative probability.
+
+    Parameters
+    ----------
+    tree:
+        The prefetch tree; expansion starts at ``tree.current`` unless
+        ``start`` is given.
+    max_depth:
+        Deepest path explored.  Depths beyond the prefetch horizon add no
+        benefit (Eq. 6 saturates), so a small bound loses nothing.
+    min_probability:
+        Paths whose cumulative probability falls below this are pruned; with
+        probabilities multiplying along a path this bounds the frontier.
+        Enumeration consults each node's relevant-children index, so edges
+        with probability below ``1 / HEAVY_CHILD_DIVISOR`` (~0.001) at hub
+        nodes may be skipped even if ``min_probability`` is lower.
+    start:
+        Expand from this node instead of the parse pointer (used by the
+        perfect-selector oracle and by tests).
+    """
+    if max_depth < 1:
+        raise ValueError(f"max_depth must be >= 1, got {max_depth!r}")
+    if min_probability <= 0.0:
+        raise ValueError(f"min_probability must be > 0, got {min_probability!r}")
+
+    origin = tree.current if start is None else start
+    if origin.weight <= 0 or not origin.children:
+        return
+
+    counter = itertools.count()  # tie-breaker: FIFO among equal probabilities
+    # Heap entries: (-cumulative_prob, tiebreak, node, depth, parent_prob, parent_block)
+    heap: List = []
+    for block, child in tree.iter_relevant_children(origin):
+        p = child.weight / origin.weight
+        if p >= min_probability:
+            heapq.heappush(heap, (-p, next(counter), child, 1, 1.0, None))
+
+    while heap:
+        neg_p, _, node, depth, parent_prob, parent_block = heapq.heappop(heap)
+        p = -neg_p
+        yield Candidate(
+            block=node.block,
+            probability=p,
+            depth=depth,
+            parent_probability=parent_prob,
+            parent_block=parent_block,
+        )
+        if depth < max_depth and node.children and node.weight > 0:
+            for block, child in tree.iter_relevant_children(node):
+                cp = p * (child.weight / node.weight)
+                if cp >= min_probability:
+                    heapq.heappush(
+                        heap, (-cp, next(counter), child, depth + 1, p, node.block)
+                    )
+
+
+def best_candidates(
+    tree: PrefetchTree,
+    *,
+    max_depth: int = 8,
+    max_candidates: int = 64,
+    min_probability: float = 1e-4,
+    start: Optional[TreeNode] = None,
+) -> List[Candidate]:
+    """Top candidates, deduplicated by block (highest probability kept).
+
+    Returns at most ``max_candidates`` candidates ordered by decreasing
+    probability.  Because :func:`iter_candidates` is best-first, the first
+    occurrence of each block is its best one.
+    """
+    if max_candidates < 1:
+        raise ValueError(f"max_candidates must be >= 1, got {max_candidates!r}")
+    chosen: Dict[Block, Candidate] = {}
+    for cand in iter_candidates(
+        tree, max_depth=max_depth, min_probability=min_probability, start=start
+    ):
+        if cand.block not in chosen:
+            chosen[cand.block] = cand
+            if len(chosen) >= max_candidates:
+                break
+    return list(chosen.values())

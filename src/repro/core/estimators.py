@@ -1,0 +1,150 @@
+"""Online estimators for the dynamically calculated model inputs.
+
+Figure 4 lists the dynamic inputs of the prefetching scheme:
+
+* ``s`` -- the average number of prefetches issued per access period.  Both
+  the stall model (Eq. 3/6) and the prefetch horizon depend on it, and it in
+  turn depends on how much the scheme decides to prefetch, so it is tracked
+  as an exponentially weighted moving average over access periods.
+* ``h`` -- the prefetch hit ratio, the fraction of prefetched blocks that are
+  eventually referenced.  The paper reports it (Figures 9 and 12) and notes
+  that ``s`` and ``h`` trade off against each other.
+* ``H(n) - H(n-1)`` -- the marginal LRU hit rate used by Eq. 13; estimated by
+  the stack-distance profiler in :mod:`repro.cache.ghost` and smoothed here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EwmaRate:
+    """Exponentially weighted moving average of a per-period quantity.
+
+    ``alpha`` is the weight of the newest observation.  Until the first
+    observation, :attr:`value` reports ``initial``.
+    """
+
+    alpha: float = 0.05
+    initial: float = 0.0
+    value: float = field(init=False)
+    observations: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha!r}")
+        self.value = self.initial
+
+    def observe(self, sample: float) -> float:
+        """Fold one per-period sample into the average and return it."""
+        if self.observations == 0:
+            self.value = sample
+        else:
+            self.value += self.alpha * (sample - self.value)
+        self.observations += 1
+        return self.value
+
+
+class PrefetchRateEstimator:
+    """Tracks ``s``, the average prefetches issued per access period.
+
+    The simulator calls :meth:`end_period` once per application I/O with the
+    number of prefetches issued during that period.  A lifetime mean is kept
+    alongside the EWMA because Figures 8 and 11 report the whole-run average.
+    """
+
+    def __init__(self, alpha: float = 0.05, initial: float = 1.0) -> None:
+        self._ewma = EwmaRate(alpha=alpha, initial=initial)
+        self._total_prefetches = 0
+        self._periods = 0
+
+    def end_period(self, prefetches_issued: int) -> None:
+        if prefetches_issued < 0:
+            raise ValueError(
+                f"prefetches_issued must be >= 0, got {prefetches_issued!r}"
+            )
+        self._ewma.observe(float(prefetches_issued))
+        self._total_prefetches += prefetches_issued
+        self._periods += 1
+
+    @property
+    def s(self) -> float:
+        """Smoothed prefetches-per-period, the ``s`` of Eqs. 3 and 6."""
+        return self._ewma.value
+
+    @property
+    def lifetime_mean(self) -> float:
+        """Whole-run average prefetches per period (Figures 8 and 11)."""
+        if self._periods == 0:
+            return 0.0
+        return self._total_prefetches / self._periods
+
+    @property
+    def periods(self) -> int:
+        return self._periods
+
+
+class PrefetchHitRatioEstimator:
+    """Tracks ``h``, the fraction of prefetched blocks that get referenced.
+
+    A prefetched block resolves either as a *hit* (referenced while still in
+    the prefetch cache) or a *miss* (evicted unreferenced, or still resident
+    at end of run).  The ratio over resolved blocks is the paper's prefetch
+    cache hit rate (Figures 9 and 12).
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    @property
+    def resolved(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def h(self) -> float:
+        """Hit ratio over resolved prefetches; 0.0 before any resolve."""
+        if self.resolved == 0:
+            return 0.0
+        return self.hits / self.resolved
+
+
+class WindowedRate(object):
+    """Fraction of true events over a sliding window of observations.
+
+    Used for diagnostics where a recent-history rate is more informative
+    than a lifetime one (e.g. recent predictability in reports).
+    """
+
+    def __init__(self, window: int = 4096) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self._window = window
+        self._events: deque = deque(maxlen=window)
+        self._true_count = 0
+
+    def observe(self, flag: bool) -> None:
+        if len(self._events) == self._events.maxlen:
+            oldest = self._events[0]
+            if oldest:
+                self._true_count -= 1
+        self._events.append(bool(flag))
+        if flag:
+            self._true_count += 1
+
+    @property
+    def rate(self) -> float:
+        if not self._events:
+            return 0.0
+        return self._true_count / len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,104 @@
+"""Tree node for the LZ78-style prefetch tree.
+
+Each node corresponds to one parse substring (equivalently, to the disk block
+that ended that substring) and carries:
+
+* ``block``  -- the disk block id this node represents (``None`` for the root),
+* ``weight`` -- the number of times the node has been traversed during the
+  parse; edge probability is ``child.weight / parent.weight`` (Section 2),
+* ``children`` -- outgoing edges keyed by block id,
+* ``last_visited_child`` -- the block of the child traversed on the most
+  recent visit (Section 9.6's *last visited child*),
+* intrusive LRU-list links (``lru_prev`` / ``lru_next``) used when the tree's
+  node budget is capped (Section 9.3 / Figure 13).
+
+The paper reports 40 bytes per node in its C simulator; the Python node is
+larger, but the *node count* is what Figure 13 sweeps, so we cap on count and
+convert to the paper's bytes-per-node when reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+
+class TreeNode:
+    """A single prefetch-tree node.  Mutable, identity-based."""
+
+    __slots__ = (
+        "block",
+        "weight",
+        "children",
+        "parent",
+        "last_visited_child",
+        "lru_prev",
+        "lru_next",
+        "heavy",
+        "heavy_rebuild_at",
+    )
+
+    def __init__(self, block: Optional[int], parent: Optional["TreeNode"]) -> None:
+        self.block = block
+        self.weight = 1
+        self.children: Dict[int, "TreeNode"] = {}
+        self.parent = parent
+        self.last_visited_child: Optional[int] = None
+        self.lru_prev: Optional["TreeNode"] = None
+        self.lru_next: Optional["TreeNode"] = None
+        # Lazily built index of children above the relevance floor; see
+        # PrefetchTree.iter_relevant_children.  None = scan children directly.
+        self.heavy: Optional[Dict[int, "TreeNode"]] = None
+        self.heavy_rebuild_at: int = 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def child_probability(self, block: int) -> float:
+        """Probability that ``block`` is accessed next from this node.
+
+        ``weight(child) / weight(self)`` per Section 2; 0.0 if no such edge.
+        """
+        child = self.children.get(block)
+        if child is None:
+            return 0.0
+        return child.weight / self.weight
+
+    def iter_descendants(self) -> Iterator["TreeNode"]:
+        """Yield every node in this subtree (excluding ``self``), depth-first."""
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())
+
+    def subtree_size(self) -> int:
+        """Number of nodes in this subtree including ``self``."""
+        return 1 + sum(1 for _ in self.iter_descendants())
+
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        d = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def path_blocks(self) -> list:
+        """Blocks along the root-to-self path (root excluded)."""
+        blocks = []
+        node = self
+        while node.parent is not None:
+            blocks.append(node.block)
+            node = node.parent
+        blocks.reverse()
+        return blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = "ROOT" if self.is_root else repr(self.block)
+        return f"<TreeNode {label} w={self.weight} children={len(self.children)}>"

@@ -1,0 +1,400 @@
+"""The LZ78-style prefetch tree (Section 2).
+
+The tree is built online from the stream of block accesses.  The access
+stream is parsed into *substrings*, each consisting of a previously seen
+substring plus one new access (the classic LZ78 parse of Vitter & Krishnan
+[19] as used by Curewitz et al. [5]).
+
+Parsing maintains a *current node* pointer:
+
+* start at the root; the root's weight is incremented once per substring;
+* on an access ``b``: if the current node has a child for ``b``, traverse the
+  edge and increment the child's weight; otherwise create a new child with
+  weight 1 (this completes a substring) and reset the pointer to the root.
+
+Edge probability is ``weight(child)/weight(parent)``; the probability of a
+candidate several levels below the current node is the product of the edge
+probabilities along the path, and its *distance* ``d_b`` is the path length
+(Figure 1).
+
+Optional node budget (Section 9.3): nodes live on an intrusive LRU list,
+touched whenever traversed; when the budget is exceeded the least recently
+used node (with its - necessarily even older or equally old - subtree) is
+discarded.  The root is never evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.node import TreeNode
+
+Block = Hashable
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """What happened in the tree when one access was recorded.
+
+    Captures the per-access signals that the paper's Section 9 metrics are
+    built from, *measured against the tree state before the update*.
+    """
+
+    block: Block
+    predictable: bool
+    """The accessed block was a child of the current node (Section 9.4)."""
+    probability: float
+    """Edge probability of the accessed block from the current node
+    (0.0 when unpredictable)."""
+    lvc_available: bool
+    """The current node had a last-visited-child recorded."""
+    lvc_repeat: bool
+    """The access repeated the current node's last-visited child (Table 3)."""
+    at_root: bool
+    """The access was processed at the root (start of a substring).  Root
+    opportunities almost never repeat their last visited child, so Table 3
+    is reported both over all nodes and over non-root nodes."""
+    created_node: bool
+    """A new node was created, i.e. a substring boundary was crossed."""
+
+
+@dataclass
+class TreeStats:
+    """Running counters over all recorded accesses."""
+
+    accesses: int = 0
+    predictable: int = 0
+    lvc_opportunities: int = 0
+    lvc_repeats: int = 0
+    lvc_opportunities_nonroot: int = 0
+    lvc_repeats_nonroot: int = 0
+    nodes_created: int = 0
+    nodes_evicted: int = 0
+    substrings: int = 0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of accesses that were predictable (Table 2)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.predictable / self.accesses
+
+    @property
+    def lvc_repeat_rate(self) -> float:
+        """Fraction of visits that repeated the last visited child (Table 3)."""
+        if self.lvc_opportunities == 0:
+            return 0.0
+        return self.lvc_repeats / self.lvc_opportunities
+
+    @property
+    def lvc_repeat_rate_nonroot(self) -> float:
+        """Table 3's rate restricted to non-root nodes.
+
+        On traces much shorter than the paper's, parse restarts make root
+        visits a large share of opportunities and the root's last child is
+        essentially never repeated; the non-root rate recovers the mature
+        per-node behaviour.
+        """
+        if self.lvc_opportunities_nonroot == 0:
+            return 0.0
+        return self.lvc_repeats_nonroot / self.lvc_opportunities_nonroot
+
+
+#: Children at probability below ~1/HEAVY_CHILD_DIVISOR are never worth
+#: prefetching (the depth-1 profitability floor with the paper's constants
+#: is ~0.037, and the lowest Table 4 threshold is 0.001); nodes with many
+#: children keep an index of the ones above this floor so candidate
+#: enumeration does not scan thousands of cold edges at hub nodes.
+HEAVY_CHILD_DIVISOR = 1024
+#: Nodes with at most this many children are scanned directly.
+HEAVY_ACTIVATION = 64
+
+#: Paper's storage estimate per tree node, bytes (Section 9.3, Figure 13).
+PAPER_NODE_BYTES = 40
+#: Paper's compacted storage estimate (pointers replaced by short ints).
+PAPER_NODE_BYTES_COMPACT = 26
+
+
+class PrefetchTree:
+    """Online LZ78 prefetch tree with optional LRU-bounded node budget.
+
+    Parameters
+    ----------
+    max_nodes:
+        Maximum number of non-root nodes to retain, or ``None`` for an
+        unbounded tree.  When the budget would be exceeded, least recently
+        traversed nodes are evicted (Section 9.3).
+    """
+
+    def __init__(self, max_nodes: Optional[int] = None) -> None:
+        if max_nodes is not None and max_nodes < 1:
+            raise ValueError(f"max_nodes must be >= 1, got {max_nodes!r}")
+        self.max_nodes = max_nodes
+        self.root = TreeNode(block=None, parent=None)
+        self.root.weight = 0  # incremented once per substring
+        self.current: TreeNode = self.root
+        self.stats = TreeStats()
+        self._node_count = 0  # non-root nodes
+        # Intrusive LRU list sentinels: head = most recent, tail = least.
+        self._lru_head = TreeNode(block=None, parent=None)
+        self._lru_tail = TreeNode(block=None, parent=None)
+        self._lru_head.lru_next = self._lru_tail
+        self._lru_tail.lru_prev = self._lru_head
+
+    # ------------------------------------------------------------------ LRU
+
+    def _lru_unlink(self, node: TreeNode) -> None:
+        prev, nxt = node.lru_prev, node.lru_next
+        if prev is not None:
+            prev.lru_next = nxt
+        if nxt is not None:
+            nxt.lru_prev = prev
+        node.lru_prev = node.lru_next = None
+
+    def _lru_push_front(self, node: TreeNode) -> None:
+        first = self._lru_head.lru_next
+        node.lru_prev = self._lru_head
+        node.lru_next = first
+        self._lru_head.lru_next = node
+        assert first is not None
+        first.lru_prev = node
+
+    def _lru_touch(self, node: TreeNode) -> None:
+        self._lru_unlink(node)
+        self._lru_push_front(node)
+
+    def _evict_lru(self) -> int:
+        """Discard the least recently traversed node (and its subtree).
+
+        Returns the number of nodes removed.  Subtree removal is required for
+        structural integrity; a node's descendants were last traversed no
+        later than one traversal after the node itself, so the collateral
+        evictions are themselves stale.
+        """
+        victim = self._lru_tail.lru_prev
+        if victim is None or victim is self._lru_head:
+            return 0
+        removed = 0
+        # Unlink the whole subtree from the LRU list first.
+        for node in victim.iter_descendants():
+            self._lru_unlink(node)
+            removed += 1
+        self._lru_unlink(victim)
+        removed += 1
+        parent = victim.parent
+        assert parent is not None  # root is never on the LRU list
+        del parent.children[victim.block]
+        if parent.heavy is not None:
+            parent.heavy.pop(victim.block, None)
+        if parent.last_visited_child == victim.block:
+            parent.last_visited_child = None
+        victim.parent = None
+        # If the parse pointer sat inside the removed subtree, restart at root.
+        node = self.current
+        while node is not None:
+            if node is victim:
+                # Pointer reset; the next access will open a fresh substring.
+                self.current = self.root
+                break
+            node = node.parent
+        self._node_count -= removed
+        self.stats.nodes_evicted += removed
+        return removed
+
+    def _enforce_budget(self) -> None:
+        if self.max_nodes is None:
+            return
+        while self._node_count > self.max_nodes:
+            if self._evict_lru() == 0:
+                break
+
+    # ------------------------------------------------------------ recording
+
+    def record_access(self, block: Block) -> AccessOutcome:
+        """Advance the LZ parse by one access and update all counters.
+
+        Returns an :class:`AccessOutcome` describing the tree's view of the
+        access *before* the structural update, which is what the paper's
+        predictability and last-visited-child statistics measure.
+        """
+        cur = self.current
+        stats = self.stats
+        stats.accesses += 1
+
+        child = cur.children.get(block)
+        at_root = cur is self.root
+        predictable = child is not None
+        probability = child.weight / cur.weight if (predictable and cur.weight > 0) else 0.0
+        lvc_available = cur.last_visited_child is not None
+        lvc_repeat = lvc_available and cur.last_visited_child == block
+        if predictable:
+            stats.predictable += 1
+        if lvc_available:
+            stats.lvc_opportunities += 1
+            if lvc_repeat:
+                stats.lvc_repeats += 1
+            if not at_root:
+                stats.lvc_opportunities_nonroot += 1
+                if lvc_repeat:
+                    stats.lvc_repeats_nonroot += 1
+
+        if cur is self.root:
+            # Each substring begins with one (implicit) visit to the root.
+            self.root.weight += 1
+            stats.substrings += 1
+
+        created = False
+        if child is not None:
+            child.weight += 1
+            heavy = cur.heavy
+            if (
+                heavy is not None
+                and block not in heavy
+                and child.weight * HEAVY_CHILD_DIVISOR >= cur.weight
+            ):
+                heavy[block] = child
+            cur.last_visited_child = block
+            self._lru_touch(child)
+            self.current = child
+        else:
+            node = TreeNode(block=block, parent=cur)
+            cur.children[block] = node
+            if cur.heavy is not None and HEAVY_CHILD_DIVISOR >= cur.weight:
+                cur.heavy[block] = node
+            cur.last_visited_child = block
+            self._node_count += 1
+            stats.nodes_created += 1
+            self._lru_push_front(node)
+            self.current = self.root
+            created = True
+            self._enforce_budget()
+
+        return AccessOutcome(
+            block=block,
+            predictable=predictable,
+            probability=probability,
+            lvc_available=lvc_available,
+            lvc_repeat=lvc_repeat,
+            at_root=at_root,
+            created_node=created,
+        )
+
+    def record_all(self, blocks: Iterable[Block]) -> None:
+        """Feed an entire access sequence through the parse."""
+        for block in blocks:
+            self.record_access(block)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def node_count(self) -> int:
+        """Number of non-root nodes currently in the tree."""
+        return self._node_count
+
+    def memory_bytes(self, bytes_per_node: int = PAPER_NODE_BYTES) -> int:
+        """Estimated tree memory using the paper's bytes-per-node figure."""
+        return self._node_count * bytes_per_node
+
+    def iter_relevant_children(self, node: TreeNode):
+        """Children of ``node`` worth considering as prefetch candidates.
+
+        Returns an iterable of ``(block, child)`` pairs guaranteed to cover
+        every child whose edge probability is at least
+        ``1 / HEAVY_CHILD_DIVISOR`` (it may include some below the floor).
+        Small nodes are scanned directly; hub nodes (notably the root, which
+        collects a child per distinct substring-starting block) maintain the
+        lazily rebuilt ``heavy`` index so enumeration does not touch
+        thousands of cold edges.  Rebuilds are amortised against weight
+        doubling, and a node's child count never exceeds its weight.
+        """
+        children = node.children
+        heavy = node.heavy
+        if heavy is None:
+            if len(children) <= HEAVY_ACTIVATION:
+                return children.items()
+        elif node.weight < node.heavy_rebuild_at:
+            return heavy.items()
+        rebuilt = {
+            b: c
+            for b, c in children.items()
+            if c.weight * HEAVY_CHILD_DIVISOR >= node.weight
+        }
+        node.heavy = rebuilt
+        node.heavy_rebuild_at = max(2 * node.weight, 2)
+        return rebuilt.items()
+
+    def next_probabilities(self) -> List[Tuple[Block, float]]:
+        """Children of the current node with their access probabilities.
+
+        These are the depth-1 prefetch candidates; sorted most probable
+        first.  Enumerates via the relevant-children index, so hub nodes
+        (the root can hold tens of thousands of cold edges) cost only their
+        above-floor children; edges below ~1/1024 probability are omitted -
+        no caller (top-k selection, cost-gated candidates) can use them.
+        """
+        cur = self.current
+        if cur.weight <= 0:
+            return []
+        items = [
+            (b, n.weight / cur.weight)
+            for b, n in self.iter_relevant_children(cur)
+        ]
+        items.sort(key=lambda item: (-item[1], str(item[0])))
+        return items
+
+    def is_predictable(self, block: Block) -> bool:
+        """Would ``block`` be a predictable next access (Section 9.4)?"""
+        return block in self.current.children
+
+    def last_visited_child(self) -> Optional[Block]:
+        """The current node's last visited child, if any (Section 9.6)."""
+        return self.current.last_visited_child
+
+    def iter_nodes(self) -> Iterator[TreeNode]:
+        """All non-root nodes, depth-first."""
+        return self.root.iter_descendants()
+
+    def path_probability(self, blocks: List[Block]) -> float:
+        """Cumulative probability of following ``blocks`` from the current node.
+
+        Product of edge probabilities along the path (Section 2's
+        ``5/6 * 1/5`` example); 0.0 if the path leaves the tree.
+        """
+        node = self.current
+        prob = 1.0
+        for block in blocks:
+            child = node.children.get(block)
+            if child is None or node.weight <= 0:
+                return 0.0
+            prob *= child.weight / node.weight
+            node = child
+        return prob
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if structural invariants are violated.
+
+        Used by the property-based tests:
+
+        * every non-root node's weight is >= 1 and <= its parent's weight;
+        * the LRU list contains exactly the non-root nodes;
+        * child maps and parent pointers agree.
+        """
+        seen = 0
+        for node in self.root.iter_descendants():
+            seen += 1
+            assert node.parent is not None
+            assert node.parent.children.get(node.block) is node
+            assert 1 <= node.weight <= node.parent.weight, (
+                f"weight inversion at {node!r}"
+            )
+        assert seen == self._node_count, (seen, self._node_count)
+        on_list = 0
+        node = self._lru_head.lru_next
+        while node is not self._lru_tail:
+            assert node is not None
+            on_list += 1
+            node = node.lru_next
+        assert on_list == self._node_count, (on_list, self._node_count)
+        if self.max_nodes is not None:
+            assert self._node_count <= self.max_nodes

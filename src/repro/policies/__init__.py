@@ -1,0 +1,35 @@
+"""The prefetching policies compared in the paper\'s Section 9."""
+
+from repro.policies.base import Policy, TreeBackedPolicy
+from repro.policies.file_prefetch import FilePrefetchPolicy
+from repro.policies.informed import InformedPolicy
+from repro.policies.next_limit import NextLimitPolicy
+from repro.policies.no_prefetch import NoPrefetchPolicy
+from repro.policies.perfect_selector import PerfectSelectorPolicy
+from repro.policies.predictor import PredictorPolicy
+from repro.policies.registry import make_policy, policy_names
+from repro.policies.tree import TreePolicy
+from repro.policies.tree_children import TreeChildrenPolicy
+from repro.policies.tree_filtered import TreeFilteredPolicy
+from repro.policies.tree_lvc import TreeLvcPolicy
+from repro.policies.tree_next_limit import TreeNextLimitPolicy
+from repro.policies.tree_threshold import TreeThresholdPolicy
+
+__all__ = [
+    "FilePrefetchPolicy",
+    "InformedPolicy",
+    "NextLimitPolicy",
+    "NoPrefetchPolicy",
+    "PerfectSelectorPolicy",
+    "Policy",
+    "PredictorPolicy",
+    "TreeBackedPolicy",
+    "TreeChildrenPolicy",
+    "TreeFilteredPolicy",
+    "TreeLvcPolicy",
+    "TreeNextLimitPolicy",
+    "TreePolicy",
+    "TreeThresholdPolicy",
+    "make_policy",
+    "policy_names",
+]

@@ -1,0 +1,155 @@
+"""Whole-file prefetching (related work [6, 9]: file-level schemes).
+
+The paper's related work contrasts its block-level scheme with systems
+that "prefetch entire files based on predictions of correlated file
+access" (Griffioen & Appleton [6], Lei & Duchamp [9]).  This policy is the
+block-simulator rendering of the simplest such scheme: when a block misses
+and it belongs to a known file, prefetch the remainder of that file.
+
+It needs file metadata the block stream itself does not carry: an *extent
+map* of ``(start, length)`` block ranges.  The synthetic file-backed
+workloads (cello, snake, sitar) export theirs in ``trace.params["extents"]``;
+imported traces can supply any map.
+
+Strengths/weaknesses this lets the benches show: on whole-file-read
+workloads (sitar) it beats one-block lookahead - the entire body arrives
+after the head miss, not one block per period - at the price of fetching
+file tails that are never read, and it is useless for non-file traffic
+(CAD) and partial reads.
+
+Like next-limit, fetches are not cost-gated (the paper treats file-level
+schemes as heuristics); the prefetch share of the pool is capped.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.cache.buffer_cache import BufferCache, Location
+from repro.policies.base import Policy
+from repro.sim.engine import IssueStatus
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import PrefetchContext, Simulator
+
+Block = Hashable
+
+FILE_TAG = "file"
+
+#: Fraction of the cache the file-prefetch partition may occupy.
+PREFETCH_FRACTION = 0.25
+
+
+class ExtentMap:
+    """Sorted, non-overlapping ``(start, length)`` extents with O(log n) lookup."""
+
+    def __init__(self, extents: Sequence[Sequence[int]]) -> None:
+        cleaned: List[Tuple[int, int]] = []
+        for extent in extents:
+            start, length = int(extent[0]), int(extent[1])
+            if length < 1:
+                raise ValueError(f"extent length must be >= 1, got {length!r}")
+            cleaned.append((start, length))
+        cleaned.sort()
+        for (s0, l0), (s1, _) in zip(cleaned, cleaned[1:]):
+            if s0 + l0 > s1:
+                raise ValueError(
+                    f"extents overlap: ({s0},{l0}) and start {s1}"
+                )
+        self._starts = [s for s, _ in cleaned]
+        self._extents = cleaned
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def find(self, block: int) -> Optional[Tuple[int, int]]:
+        """The extent containing ``block``, or ``None``."""
+        idx = bisect.bisect_right(self._starts, block) - 1
+        if idx < 0:
+            return None
+        start, length = self._extents[idx]
+        if start <= block < start + length:
+            return start, length
+        return None
+
+
+class FilePrefetchPolicy(Policy):
+    """Fetch the rest of a file when one of its blocks misses.
+
+    Parameters
+    ----------
+    extents:
+        The file extent map; if ``None``, it is read from the trace's
+        ``params["extents"]`` at run start (the synthetic file workloads
+        provide it) - without a map the policy degenerates to no-prefetch.
+    max_file_blocks:
+        Cap on blocks prefetched per triggering miss (very large files
+        would otherwise monopolise the pool).
+    """
+
+    name = "file-prefetch"
+
+    def __init__(
+        self,
+        extents: Optional[Sequence[Sequence[int]]] = None,
+        *,
+        max_file_blocks: int = 64,
+    ) -> None:
+        if max_file_blocks < 1:
+            raise ValueError(
+                f"max_file_blocks must be >= 1, got {max_file_blocks!r}"
+            )
+        super().__init__()
+        self.extent_map = ExtentMap(extents) if extents is not None else None
+        self.max_file_blocks = max_file_blocks
+        self._pending: Optional[Tuple[int, int]] = None  # (from_block, end)
+        self.files_triggered = 0
+
+    def prefetch_partition_capacity(self, total_buffers: int) -> Optional[int]:
+        return max(1, int(total_buffers * PREFETCH_FRACTION))
+
+    def attach_extents(self, extents: Sequence[Sequence[int]]) -> None:
+        """Install (or replace) the extent map."""
+        self.extent_map = ExtentMap(extents)
+
+    def observe(
+        self,
+        block: Block,
+        period: int,
+        location: Location,
+        cache: BufferCache,
+        stats: SimulationStats,
+    ) -> None:
+        self._pending = None
+        if location is not Location.MISS or self.extent_map is None:
+            return
+        if not isinstance(block, int):
+            return
+        extent = self.extent_map.find(block)
+        if extent is None:
+            return
+        start, length = extent
+        end = min(start + length, block + 1 + self.max_file_blocks)
+        if block + 1 < end:
+            self._pending = (block + 1, end)
+            self.files_triggered += 1
+
+    def prefetch_round(self, ctx: "PrefetchContext") -> None:
+        if self._pending is None:
+            return
+        from_block, end = self._pending
+        self._pending = None
+        for offset, candidate in enumerate(range(from_block, end)):
+            status = ctx.try_issue(
+                candidate, 1.0, 1.0, 1, forced=True, tag=FILE_TAG
+            )
+            if status is IssueStatus.NO_CAPACITY:
+                break
+
+    def snapshot_extra(self, stats: SimulationStats) -> None:
+        stats.extra["files_triggered"] = self.files_triggered
+        stats.extra["extent_count"] = (
+            len(self.extent_map) if self.extent_map is not None else 0
+        )

@@ -1,0 +1,27 @@
+"""The *no-prefetch* baseline (Section 9): a plain LRU buffer cache.
+
+Every miss is a synchronous demand fetch; the prefetch partition stays
+empty.  All other schemes are reported relative to this baseline's miss
+rate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.policies.base import Policy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import PrefetchContext
+
+
+class NoPrefetchPolicy(Policy):
+    """Performs no prefetching at all."""
+
+    name = "no-prefetch"
+
+    def prefetch_partition_capacity(self, total_buffers: int) -> Optional[int]:
+        return 0
+
+    def prefetch_round(self, ctx: "PrefetchContext") -> None:
+        return None

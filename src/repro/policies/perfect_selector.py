@@ -1,0 +1,52 @@
+"""The *perfect-selector* oracle (Section 9.5).
+
+"The perfect selection scheme assumes knowledge of the next disk access.
+The resulting prefetching scheme, *perfect-selector*, uses the knowledge of
+the next disk access to prefetch the next disk access only if it is
+predictable, i.e. the disk access has been identified by the prediction
+scheme as a candidate for prefetching."
+
+This bounds the improvement achievable by better candidate *selection* while
+holding the prediction structure (the tree) fixed: the oracle never fetches
+an unpredictable block, so the gap between *tree* and *perfect-selector* is
+pure selection loss, not prediction loss (Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.base import TreeBackedPolicy
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import PrefetchContext
+
+ORACLE_TAG = "oracle"
+
+
+class PerfectSelectorPolicy(TreeBackedPolicy):
+    """Prefetches the (known) next access iff the tree predicts it."""
+
+    name = "perfect-selector"
+
+    def __init__(self, **tree_kwargs) -> None:
+        super().__init__(**tree_kwargs)
+        self.oracle_skipped_unpredictable = 0
+
+    def prefetch_round(self, ctx: "PrefetchContext") -> None:
+        assert self.engine is not None
+        upcoming = self.engine.next_block
+        if upcoming is None:
+            return
+        if not self.tree.is_predictable(upcoming):
+            self.oracle_skipped_unpredictable += 1
+            return
+        prob = self.tree.current.child_probability(upcoming)
+        ctx.try_issue(upcoming, prob, 1.0, 1, forced=True, tag=ORACLE_TAG)
+
+    def snapshot_extra(self, stats: SimulationStats) -> None:
+        super().snapshot_extra(stats)
+        stats.extra["oracle_skipped_unpredictable"] = (
+            self.oracle_skipped_unpredictable
+        )

@@ -1,0 +1,80 @@
+"""Policy registry: build any of the paper's schemes by name.
+
+Names match the paper's algorithm labels (Section 9).  Parametric schemes
+take their parameter as a keyword argument::
+
+    make_policy("tree")
+    make_policy("tree-threshold", threshold=0.025)
+    make_policy("tree-children", num_children=5)
+    make_policy("tree", max_tree_nodes=32 * 1024)   # Figure 13
+    make_policy("tree-filtered", grace_periods=16)  # Section 9.2.2 extension
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.policies.base import Policy
+from repro.policies.file_prefetch import FilePrefetchPolicy
+from repro.policies.informed import InformedPolicy
+from repro.policies.next_limit import NextLimitPolicy
+from repro.policies.no_prefetch import NoPrefetchPolicy
+from repro.policies.perfect_selector import PerfectSelectorPolicy
+from repro.policies.tree import TreePolicy
+from repro.policies.tree_children import TreeChildrenPolicy
+from repro.policies.tree_filtered import TreeFilteredPolicy
+from repro.policies.tree_lvc import TreeLvcPolicy
+from repro.policies.tree_next_limit import TreeNextLimitPolicy
+from repro.policies.predictor import PredictorPolicy
+from repro.policies.tree_threshold import TreeThresholdPolicy
+from repro.predictors import make_predictor
+
+def _predictor_factory(predictor_name: str) -> Callable[..., Policy]:
+    def factory(**kwargs) -> Policy:
+        policy_kwargs = {}
+        if "max_candidates" in kwargs:
+            policy_kwargs["max_candidates"] = kwargs.pop("max_candidates")
+        return PredictorPolicy(
+            make_predictor(predictor_name, **kwargs), **policy_kwargs
+        )
+
+    return factory
+
+
+_FACTORIES: Dict[str, Callable[..., Policy]] = {
+    NoPrefetchPolicy.name: NoPrefetchPolicy,
+    NextLimitPolicy.name: NextLimitPolicy,
+    TreePolicy.name: TreePolicy,
+    TreeNextLimitPolicy.name: TreeNextLimitPolicy,
+    TreeThresholdPolicy.name: TreeThresholdPolicy,
+    TreeChildrenPolicy.name: TreeChildrenPolicy,
+    TreeFilteredPolicy.name: TreeFilteredPolicy,
+    TreeLvcPolicy.name: TreeLvcPolicy,
+    PerfectSelectorPolicy.name: PerfectSelectorPolicy,
+    InformedPolicy.name: InformedPolicy,
+    FilePrefetchPolicy.name: FilePrefetchPolicy,
+    # Section 10's alternative predictors under the same cost-benefit rule.
+    "cb-lz": _predictor_factory("lz"),
+    "cb-ppm": _predictor_factory("ppm"),
+    "cb-prob-graph": _predictor_factory("prob-graph"),
+    "cb-markov": _predictor_factory("markov"),
+    "cb-last-successor": _predictor_factory("last-successor"),
+}
+
+
+def policy_names() -> List[str]:
+    """All registered policy names, in the paper's presentation order."""
+    return list(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> Policy:
+    """Instantiate a fresh policy by its paper name.
+
+    Policies are single-use: call this once per simulation run.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown policy {name!r}; known policies: {known}")
+    return factory(**kwargs)

@@ -1,0 +1,44 @@
+"""The *tree-children* parametric policy (Section 9.7).
+
+Our implementation of the Kroeger & Long scheme [8] as the paper describes
+it: "After accessing a block in the prefetch tree, a *fixed number of child
+nodes* with the highest probability of future access are prefetched."  The
+paper found optimal child counts between 3 and 10 depending on the trace,
+again motivating the parameter-free cost-benefit scheme.
+
+Only depth-1 children of the current parse position are considered, per the
+description.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.base import TreeBackedPolicy
+from repro.sim.engine import IssueStatus
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import PrefetchContext
+
+
+class TreeChildrenPolicy(TreeBackedPolicy):
+    """Prefetch the top-k most probable children of the current node."""
+
+    name = "tree-children"
+
+    def __init__(self, num_children: int, **tree_kwargs) -> None:
+        if num_children < 1:
+            raise ValueError(f"num_children must be >= 1, got {num_children!r}")
+        super().__init__(**tree_kwargs)
+        self.num_children = num_children
+
+    def prefetch_round(self, ctx: "PrefetchContext") -> None:
+        for block, prob in self.tree.next_probabilities()[: self.num_children]:
+            status = ctx.try_issue(block, prob, 1.0, 1, forced=True)
+            if status is IssueStatus.NO_CAPACITY:
+                break
+
+    def snapshot_extra(self, stats: SimulationStats) -> None:
+        super().snapshot_extra(stats)
+        stats.extra["num_children"] = self.num_children

@@ -1,0 +1,56 @@
+"""The *tree-lvc* policy (Section 9.6): tree + last-visited-child prefetch.
+
+"an algorithm called *tree-lvc* which prefetches the *last visited child* of
+a node in addition to prefetching blocks determined by cost-benefit
+analysis."
+
+The paper found tree-lvc indistinguishable from tree because more than 85%
+of last-visited children are already cached (Figure 16); this policy exists
+to reproduce that negative result.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.tree import TreePolicy
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import PrefetchContext
+
+LVC_TAG = "lvc"
+
+
+class TreeLvcPolicy(TreePolicy):
+    """Cost-benefit tree prefetching plus the current node's last child."""
+
+    name = "tree-lvc"
+
+    def __init__(self, **tree_kwargs) -> None:
+        super().__init__(**tree_kwargs)
+        self.lvc_issued = 0
+        self.lvc_already_cached = 0
+
+    def prefetch_round(self, ctx: "PrefetchContext") -> None:
+        self._lvc_round(ctx)
+        super().prefetch_round(ctx)
+
+    def _lvc_round(self, ctx: "PrefetchContext") -> None:
+        lvc = self.tree.last_visited_child()
+        if lvc is None:
+            return
+        if ctx.is_cached(lvc):
+            self.lvc_already_cached += 1
+            return
+        prob = self.tree.current.child_probability(lvc)
+        from repro.sim.engine import IssueStatus
+
+        status = ctx.try_issue(lvc, prob, 1.0, 1, forced=True, tag=LVC_TAG)
+        if status is IssueStatus.ISSUED:
+            self.lvc_issued += 1
+
+    def snapshot_extra(self, stats: SimulationStats) -> None:
+        super().snapshot_extra(stats)
+        stats.extra["lvc_issued"] = self.lvc_issued
+        stats.extra["lvc_already_cached_at_issue"] = self.lvc_already_cached

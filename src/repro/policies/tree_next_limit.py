@@ -1,0 +1,68 @@
+"""The *tree-next-limit* policy: cost-benefit tree + one-block lookahead.
+
+Section 9: "this scheme always prefetches the block after a demand fetch,
+while limiting 10% of the cache for these blocks.  In addition, it maintains
+a prefetch tree and prefetches additional blocks according to our cost
+benefit analysis."
+
+The 10% limit applies only to the lookahead blocks; tree prefetches share
+the whole pool under the cost-benefit gate.  Lookahead entries are tagged in
+the prefetch cache so their share can be counted and capped.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, TYPE_CHECKING
+
+from repro.cache.buffer_cache import BufferCache, Location
+from repro.policies.next_limit import NL_TAG, partition_cap
+from repro.policies.tree import TreePolicy
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import PrefetchContext
+
+Block = Hashable
+
+
+class TreeNextLimitPolicy(TreePolicy):
+    """Combined predictive (tree) and sequential (next-limit) prefetching."""
+
+    name = "tree-next-limit"
+
+    def __init__(self, **tree_kwargs) -> None:
+        super().__init__(**tree_kwargs)
+        self._pending: Optional[Block] = None
+
+    def observe(
+        self,
+        block: Block,
+        period: int,
+        location: Location,
+        cache: BufferCache,
+        stats: SimulationStats,
+    ) -> None:
+        super().observe(block, period, location, cache, stats)
+        if location is not Location.DEMAND:
+            self._pending = block
+        else:
+            self._pending = None
+
+    def prefetch_round(self, ctx: "PrefetchContext") -> None:
+        self._lookahead_round(ctx)
+        super().prefetch_round(ctx)
+
+    def _lookahead_round(self, ctx: "PrefetchContext") -> None:
+        if self._pending is None:
+            return
+        block = self._pending
+        self._pending = None
+        assert self.engine is not None
+        cache = self.engine.cache
+        if cache.prefetch.tag_count(NL_TAG) >= partition_cap(cache.total_buffers):
+            return
+        try:
+            successor = block + 1  # type: ignore[operator]
+        except TypeError:
+            return
+        ctx.try_issue(successor, 1.0, 1.0, 1, forced=True, tag=NL_TAG)

@@ -1,0 +1,39 @@
+"""Pluggable next-access predictors (paper Section 10's alternatives)."""
+
+from repro.predictors.base import Prediction, Predictor
+from repro.predictors.graph import ProbabilityGraphPredictor
+from repro.predictors.lz import LZPredictor
+from repro.predictors.markov import LastSuccessorPredictor, MarkovPredictor
+from repro.predictors.ppm import PPMPredictor
+
+#: Factories keyed by predictor name, for CLI/bench sweeps.
+PREDICTORS = {
+    LZPredictor.name: LZPredictor,
+    PPMPredictor.name: PPMPredictor,
+    ProbabilityGraphPredictor.name: ProbabilityGraphPredictor,
+    MarkovPredictor.name: MarkovPredictor,
+    LastSuccessorPredictor.name: LastSuccessorPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> Predictor:
+    """Instantiate a predictor by name."""
+    try:
+        factory = PREDICTORS[name]
+    except KeyError:
+        known = ", ".join(sorted(PREDICTORS))
+        raise ValueError(f"unknown predictor {name!r}; known: {known}")
+    return factory(**kwargs)
+
+
+__all__ = [
+    "LastSuccessorPredictor",
+    "LZPredictor",
+    "MarkovPredictor",
+    "PPMPredictor",
+    "PREDICTORS",
+    "Prediction",
+    "Predictor",
+    "ProbabilityGraphPredictor",
+    "make_predictor",
+]

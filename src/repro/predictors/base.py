@@ -1,0 +1,52 @@
+"""Pluggable access-pattern predictors.
+
+The paper's Section 10 situates the LZ prefetch tree among several other
+history-based predictors: multi-order context models (Kroeger & Long [8]),
+probability graphs over a lookahead window (Griffioen & Appleton [6]),
+per-file Markov models, and so on.  The cost-benefit machinery is agnostic
+to *where* the probabilities come from, so this package defines a minimal
+predictor interface and implementations of the main alternatives; the
+generic :class:`~repro.policies.predictor.PredictorPolicy` runs any of them
+under the same Section 7 decision rule, isolating prediction quality from
+the rest of the system.
+
+A predictor consumes the access stream one block at a time and, between
+accesses, offers depth-1 predictions: ``(block, probability)`` pairs for
+the next access.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, List, Tuple
+
+Block = Hashable
+Prediction = Tuple[Block, float]
+
+
+class Predictor(abc.ABC):
+    """Online next-access predictor."""
+
+    #: Identifier used in policy names and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def update(self, block: Block) -> bool:
+        """Fold one access into the model.
+
+        Returns whether the access was *predicted* - i.e. present in the
+        prediction set the model would have offered just before seeing it
+        (the analogue of the paper's Table 2 predictability).
+        """
+
+    @abc.abstractmethod
+    def predictions(self) -> List[Prediction]:
+        """Current next-access candidates, most probable first.
+
+        Probabilities are in (0, 1] and, as a set, sum to at most 1 plus
+        rounding; callers treat them as the ``p_b`` of Eq. 1 at depth 1.
+        """
+
+    def memory_items(self) -> int:
+        """Rough model size in retained items (contexts, edges, nodes)."""
+        return 0

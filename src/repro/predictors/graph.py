@@ -1,0 +1,137 @@
+"""Probability graph predictor, after Griffioen & Appleton [6].
+
+"Reducing File System Latency Using a Predictive Approach" builds a
+*probability graph*: a node per block, and a directed edge ``a -> b``
+counted every time ``b`` is referenced within a small *lookahead window*
+after ``a``.  Unlike the LZ tree, which conditions on an exact path, the
+graph aggregates all near-future co-occurrence, making it robust to
+interleaving but blind to ordering beyond the window.
+
+Predictions for the current block are its out-edges' relative frequencies:
+``p(b | a) = count(a -> b) / total_out(a)``.
+
+Memory is bounded two ways, mirroring the original paper's practical
+concerns: an LRU cap on the node population and a per-node cap on tracked
+successors (weakest edge evicted first).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+from repro.predictors.base import Block, Prediction, Predictor
+
+
+class _NodeEdges:
+    """Out-edges of one block with a bounded successor set."""
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self) -> None:
+        self.counts: Dict[Block, int] = {}
+        self.total = 0
+
+    def record(self, successor: Block, max_successors: int) -> None:
+        counts = self.counts
+        if successor in counts:
+            counts[successor] += 1
+        else:
+            if len(counts) >= max_successors:
+                weakest = min(counts, key=counts.get)
+                # Replace only if the newcomer could plausibly matter;
+                # evicting a strong edge for a one-off would thrash.
+                if counts[weakest] > 1:
+                    self.total += 1
+                    return
+                del counts[weakest]
+            counts[successor] = 1
+        self.total += 1
+
+
+class ProbabilityGraphPredictor(Predictor):
+    """Windowed co-occurrence graph over the reference stream.
+
+    Parameters
+    ----------
+    lookahead:
+        Window size: an access to ``b`` credits edges from each of the
+        previous ``lookahead`` distinct accesses.  1 reduces to a
+        first-order Markov chain.
+    max_nodes:
+        LRU bound on tracked blocks (``None`` = unbounded).
+    max_successors:
+        Cap on out-edges per node.
+    min_probability:
+        Drop predictions below this probability.
+    """
+
+    name = "prob-graph"
+
+    def __init__(
+        self,
+        lookahead: int = 2,
+        *,
+        max_nodes: Optional[int] = None,
+        max_successors: int = 16,
+        min_probability: float = 1e-3,
+    ) -> None:
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be >= 1, got {lookahead!r}")
+        if max_successors < 1:
+            raise ValueError(
+                f"max_successors must be >= 1, got {max_successors!r}"
+            )
+        if min_probability <= 0.0:
+            raise ValueError(
+                f"min_probability must be > 0, got {min_probability!r}"
+            )
+        self.lookahead = lookahead
+        self.max_nodes = max_nodes
+        self.max_successors = max_successors
+        self.min_probability = min_probability
+        self._nodes: "OrderedDict[Block, _NodeEdges]" = OrderedDict()
+        self._window: Deque[Block] = deque(maxlen=lookahead)
+        self._current: Optional[Block] = None
+
+    def _node(self, block: Block) -> _NodeEdges:
+        node = self._nodes.get(block)
+        if node is None:
+            node = _NodeEdges()
+            self._nodes[block] = node
+            if self.max_nodes is not None and len(self._nodes) > self.max_nodes:
+                self._nodes.popitem(last=False)
+        else:
+            self._nodes.move_to_end(block)
+        return node
+
+    def update(self, block: Block) -> bool:
+        predicted = False
+        current = self._current
+        if current is not None:
+            node = self._nodes.get(current)
+            if node is not None and block in node.counts:
+                predicted = True
+        for predecessor in self._window:
+            if predecessor != block:
+                self._node(predecessor).record(block, self.max_successors)
+        self._window.append(block)
+        self._current = block
+        return predicted
+
+    def predictions(self) -> List[Prediction]:
+        if self._current is None:
+            return []
+        node = self._nodes.get(self._current)
+        if node is None or node.total == 0:
+            return []
+        preds = [
+            (blk, count / node.total)
+            for blk, count in node.counts.items()
+            if count / node.total >= self.min_probability
+        ]
+        preds.sort(key=lambda item: -item[1])
+        return preds
+
+    def memory_items(self) -> int:
+        return sum(len(n.counts) for n in self._nodes.values())

@@ -1,0 +1,42 @@
+"""The paper's LZ78 prefetch tree behind the generic predictor interface.
+
+Thin adapter over :class:`repro.core.tree.PrefetchTree`; used by the
+predictor-comparison benchmarks so the tree competes with the alternative
+models under identical policy machinery.  (The full *tree* policy in
+:mod:`repro.policies.tree` remains the faithful reproduction - it also uses
+multi-level candidates when the prefetch horizon allows.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.tree import PrefetchTree
+from repro.predictors.base import Block, Prediction, Predictor
+
+
+class LZPredictor(Predictor):
+    """Depth-1 predictions from the LZ78 parse tree."""
+
+    name = "lz"
+
+    def __init__(self, max_nodes: Optional[int] = None) -> None:
+        self.tree = PrefetchTree(max_nodes=max_nodes)
+
+    def update(self, block: Block) -> bool:
+        return self.tree.record_access(block).predictable
+
+    def predictions(self) -> List[Prediction]:
+        cur = self.tree.current
+        weight = cur.weight
+        if weight <= 0 or not cur.children:
+            return []
+        preds = [
+            (b, child.weight / weight)
+            for b, child in self.tree.iter_relevant_children(cur)
+        ]
+        preds.sort(key=lambda item: -item[1])
+        return preds
+
+    def memory_items(self) -> int:
+        return self.tree.node_count

@@ -1,0 +1,140 @@
+"""First-order Markov and last-successor predictors.
+
+Two classical baselines that bracket the sophisticated models:
+
+* :class:`MarkovPredictor` - a first-order Markov chain (successor counts
+  per block); equivalent to the probability graph with a window of 1, but
+  kept separate as the canonical minimal probabilistic model.
+* :class:`LastSuccessorPredictor` - predicts exactly the block that
+  followed the current block last time (probability taken as its observed
+  repeat rate).  This is the predictor analogue of the paper's
+  *last visited child* study (Section 9.6, Table 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.predictors.base import Block, Prediction, Predictor
+
+
+class MarkovPredictor(Predictor):
+    """First-order Markov chain over the block stream."""
+
+    name = "markov"
+
+    def __init__(
+        self,
+        *,
+        max_nodes: Optional[int] = None,
+        max_successors: int = 16,
+        min_probability: float = 1e-3,
+    ) -> None:
+        if max_successors < 1:
+            raise ValueError(
+                f"max_successors must be >= 1, got {max_successors!r}"
+            )
+        if min_probability <= 0.0:
+            raise ValueError(
+                f"min_probability must be > 0, got {min_probability!r}"
+            )
+        self.max_nodes = max_nodes
+        self.max_successors = max_successors
+        self.min_probability = min_probability
+        self._counts: "OrderedDict[Block, Dict[Block, int]]" = OrderedDict()
+        self._totals: Dict[Block, int] = {}
+        self._current: Optional[Block] = None
+
+    def update(self, block: Block) -> bool:
+        predicted = False
+        current = self._current
+        if current is not None and current != block:
+            # Self-transitions are skipped: a repeat access is already a
+            # cache hit, so "predicting" it can never drive a prefetch
+            # (the probability graph makes the same choice).
+            successors = self._counts.get(current)
+            predicted = bool(successors) and block in successors
+            if successors is None:
+                successors = {}
+                self._counts[current] = successors
+                self._totals[current] = 0
+                if self.max_nodes is not None and len(self._counts) > self.max_nodes:
+                    evicted, _ = self._counts.popitem(last=False)
+                    del self._totals[evicted]
+            else:
+                self._counts.move_to_end(current)
+            if block in successors:
+                successors[block] += 1
+            elif len(successors) < self.max_successors:
+                successors[block] = 1
+            self._totals[current] = self._totals.get(current, 0) + 1
+        self._current = block
+        return predicted
+
+    def predictions(self) -> List[Prediction]:
+        current = self._current
+        if current is None:
+            return []
+        successors = self._counts.get(current)
+        total = self._totals.get(current, 0)
+        if not successors or total == 0:
+            return []
+        preds = [
+            (blk, count / total)
+            for blk, count in successors.items()
+            if count / total >= self.min_probability
+        ]
+        preds.sort(key=lambda item: -item[1])
+        return preds
+
+    def memory_items(self) -> int:
+        return sum(len(s) for s in self._counts.values())
+
+
+class LastSuccessorPredictor(Predictor):
+    """Predicts the previously observed successor of the current block."""
+
+    name = "last-successor"
+
+    def __init__(self, *, max_nodes: Optional[int] = None) -> None:
+        self.max_nodes = max_nodes
+        # block -> (last successor, repeats, opportunities)
+        self._last: "OrderedDict[Block, Tuple[Block, int, int]]" = OrderedDict()
+        self._current: Optional[Block] = None
+
+    def update(self, block: Block) -> bool:
+        predicted = False
+        current = self._current
+        if current is not None:
+            entry = self._last.get(current)
+            if entry is None:
+                self._last[current] = (block, 0, 0)
+                if self.max_nodes is not None and len(self._last) > self.max_nodes:
+                    self._last.popitem(last=False)
+            else:
+                successor, repeats, opportunities = entry
+                predicted = successor == block
+                if predicted:
+                    repeats += 1
+                self._last[current] = (block, repeats, opportunities + 1)
+                self._last.move_to_end(current)
+        self._current = block
+        return predicted
+
+    def predictions(self) -> List[Prediction]:
+        current = self._current
+        if current is None:
+            return []
+        entry = self._last.get(current)
+        if entry is None:
+            return []
+        successor, repeats, opportunities = entry
+        if opportunities == 0:
+            # Seen once: a weak default guess.
+            return [(successor, 0.5)]
+        p = max(repeats / opportunities, 1e-6)
+        return [(successor, min(p, 1.0))]
+
+    def memory_items(self) -> int:
+        return len(self._last)

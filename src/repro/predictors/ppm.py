@@ -1,0 +1,142 @@
+"""Multi-order context model (PPM-style), after Kroeger & Long [8].
+
+"Predicting File System Actions from Prior Events" models the access
+stream with a finite multi-order context model borrowed from PPM data
+compression: for every context (the last ``o`` accesses, ``o`` up to
+``max_order``) it counts which block followed.  Prediction blends the
+orders, trusting longer (more specific) contexts more.
+
+Implementation notes:
+
+* Contexts are stored as ``dict[tuple, Counter-like dict]``; each order has
+  its own table.
+* Blending: orders are consulted from longest to shortest; order ``o``
+  receives the probability mass not claimed by longer orders, scaled by an
+  escape factor proportional to how often the longer contexts mispredicted
+  (simple PPM-C-like escape: ``distinct / (total + distinct)``).
+* Memory is bounded per order with LRU eviction of whole contexts, the
+  analogue of the paper's LRU-of-substrings tree cap (Section 9.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.predictors.base import Block, Prediction, Predictor
+
+
+class _ContextTable:
+    """Successor counts per context, with LRU-bounded context population."""
+
+    __slots__ = ("max_contexts", "_table")
+
+    def __init__(self, max_contexts: Optional[int]) -> None:
+        self.max_contexts = max_contexts
+        self._table: "OrderedDict[Tuple, Dict[Block, int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def successors(self, context: Tuple) -> Optional[Dict[Block, int]]:
+        entry = self._table.get(context)
+        if entry is not None:
+            self._table.move_to_end(context)
+        return entry
+
+    def record(self, context: Tuple, block: Block) -> None:
+        entry = self._table.get(context)
+        if entry is None:
+            entry = {}
+            self._table[context] = entry
+            if (
+                self.max_contexts is not None
+                and len(self._table) > self.max_contexts
+            ):
+                self._table.popitem(last=False)
+        else:
+            self._table.move_to_end(context)
+        entry[block] = entry.get(block, 0) + 1
+
+
+class PPMPredictor(Predictor):
+    """Blended multi-order context prediction.
+
+    Parameters
+    ----------
+    max_order:
+        Longest context length (Kroeger & Long found order 2-4 effective).
+    max_contexts_per_order:
+        LRU bound on retained contexts per order (``None`` = unbounded).
+    min_probability:
+        Predictions below this blended probability are dropped.
+    """
+
+    name = "ppm"
+
+    def __init__(
+        self,
+        max_order: int = 3,
+        *,
+        max_contexts_per_order: Optional[int] = None,
+        min_probability: float = 1e-3,
+    ) -> None:
+        if max_order < 1:
+            raise ValueError(f"max_order must be >= 1, got {max_order!r}")
+        if min_probability <= 0.0:
+            raise ValueError(
+                f"min_probability must be > 0, got {min_probability!r}"
+            )
+        self.max_order = max_order
+        self.min_probability = min_probability
+        self._tables = [
+            _ContextTable(max_contexts_per_order) for _ in range(max_order)
+        ]
+        self._history: Deque[Block] = deque(maxlen=max_order)
+        self._last_predictions: Dict[Block, float] = {}
+
+    def _context(self, order: int) -> Optional[Tuple]:
+        if len(self._history) < order:
+            return None
+        if order == 0:
+            return ()
+        return tuple(list(self._history)[-order:])
+
+    def update(self, block: Block) -> bool:
+        predicted = block in self._last_predictions
+        for order in range(1, self.max_order + 1):
+            context = self._context(order)
+            if context is not None:
+                self._tables[order - 1].record(context, block)
+        self._history.append(block)
+        self._last_predictions = dict(self.predictions())
+        return predicted
+
+    def predictions(self) -> List[Prediction]:
+        """Blend orders longest-first with PPM-C-like escape mass."""
+        blended: Dict[Block, float] = {}
+        remaining = 1.0
+        for order in range(self.max_order, 0, -1):
+            context = self._context(order)
+            if context is None:
+                continue
+            successors = self._tables[order - 1].successors(context)
+            if not successors:
+                continue
+            total = sum(successors.values())
+            distinct = len(successors)
+            escape = distinct / (total + distinct)
+            claimed = remaining * (1.0 - escape)
+            for blk, count in successors.items():
+                blended[blk] = blended.get(blk, 0.0) + claimed * count / total
+            remaining *= escape
+            if remaining < self.min_probability:
+                break
+        preds = [
+            (blk, p) for blk, p in blended.items() if p >= self.min_probability
+        ]
+        preds.sort(key=lambda item: -item[1])
+        return preds
+
+    def memory_items(self) -> int:
+        return sum(len(t) for t in self._tables)

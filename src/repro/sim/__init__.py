@@ -1,0 +1,17 @@
+"""Trace-driven simulation engine, clock, disk model and statistics."""
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel, QueuedDiskModel
+from repro.sim.engine import IssueStatus, PrefetchContext, Simulator, simulate
+from repro.sim.stats import SimulationStats
+
+__all__ = [
+    "DiskModel",
+    "QueuedDiskModel",
+    "IssueStatus",
+    "PrefetchContext",
+    "SimClock",
+    "SimulationStats",
+    "Simulator",
+    "simulate",
+]

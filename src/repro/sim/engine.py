@@ -1,0 +1,310 @@
+"""The trace-driven simulation engine (Section 8).
+
+One :class:`Simulator` runs one policy over one trace at one cache size.
+Per application reference (one *access period*, Section 3) the engine:
+
+1. lets the policy observe the access (tree update, predictability and
+   last-visited-child bookkeeping) against the pre-reference cache state;
+2. resolves the reference: demand hit, prefetch hit (block moves to the
+   demand cache; CPU stalls if the block is still in flight, Figure 5), or
+   miss (a buffer is reclaimed per Figure 2 and the block demand-fetched);
+3. runs the policy's prefetch round: the policy proposes candidates and the
+   engine applies Section 7's rule - prefetch while the benefit net of
+   overhead covers the cheapest eviction's cost;
+4. folds the number of prefetches issued into the running estimate of ``s``
+   and advances the clock by the period's computation.
+
+The engine owns everything model-level (clock, disk, buffer pool, cost
+comparisons); policies only choose *which* blocks to propose and whether the
+cost-benefit gate applies (the ``forced`` flag models next-limit's
+unconditional one-block lookahead).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Iterable, Optional, Sequence, TYPE_CHECKING
+
+from repro.cache.buffer_cache import BufferCache, Location
+from repro.cache.prefetch_cache import PrefetchEntry
+from repro.core import costbenefit
+from repro.core.estimators import PrefetchRateEstimator
+from repro.params import SystemParams
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel, QueuedDiskModel
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.policies.base import Policy
+
+Block = Hashable
+
+
+class IssueStatus(enum.Enum):
+    """Outcome of one candidate proposed to :meth:`PrefetchContext.try_issue`."""
+
+    ISSUED = "issued"
+    ALREADY_CACHED = "already_cached"
+    REJECTED_COST = "rejected_cost"
+    NO_CAPACITY = "no_capacity"
+
+
+class PrefetchContext:
+    """Engine-side API handed to a policy during its prefetch round."""
+
+    __slots__ = ("_engine", "issued")
+
+    def __init__(self, engine: "Simulator") -> None:
+        self._engine = engine
+        self.issued = 0
+
+    @property
+    def s(self) -> float:
+        """Current smoothed prefetches-per-period estimate."""
+        return self._engine.s
+
+    @property
+    def params(self) -> SystemParams:
+        return self._engine.params
+
+    @property
+    def prefetch_horizon(self) -> int:
+        return costbenefit.prefetch_horizon(self._engine.params, self._engine.s)
+
+    def is_cached(self, block: Block) -> bool:
+        return self._engine.cache.location_of(block) is not Location.MISS
+
+    def try_issue(
+        self,
+        block: Block,
+        p_b: float,
+        p_x: float,
+        depth: int,
+        *,
+        forced: bool = False,
+        tag: str = "tree",
+    ) -> IssueStatus:
+        """Propose prefetching ``block`` at probability ``p_b``, depth ``depth``.
+
+        Applies Section 7: computes ``B(b) - T_oh`` and compares it against
+        the cheapest buffer's eviction cost; ``forced`` skips the benefit
+        gate (the block is fetched if any buffer is reclaimable within the
+        partition bound), which is how next-limit behaves.
+        """
+        return self._engine._try_issue(block, p_b, p_x, depth, forced, tag, self)
+
+
+class Simulator:
+    """Runs one prefetching policy over a block reference trace."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        policy: "Policy",
+        cache_size: int,
+        *,
+        s_alpha: float = 0.05,
+        s_initial: float = 1.0,
+        max_prefetches_per_period: int = 64,
+        refetch_distance: Optional[int] = None,
+        marginal_band: int = 8,
+        num_disks: Optional[int] = None,
+    ) -> None:
+        """``num_disks=None`` keeps the paper's infinite-disk assumption;
+        an integer uses the FCFS :class:`QueuedDiskModel` instead."""
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size!r}")
+        if max_prefetches_per_period < 1:
+            raise ValueError(
+                "max_prefetches_per_period must be >= 1, "
+                f"got {max_prefetches_per_period!r}"
+            )
+        self.params = params
+        self.policy = policy
+        self.cache_size = cache_size
+        cap = policy.prefetch_partition_capacity(cache_size)
+        self.cache = BufferCache(
+            params,
+            cache_size,
+            prefetch_capacity=cap if cap is not None else cache_size,
+            refetch_distance=refetch_distance,
+            marginal_band=marginal_band,
+        )
+        self.clock = SimClock()
+        self.disk = (
+            DiskModel(params) if num_disks is None
+            else QueuedDiskModel(params, num_disks)
+        )
+        self.stats = SimulationStats()
+        self._s_estimator = PrefetchRateEstimator(alpha=s_alpha, initial=s_initial)
+        self.max_prefetches_per_period = max_prefetches_per_period
+        self.period = 0
+        self.next_block: Optional[Block] = None
+        """One-access lookahead, available only to oracle policies."""
+        self.full_trace: Optional[Sequence[Block]] = None
+        """The materialised trace, published at run start (hint policies)."""
+        policy.setup(self)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def s(self) -> float:
+        return self._s_estimator.s
+
+    @property
+    def s_lifetime_mean(self) -> float:
+        return self._s_estimator.lifetime_mean
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, trace: Iterable[Block]) -> SimulationStats:
+        """Simulate the whole trace and return the accumulated statistics."""
+        blocks: Sequence[Block] = (
+            trace if isinstance(trace, (list, tuple)) else list(trace)
+        )
+        self.full_trace = blocks
+        self.policy.on_run_start(blocks)
+        n = len(blocks)
+        for i in range(n):
+            self.next_block = blocks[i + 1] if i + 1 < n else None
+            self.step(blocks[i])
+        return self.finalize()
+
+    def step(self, block: Block) -> None:
+        """Simulate one access period."""
+        self.period += 1
+        stats = self.stats
+        params = self.params
+        stats.accesses += 1
+
+        location = self.cache.location_of(block)
+        self.policy.observe(block, self.period, location, self.cache, stats)
+
+        result = self.cache.reference(block, self.period)
+        if result.location is Location.DEMAND:
+            stats.demand_hits += 1
+            self.clock.charge_hit(params.t_hit)
+        elif result.location is Location.PREFETCH:
+            stats.prefetch_hits += 1
+            assert result.entry is not None
+            stall = max(0.0, result.entry.arrival_time - self.clock.now)
+            if stall > 0.0:
+                self.clock.charge_stall(stall)
+            self.clock.charge_hit(params.t_hit)
+        else:
+            stats.misses += 1
+            self.cache.reclaim_for_demand(self.period, self.s)
+            self.clock.charge_driver(params.t_driver)
+            completion = self.disk.demand_read(self.clock.now)
+            self.clock.charge_demand_fetch(completion - self.clock.now)
+            self.cache.insert_demand(block)
+            self.clock.charge_hit(params.t_hit)
+
+        ctx = PrefetchContext(self)
+        self.policy.prefetch_round(ctx)
+        self._s_estimator.end_period(ctx.issued)
+        self.clock.charge_compute(params.t_cpu)
+
+    def finalize(self) -> SimulationStats:
+        """Seal and validate the statistics after the last access."""
+        stats = self.stats
+        stats.prefetched_evicted_unreferenced = self.cache.prefetch.evicted_unreferenced
+        stats.elapsed_time = self.clock.now
+        stats.stall_time = self.clock.stall_time
+        stats.demand_fetch_time = self.clock.demand_fetch_time
+        stats.driver_time = self.clock.driver_time
+        stats.extra.setdefault("policy", self.policy.name)
+        stats.extra.setdefault("cache_size", self.cache_size)
+        stats.extra.setdefault("s_lifetime_mean", self.s_lifetime_mean)
+        stats.extra.setdefault(
+            "forced_prefetch_evictions", self.cache.forced_prefetch_evictions
+        )
+        if isinstance(self.disk, QueuedDiskModel):
+            stats.extra.setdefault("num_disks", self.disk.num_disks)
+            stats.extra.setdefault(
+                "disk_queue_delay_total", self.disk.queue_delay_total
+            )
+            stats.extra.setdefault("disk_queued_requests", self.disk.queued_requests)
+            stats.extra.setdefault(
+                "disk_utilisation", self.disk.utilisation(self.clock.now)
+            )
+        self.policy.snapshot_extra(stats)
+        stats.check_conservation()
+        return stats
+
+    # ----------------------------------------------------- prefetch issuing
+
+    def _try_issue(
+        self,
+        block: Block,
+        p_b: float,
+        p_x: float,
+        depth: int,
+        forced: bool,
+        tag: str,
+        ctx: PrefetchContext,
+    ) -> IssueStatus:
+        stats = self.stats
+        if ctx.issued >= self.max_prefetches_per_period:
+            return IssueStatus.NO_CAPACITY
+
+        location = self.cache.location_of(block)
+        if location is not Location.MISS:
+            # Figure 7's "candidate already resides in the cache".  Keep the
+            # resident prefetch entry's metadata fresh so Eq. 11 stays honest.
+            if location is Location.PREFETCH and not forced:
+                self.cache.prefetch.refresh(block, p_b, depth, self.period)
+            stats.candidates_already_cached += 1
+            return IssueStatus.ALREADY_CACHED
+
+        s = self.s
+        if forced:
+            # Unconditional one-block lookahead: pay for a buffer if any is
+            # reclaimable, with no benefit ceiling.
+            max_cost = costbenefit.INFINITE_COST
+        else:
+            net = costbenefit.benefit(self.params, p_b, p_x, depth, s) - (
+                costbenefit.prefetch_overhead(self.params, p_b, p_x)
+            )
+            if net <= 0.0:
+                stats.candidates_rejected_cost += 1
+                return IssueStatus.REJECTED_COST
+            max_cost = net
+
+        was_capped = self.cache.prefetch.is_full
+        paid = self.cache.try_reclaim_for_prefetch(self.period, s, max_cost)
+        if paid is None:
+            if was_capped:
+                stats.candidates_no_capacity += 1
+                return IssueStatus.NO_CAPACITY
+            stats.candidates_rejected_cost += 1
+            return IssueStatus.REJECTED_COST
+
+        self.clock.charge_driver(self.params.t_driver)
+        arrival = self.disk.prefetch_read(self.clock.now)
+        self.cache.insert_prefetch(
+            PrefetchEntry(
+                block=block,
+                probability=p_b,
+                depth=depth,
+                issue_period=self.period,
+                arrival_time=arrival,
+                tag=tag,
+            )
+        )
+        ctx.issued += 1
+        stats.prefetches_issued += 1
+        stats.prefetch_probability_sum += p_b
+        stats.prefetch_depth_sum += depth
+        return IssueStatus.ISSUED
+
+
+def simulate(
+    params: SystemParams,
+    policy: "Policy",
+    trace: Iterable[Block],
+    cache_size: int,
+    **kwargs,
+) -> SimulationStats:
+    """Convenience one-shot: build a :class:`Simulator` and run the trace."""
+    return Simulator(params, policy, cache_size, **kwargs).run(trace)

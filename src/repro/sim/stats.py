@@ -1,0 +1,210 @@
+"""Per-run statistics for the trace-driven simulator.
+
+Every metric reported in the paper's Section 9 is accumulated here:
+
+* combined-cache **miss rate** (Figures 6, 13, 15, 17; Table 4),
+* **prefetch-cache hit rate** -- prefetched blocks referenced before being
+  evicted (Figures 9 and 12),
+* **prefetches per access period**, lifetime average ``s`` (Figures 8, 11),
+* **average probability of prefetched blocks** (Figure 10),
+* fraction of chosen prefetch candidates **already cached** (Figure 7),
+* **prediction accuracy** -- accesses predictable from the tree (Table 2),
+* predictable accesses **not already cached** (Figure 14),
+* **last-visited-child** repeat rate and cached rate (Table 3, Figure 16),
+* timing: elapsed simulated time, stall time, per-access mean,
+* disk traffic: demand fetches plus prefetch fetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class SimulationStats:
+    """Counters accumulated over one simulation run."""
+
+    # --- reference stream -------------------------------------------------
+    accesses: int = 0
+    demand_hits: int = 0
+    prefetch_hits: int = 0
+    misses: int = 0
+
+    # --- prefetching ------------------------------------------------------
+    prefetches_issued: int = 0
+    prefetch_probability_sum: float = 0.0
+    prefetch_depth_sum: int = 0
+    candidates_already_cached: int = 0
+    candidates_rejected_cost: int = 0
+    candidates_no_capacity: int = 0
+    prefetched_evicted_unreferenced: int = 0
+
+    # --- tree-derived (zero for tree-less policies) ------------------------
+    predictable_accesses: int = 0
+    predictable_uncached: int = 0
+    lvc_opportunities: int = 0
+    lvc_repeats: int = 0
+    lvc_opportunities_nonroot: int = 0
+    lvc_repeats_nonroot: int = 0
+    lvc_cached: int = 0
+
+    # --- timing (milliseconds) ---------------------------------------------
+    elapsed_time: float = 0.0
+    stall_time: float = 0.0
+    demand_fetch_time: float = 0.0
+    driver_time: float = 0.0
+
+    # --- free-form extras (policy knobs, tree size, ...) -------------------
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- rates
+
+    @property
+    def hits(self) -> int:
+        return self.demand_hits + self.prefetch_hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate of the combined demand + prefetch cache (per cent)."""
+        if self.accesses == 0:
+            return 0.0
+        return 100.0 * self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return 100.0 * self.hits / self.accesses
+
+    @property
+    def prefetch_cache_hit_rate(self) -> float:
+        """Per cent of prefetched blocks that were referenced (Figure 9).
+
+        Resolved = referenced (hits) + evicted unreferenced; blocks still
+        resident at end of run are not counted either way.
+        """
+        resolved = self.prefetch_hits + self.prefetched_evicted_unreferenced
+        if resolved == 0:
+            return 0.0
+        return 100.0 * self.prefetch_hits / resolved
+
+    @property
+    def prefetches_per_period(self) -> float:
+        """Lifetime mean blocks prefetched per access period (Figure 8)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.prefetches_issued / self.accesses
+
+    @property
+    def mean_prefetched_probability(self) -> float:
+        """Average ``p_b`` over issued prefetches (Figure 10)."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_probability_sum / self.prefetches_issued
+
+    @property
+    def mean_prefetched_depth(self) -> float:
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_depth_sum / self.prefetches_issued
+
+    @property
+    def candidates_already_cached_rate(self) -> float:
+        """Per cent of cost-benefit-approved candidates found cached (Fig 7)."""
+        total = self.candidates_already_cached + self.prefetches_issued
+        if total == 0:
+            return 0.0
+        return 100.0 * self.candidates_already_cached / total
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Per cent of accesses predictable from the tree (Table 2)."""
+        if self.accesses == 0:
+            return 0.0
+        return 100.0 * self.predictable_accesses / self.accesses
+
+    @property
+    def predictable_uncached_rate(self) -> float:
+        """Per cent of predictable accesses not already cached (Figure 14)."""
+        if self.predictable_accesses == 0:
+            return 0.0
+        return 100.0 * self.predictable_uncached / self.predictable_accesses
+
+    @property
+    def lvc_repeat_rate(self) -> float:
+        """Per cent of visits repeating the last visited child (Table 3)."""
+        if self.lvc_opportunities == 0:
+            return 0.0
+        return 100.0 * self.lvc_repeats / self.lvc_opportunities
+
+    @property
+    def lvc_repeat_rate_nonroot(self) -> float:
+        """Table 3's repeat rate over non-root nodes only (see TreeStats)."""
+        if self.lvc_opportunities_nonroot == 0:
+            return 0.0
+        return 100.0 * self.lvc_repeats_nonroot / self.lvc_opportunities_nonroot
+
+    @property
+    def lvc_cached_rate(self) -> float:
+        """Per cent of last-visited children already cached (Figure 16)."""
+        if self.lvc_opportunities == 0:
+            return 0.0
+        return 100.0 * self.lvc_cached / self.lvc_opportunities
+
+    @property
+    def disk_fetches(self) -> int:
+        """Total disk reads: demand fetches plus prefetches (traffic)."""
+        return self.misses + self.prefetches_issued
+
+    @property
+    def traffic_increase(self) -> float:
+        """Per cent extra disk traffic caused by prefetching (Section 9.2.1)."""
+        if self.misses == 0:
+            return 0.0
+        return 100.0 * self.prefetches_issued / self.misses
+
+    @property
+    def mean_access_time(self) -> float:
+        """Average simulated time per access (ms)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.elapsed_time / self.accesses
+
+    # -------------------------------------------------------------- export
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict of counters and derived rates, for reports and tests."""
+        return {
+            "accesses": self.accesses,
+            "demand_hits": self.demand_hits,
+            "prefetch_hits": self.prefetch_hits,
+            "misses": self.misses,
+            "miss_rate": self.miss_rate,
+            "prefetch_cache_hit_rate": self.prefetch_cache_hit_rate,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_per_period": self.prefetches_per_period,
+            "mean_prefetched_probability": self.mean_prefetched_probability,
+            "mean_prefetched_depth": self.mean_prefetched_depth,
+            "candidates_already_cached_rate": self.candidates_already_cached_rate,
+            "prediction_accuracy": self.prediction_accuracy,
+            "predictable_uncached_rate": self.predictable_uncached_rate,
+            "lvc_repeat_rate": self.lvc_repeat_rate,
+            "lvc_repeat_rate_nonroot": self.lvc_repeat_rate_nonroot,
+            "lvc_cached_rate": self.lvc_cached_rate,
+            "disk_fetches": self.disk_fetches,
+            "traffic_increase": self.traffic_increase,
+            "elapsed_time": self.elapsed_time,
+            "stall_time": self.stall_time,
+            "mean_access_time": self.mean_access_time,
+            "extra": dict(self.extra),
+        }
+
+    def check_conservation(self) -> None:
+        """Assert the bookkeeping identities the engine must maintain."""
+        assert self.demand_hits + self.prefetch_hits + self.misses == self.accesses
+        assert self.prefetch_hits + self.prefetched_evicted_unreferenced <= (
+            self.prefetches_issued
+        )
+        assert self.predictable_accesses <= self.accesses
+        assert self.lvc_repeats <= self.lvc_opportunities

@@ -1,0 +1,39 @@
+"""Trace container, I/O, L1 filtering, and the synthetic paper workloads."""
+
+from repro.traces.base import Trace
+from repro.traces.filters import filter_trace, iter_l1_misses, l1_filter
+from repro.traces.importers import CsvFormat, from_arrays, from_requests, load_csv
+from repro.traces.io import load, load_npz, load_text, save, save_npz, save_text
+from repro.traces.synthetic import (
+    TRACE_NAMES,
+    make_cad,
+    make_cello,
+    make_paper_suite,
+    make_sitar,
+    make_snake,
+    make_trace,
+)
+
+__all__ = [
+    "TRACE_NAMES",
+    "Trace",
+    "CsvFormat",
+    "from_arrays",
+    "from_requests",
+    "filter_trace",
+    "iter_l1_misses",
+    "l1_filter",
+    "load",
+    "load_csv",
+    "load_npz",
+    "load_text",
+    "make_cad",
+    "make_cello",
+    "make_paper_suite",
+    "make_sitar",
+    "make_snake",
+    "make_trace",
+    "save",
+    "save_npz",
+    "save_text",
+]

@@ -1,0 +1,60 @@
+"""First-level cache filtering of reference streams.
+
+The cello and snake traces are *disk-level* captures: the traced machines
+had 30 MB and 5 MB file buffer caches, so references that hit in those
+caches never reached the disk and are absent from the traces (Table 1).
+To emulate that capture point, the synthetic generators produce the full
+file-level reference stream and pass it through this filter: an LRU cache
+of the original system's size whose *misses* form the resulting disk-level
+trace.
+
+This is what makes the synthetic cello behave like the real one in the way
+the paper relies on - the L1 strips the easy locality, leaving a residual
+stream that is hard to predict (Section 9.4 attributes cello's low 35.78%
+prediction accuracy exactly to this effect).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.cache.lru import LRUCache
+from repro.traces.base import Trace
+
+
+def iter_l1_misses(blocks: Iterable[int], l1_blocks: int) -> Iterator[int]:
+    """Yield the references that miss in an LRU cache of ``l1_blocks``.
+
+    Missed blocks are inserted (demand caching), exactly like the original
+    traced systems' file buffer caches.
+    """
+    if l1_blocks < 0:
+        raise ValueError(f"l1_blocks must be >= 0, got {l1_blocks!r}")
+    if l1_blocks == 0:
+        yield from blocks
+        return
+    cache = LRUCache(capacity=l1_blocks)
+    for block in blocks:
+        if not cache.access(block):
+            cache.insert(block)
+            yield block
+
+
+def l1_filter(blocks: Iterable[int], l1_blocks: int) -> List[int]:
+    """Materialised version of :func:`iter_l1_misses`."""
+    return list(iter_l1_misses(blocks, l1_blocks))
+
+
+def filter_trace(trace: Trace, l1_blocks: int, *, name: str | None = None) -> Trace:
+    """Filter a full trace through an L1 cache, keeping metadata."""
+    filtered = l1_filter(trace.blocks, l1_blocks)
+    return Trace(
+        name=name or f"{trace.name}-l1",
+        blocks=filtered,
+        description=(
+            f"{trace.description} (filtered through a {l1_blocks}-block L1 cache)"
+        ),
+        l1_cache_blocks=l1_blocks,
+        seed=trace.seed,
+        params={**trace.params, "l1_blocks": l1_blocks},
+    )

@@ -1,0 +1,156 @@
+"""Importing externally captured traces.
+
+Real block traces come in per-request records, not per-block streams; the
+paper's model wants a stream of single-block references (Section 3: "an
+application issues I/O requests as single block requests").  This module
+converts the common formats:
+
+* :func:`from_requests` - (offset, size) extents expanded to block streams;
+* :func:`load_csv` - delimited files in the SPC-trace spirit
+  (``timestamp, device, offset, size, opcode``), with configurable column
+  positions, byte- or block-addressed offsets, and read/write filtering;
+* :func:`from_arrays` - numpy offset/size arrays (fast path).
+
+All produce :class:`~repro.traces.base.Trace` objects directly usable by
+the simulator and the characterisation tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.traces.base import Trace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass(frozen=True)
+class CsvFormat:
+    """Column layout of a delimited request trace.
+
+    Column indices are 0-based.  ``opcode_col`` is optional; when present,
+    only rows whose opcode (upper-cased, first character) is in
+    ``read_opcodes`` are kept - the paper's model is read prefetching.
+    """
+
+    offset_col: int = 2
+    size_col: int = 3
+    opcode_col: Optional[int] = 4
+    read_opcodes: str = "R"
+    delimiter: str = ","
+    offsets_in_bytes: bool = True
+    sizes_in_bytes: bool = True
+    skip_header_rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offset_col < 0 or self.size_col < 0:
+            raise ValueError("column indices must be >= 0")
+        if self.skip_header_rows < 0:
+            raise ValueError("skip_header_rows must be >= 0")
+
+
+def from_requests(
+    requests: Iterable[Tuple[int, int]],
+    *,
+    block_size: int = 8192,
+    name: str = "imported",
+    offsets_in_bytes: bool = True,
+    sizes_in_bytes: bool = True,
+) -> Trace:
+    """Expand (offset, size) request extents into a block stream.
+
+    A request covering bytes ``[offset, offset + size)`` touches every
+    block its extent overlaps; zero-sized requests touch one block
+    (metadata probes).
+    """
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size!r}")
+    blocks: List[int] = []
+    for offset, size in requests:
+        if offset < 0 or size < 0:
+            raise ValueError(f"bad request ({offset!r}, {size!r})")
+        start = offset // block_size if offsets_in_bytes else offset
+        if sizes_in_bytes:
+            if size == 0:
+                count = 1
+            else:
+                end_byte = (offset if offsets_in_bytes else offset * block_size) + size
+                count = -(-(end_byte) // block_size) - start
+                count = max(count, 1)
+        else:
+            count = max(size, 1)
+        blocks.extend(range(start, start + count))
+    return Trace(
+        name=name,
+        blocks=blocks,
+        description="imported request trace",
+        params={"block_size": block_size},
+    )
+
+
+def from_arrays(
+    offsets: np.ndarray,
+    sizes: np.ndarray,
+    *,
+    block_size: int = 8192,
+    name: str = "imported",
+) -> Trace:
+    """Vectorised request expansion from byte-offset / byte-size arrays."""
+    if offsets.shape != sizes.shape:
+        raise ValueError("offsets and sizes must have matching shapes")
+    starts = offsets // block_size
+    ends = (offsets + np.maximum(sizes, 1) + block_size - 1) // block_size
+    counts = np.maximum(ends - starts, 1)
+    total = int(counts.sum())
+    out = np.empty(total, dtype=np.int64)
+    pos = 0
+    for start, count in zip(starts.tolist(), counts.tolist()):
+        out[pos : pos + count] = np.arange(start, start + count)
+        pos += count
+    return Trace(
+        name=name,
+        blocks=out,
+        description="imported request trace",
+        params={"block_size": block_size},
+    )
+
+
+def load_csv(
+    path: PathLike,
+    *,
+    fmt: CsvFormat = CsvFormat(),
+    block_size: int = 8192,
+    name: Optional[str] = None,
+    max_rows: Optional[int] = None,
+) -> Trace:
+    """Read a delimited request trace and expand it to a block stream."""
+    requests: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh, delimiter=fmt.delimiter)
+        for i, row in enumerate(reader):
+            if i < fmt.skip_header_rows:
+                continue
+            if max_rows is not None and len(requests) >= max_rows:
+                break
+            if not row or row[0].lstrip().startswith("#"):
+                continue
+            if fmt.opcode_col is not None:
+                opcode = row[fmt.opcode_col].strip().upper()[:1]
+                if opcode not in fmt.read_opcodes:
+                    continue
+            offset = int(float(row[fmt.offset_col]))
+            size = int(float(row[fmt.size_col]))
+            requests.append((offset, size))
+    trace = from_requests(
+        requests,
+        block_size=block_size,
+        name=name or os.path.splitext(os.path.basename(os.fspath(path)))[0],
+        offsets_in_bytes=fmt.offsets_in_bytes,
+        sizes_in_bytes=fmt.sizes_in_bytes,
+    )
+    return trace

@@ -1,0 +1,129 @@
+"""Reading and writing traces.
+
+Two formats:
+
+* **text** (``.trace``): a human-greppable format with ``# key: value``
+  header lines followed by one block id per line.  Round-trips all metadata.
+* **npz** (``.npz``): compressed numpy archive for large traces; an order of
+  magnitude smaller and faster to load.
+
+Both are deliberately simple so externally captured traces (e.g. real block
+traces converted by a one-line awk script) can be fed to the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.traces.base import Trace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_HEADER_KEYS = ("name", "description", "l1_cache_blocks", "seed", "params")
+
+
+def save_text(trace: Trace, path: PathLike) -> None:
+    """Write a trace in the text format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# name: {trace.name}\n")
+        fh.write(f"# description: {trace.description}\n")
+        fh.write(f"# l1_cache_blocks: {json.dumps(trace.l1_cache_blocks)}\n")
+        fh.write(f"# seed: {json.dumps(trace.seed)}\n")
+        fh.write(f"# params: {json.dumps(trace.params, sort_keys=True)}\n")
+        for block in trace.blocks:
+            fh.write(f"{int(block)}\n")
+
+
+def load_text(path: PathLike) -> Trace:
+    """Read a trace in the text format.
+
+    Header lines are optional; a bare file of one integer per line loads as
+    an anonymous trace named after the file.
+    """
+    meta = {
+        "name": os.path.splitext(os.path.basename(os.fspath(path)))[0],
+        "description": "",
+        "l1_cache_blocks": None,
+        "seed": None,
+        "params": {},
+    }
+    blocks = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                key, sep, value = body.partition(":")
+                key = key.strip()
+                if sep and key in _HEADER_KEYS:
+                    value = value.strip()
+                    if key in ("l1_cache_blocks", "seed", "params"):
+                        meta[key] = json.loads(value) if value else None
+                    else:
+                        meta[key] = value
+                continue
+            blocks.append(int(line))
+    return Trace(
+        name=str(meta["name"]),
+        blocks=blocks,
+        description=str(meta["description"]),
+        l1_cache_blocks=meta["l1_cache_blocks"],
+        seed=meta["seed"],
+        params=meta["params"] or {},
+    )
+
+
+def save_npz(trace: Trace, path: PathLike) -> None:
+    """Write a trace as a compressed numpy archive."""
+    np.savez_compressed(
+        path,
+        blocks=trace.as_array(),
+        meta=np.array(
+            json.dumps(
+                {
+                    "name": trace.name,
+                    "description": trace.description,
+                    "l1_cache_blocks": trace.l1_cache_blocks,
+                    "seed": trace.seed,
+                    "params": trace.params,
+                },
+                sort_keys=True,
+            )
+        ),
+    )
+
+
+def load_npz(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        blocks = archive["blocks"]
+        meta = json.loads(str(archive["meta"]))
+    return Trace(
+        name=meta["name"],
+        blocks=blocks,
+        description=meta["description"],
+        l1_cache_blocks=meta["l1_cache_blocks"],
+        seed=meta["seed"],
+        params=meta["params"],
+    )
+
+
+def save(trace: Trace, path: PathLike) -> None:
+    """Format-dispatching save: ``.npz`` -> numpy, anything else -> text."""
+    if os.fspath(path).endswith(".npz"):
+        save_npz(trace, path)
+    else:
+        save_text(trace, path)
+
+
+def load(path: PathLike) -> Trace:
+    """Format-dispatching load, by file extension."""
+    if os.fspath(path).endswith(".npz"):
+        return load_npz(path)
+    return load_text(path)

@@ -1,0 +1,75 @@
+"""Synthetic stand-ins for the paper's four traces, plus building blocks.
+
+The original traces (HP cello/snake, Duke CAD, Kentucky sitar) are not
+redistributable; each ``make_*`` generator is calibrated to reproduce the
+workload *properties* the paper's experiments depend on (see each module's
+docstring and DESIGN.md Section 2).
+
+:func:`make_trace` builds any of them by name; :data:`TRACE_NAMES` lists
+them in the paper's presentation order (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.traces.base import Trace
+from repro.traces.synthetic.cad import make_cad
+from repro.traces.synthetic.cello import CELLO_L1_BLOCKS, make_cello
+from repro.traces.synthetic.markov import StickyWalk, random_object_graph, scatter_ids
+from repro.traces.synthetic.mixer import interleave, iter_interleaved
+from repro.traces.synthetic.sequential import FileSpace, random_file_sizes
+from repro.traces.synthetic.sitar import make_sitar
+from repro.traces.synthetic.snake import SNAKE_L1_BLOCKS, make_snake
+from repro.traces.synthetic.zipf import ZipfSampler
+
+_GENERATORS: Dict[str, Callable[..., Trace]] = {
+    "cello": make_cello,
+    "snake": make_snake,
+    "cad": make_cad,
+    "sitar": make_sitar,
+}
+
+#: Table 1 order.
+TRACE_NAMES: List[str] = list(_GENERATORS)
+
+
+def make_trace(name: str, num_references: int | None = None, seed: int = 1999, **kwargs) -> Trace:
+    """Build one of the four paper workloads by name."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        known = ", ".join(TRACE_NAMES)
+        raise ValueError(f"unknown trace {name!r}; known traces: {known}")
+    if num_references is None:
+        return generator(seed=seed, **kwargs)
+    return generator(num_references, seed=seed, **kwargs)
+
+
+def make_paper_suite(num_references: int = 120_000, seed: int = 1999) -> Dict[str, Trace]:
+    """All four workloads at a common length, keyed by name."""
+    return {
+        name: make_trace(name, num_references=num_references, seed=seed)
+        for name in TRACE_NAMES
+    }
+
+
+__all__ = [
+    "CELLO_L1_BLOCKS",
+    "FileSpace",
+    "SNAKE_L1_BLOCKS",
+    "StickyWalk",
+    "TRACE_NAMES",
+    "ZipfSampler",
+    "interleave",
+    "iter_interleaved",
+    "make_cad",
+    "make_cello",
+    "make_paper_suite",
+    "make_sitar",
+    "make_snake",
+    "make_trace",
+    "random_file_sizes",
+    "random_object_graph",
+    "scatter_ids",
+]

@@ -1,0 +1,155 @@
+"""Residual-stream components for the disk-level workload generators.
+
+The cello and snake traces were captured *below* large file buffer caches,
+so they are residual streams: the easy, short-distance locality is gone.
+Rather than emulating the exact victim stream of a perfect LRU filter
+(which leaves an unrealistically thin reuse band - a perfect filter maps a
+raw reuse distance ``D`` to a residual distance of roughly ``D - L1``),
+the disk-level generators compose the residual stream directly from three
+components whose mixture is calibrated against the paper's measurements:
+
+* **scan** - sequential (re-)reads of files with skewed popularity.  Re-read
+  runs are what the LZ tree learns (predictability) and what one-block
+  lookahead converts to hits; first reads are compulsory misses.
+* **point** - popularity-skewed single-block reads over a region a few
+  times larger than the simulated caches.  These give the miss-rate-vs-
+  cache-size slope but are unpredictable for the tree.
+* **cold** - never-before-seen blocks (pure compulsory misses), untouched
+  by any prefetching scheme.
+
+The component weights are the per-trace calibration knobs; see
+``make_cello`` / ``make_snake`` and DESIGN.md Section 2.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterator
+
+import numpy as np
+
+from repro.traces.synthetic.sequential import FileSpace
+from repro.traces.synthetic.zipf import ZipfSampler
+
+
+def scan_stream(
+    rng: np.random.Generator,
+    space: FileSpace,
+    picker: ZipfSampler,
+    *,
+    partial_fraction: float = 0.2,
+) -> Iterator[int]:
+    """Sequential whole-file reads, with occasional partial reads.
+
+    File choice comes from ``picker`` (Zipf over the file population), so
+    popular files are re-read repeatedly - re-reads are exactly the
+    tree-predictable, lookahead-friendly part of the stream.
+    """
+    if not (0.0 <= partial_fraction <= 1.0):
+        raise ValueError(
+            f"partial_fraction must be in [0, 1], got {partial_fraction!r}"
+        )
+    while True:
+        file_id = picker.sample_one()
+        size = space.size_of(file_id)
+        if size > 4 and rng.random() < partial_fraction:
+            offset = int(rng.integers(0, size // 2))
+            length = int(rng.integers(1, size - offset + 1))
+            yield from space.read_run(file_id, offset, length)
+        else:
+            yield from space.read_run(file_id)
+
+
+def point_stream(
+    rng: np.random.Generator,
+    base: int,
+    n_blocks: int,
+    alpha: float,
+) -> Iterator[int]:
+    """Zipf point reads over ``n_blocks`` starting at ``base``.
+
+    Popularity ranks are shuffled over the address range so recurrence
+    carries no sequential structure.
+    """
+    picker = ZipfSampler(n_blocks, alpha, rng, shuffle=True)
+    while True:
+        yield base + picker.sample_one()
+
+
+def chain_stream(
+    rng: np.random.Generator,
+    base: int,
+    *,
+    n_chains: int,
+    chain_length: int,
+    alpha: float = 0.8,
+    noise: float = 0.05,
+    span_factor: int = 4,
+) -> Iterator[int]:
+    """Replayed fixed sequences of non-adjacent blocks.
+
+    Models recurring access *patterns* that are not sequential on disk:
+    application startup reads, library/loader sequences, query plans,
+    design-tool traversals.  Each chain is a fixed random block sequence;
+    replays pick a chain by Zipf popularity and follow it, substituting a
+    random block with probability ``noise`` per step (pattern drift).
+
+    This is the traffic class the prefetch *tree* exploits and one-block
+    lookahead cannot: replays are predictable from past accesses, but the
+    blocks are scattered (no ``+1`` adjacency).
+    """
+    if n_chains < 1 or chain_length < 2:
+        raise ValueError("need n_chains >= 1 and chain_length >= 2")
+    if not (0.0 <= noise <= 1.0):
+        raise ValueError(f"noise must be in [0, 1], got {noise!r}")
+    span = n_chains * chain_length * span_factor
+    blocks = rng.choice(span, size=n_chains * chain_length, replace=False)
+    chains = blocks.reshape(n_chains, chain_length) + base
+    picker = ZipfSampler(n_chains, alpha, rng)
+    noise_base = base + span + 4096
+    while True:
+        chain = chains[picker.sample_one()]
+        for block in chain:
+            if noise > 0.0 and rng.random() < noise:
+                yield noise_base + int(rng.integers(0, span))
+            else:
+                yield int(block)
+
+
+def cold_stream(base: int) -> Iterator[int]:
+    """An endless supply of never-repeating blocks (compulsory misses).
+
+    Blocks ascend from ``base`` with a stride of 2 so they are never
+    mutually sequential - a cold miss untouched by *any* prefetching
+    scheme, unlike a cold scan interior.
+    """
+    return (base + 2 * i for i in count())
+
+
+def cold_scan_stream(
+    rng: np.random.Generator,
+    base: int,
+    *,
+    mean_run: float = 16.0,
+    gap: int = 4,
+) -> Iterator[int]:
+    """Sequential first reads of ever-new files.
+
+    Each burst is a fresh contiguous run (geometric length), separated from
+    the next by a guard gap.  This is the traffic class where one-block
+    lookahead shines and the prefetch tree is helpless: every block is a
+    compulsory miss under plain LRU, the run interior is rescued by
+    sequential lookahead, but nothing recurs for the tree to learn.
+    Dominates sitar (students reading new files, build outputs) per the
+    paper's "up to 73%" next-limit reduction.
+    """
+    if mean_run < 1.0:
+        raise ValueError(f"mean_run must be >= 1, got {mean_run!r}")
+    if gap < 1:
+        raise ValueError(f"gap must be >= 1, got {gap!r}")
+    cursor = base
+    while True:
+        length = int(rng.geometric(1.0 / mean_run))
+        for block in range(cursor, cursor + length):
+            yield block
+        cursor += length + gap

@@ -1,0 +1,70 @@
+"""Interleaving multiple per-process reference streams.
+
+Timesharing and file-server traces are the superposition of many concurrent
+activities; the interleaving is what destroys much of the per-process
+sequentiality at the disk.  The scheduler model: pick a stream by weight,
+let it run for a geometrically distributed burst of references, switch -
+bursts preserve short sequential runs while still mixing the streams.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+
+def iter_interleaved(
+    rng: np.random.Generator,
+    streams: Sequence[Iterator[int]],
+    *,
+    weights: Sequence[float] | None = None,
+    mean_burst: float = 4.0,
+) -> Iterator[int]:
+    """Lazily merge ``streams``; ends only when every stream is exhausted.
+
+    Infinite input streams give an infinite merged stream - cap with
+    ``itertools.islice`` or :func:`interleave`.
+    """
+    if mean_burst < 1.0:
+        raise ValueError(f"mean_burst must be >= 1, got {mean_burst!r}")
+    live: List[Iterator[int]] = list(streams)
+    if weights is None:
+        w = np.ones(len(live), dtype=np.float64)
+    else:
+        if len(weights) != len(live):
+            raise ValueError("weights must match streams")
+        w = np.asarray(weights, dtype=np.float64)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+
+    p_switch = 1.0 / mean_burst
+    while live:
+        probs = w / w.sum()
+        idx = int(rng.choice(len(live), p=probs))
+        stream = live[idx]
+        while True:
+            try:
+                yield next(stream)
+            except StopIteration:
+                live.pop(idx)
+                w = np.delete(w, idx)
+                break
+            if rng.random() < p_switch:
+                break
+
+
+def interleave(
+    rng: np.random.Generator,
+    streams: Sequence[Iterator[int]],
+    total: int,
+    *,
+    weights: Sequence[float] | None = None,
+    mean_burst: float = 4.0,
+) -> List[int]:
+    """Merge ``streams`` into one trace of at most ``total`` references."""
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total!r}")
+    merged = iter_interleaved(rng, streams, weights=weights, mean_burst=mean_burst)
+    return list(islice(merged, total))

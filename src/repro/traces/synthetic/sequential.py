@@ -1,0 +1,102 @@
+"""Sequential-run primitives: a file extent map and run emission.
+
+The file-server (snake) and student-usage (sitar) workloads are dominated by
+whole-file sequential reads.  :class:`FileSpace` lays out a population of
+files as contiguous block extents - with guard gaps so that the last block
+of one file is *not* adjacent to the first block of the next, keeping
+cross-file accesses non-sequential - and exposes per-file sequential run
+generation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: Blocks of dead space between consecutive file extents.
+GUARD_GAP = 8
+
+
+class FileSpace:
+    """A population of files laid out as disjoint contiguous block extents."""
+
+    def __init__(
+        self,
+        file_sizes: Sequence[int],
+        *,
+        base_block: int = 0,
+        guard_gap: int = GUARD_GAP,
+    ) -> None:
+        if guard_gap < 1:
+            raise ValueError(f"guard_gap must be >= 1, got {guard_gap!r}")
+        starts: List[int] = []
+        cursor = base_block
+        for size in file_sizes:
+            if size < 1:
+                raise ValueError(f"file sizes must be >= 1, got {size!r}")
+            starts.append(cursor)
+            cursor += size + guard_gap
+        self._starts = starts
+        self._sizes = list(file_sizes)
+        self.total_span = cursor - base_block
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def size_of(self, file_id: int) -> int:
+        return self._sizes[file_id]
+
+    def extent(self, file_id: int) -> range:
+        """Block range of the whole file."""
+        start = self._starts[file_id]
+        return range(start, start + self._sizes[file_id])
+
+    def extents(self) -> List[List[int]]:
+        """All files as ``[start, length]`` pairs (JSON-friendly).
+
+        Exported into generated traces' ``params["extents"]`` so file-level
+        policies (whole-file prefetching) can map blocks back to files.
+        """
+        return [
+            [start, size] for start, size in zip(self._starts, self._sizes)
+        ]
+
+    def read_run(self, file_id: int, offset: int = 0, length: int | None = None) -> List[int]:
+        """Sequential blocks of reading ``length`` blocks from ``offset``.
+
+        Runs are clamped to the file end (short final reads, like a real
+        ``read`` loop hitting EOF).
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset!r}")
+        size = self._sizes[file_id]
+        if offset >= size:
+            return []
+        if length is None:
+            length = size - offset
+        end = min(offset + length, size)
+        start = self._starts[file_id] + offset
+        return list(range(start, start + (end - offset)))
+
+
+def random_file_sizes(
+    rng: np.random.Generator,
+    n_files: int,
+    *,
+    median_blocks: int = 8,
+    sigma: float = 1.0,
+    max_blocks: int = 512,
+) -> List[int]:
+    """Log-normal file-size population (most files small, a heavy tail).
+
+    Real file-size distributions are approximately log-normal; the median
+    and ``sigma`` control the body, ``max_blocks`` truncates the tail so a
+    single enormous file cannot dominate a short trace.
+    """
+    if n_files < 1:
+        raise ValueError(f"n_files must be >= 1, got {n_files!r}")
+    if median_blocks < 1:
+        raise ValueError(f"median_blocks must be >= 1, got {median_blocks!r}")
+    raw = rng.lognormal(mean=np.log(median_blocks), sigma=sigma, size=n_files)
+    return [int(min(max(1, round(x)), max_blocks)) for x in raw]

@@ -1,0 +1,62 @@
+"""Zipf-distributed sampling over a bounded item universe.
+
+File and block popularity in real systems is heavy-tailed; the timesharing
+(cello) and file-server (snake) generators draw file/block choices from a
+bounded Zipf distribution.  Unlike ``numpy.random.zipf`` (unbounded support)
+this sampler is restricted to ``n_items`` ranks, which is what a finite
+volume of files requires, and supports optional rank shuffling so that
+popularity is not correlated with block address.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Inverse-CDF sampler over ranks ``0..n_items-1`` with ``p(r) ~ 1/(r+1)^alpha``."""
+
+    def __init__(
+        self,
+        n_items: int,
+        alpha: float,
+        rng: np.random.Generator,
+        *,
+        shuffle: bool = False,
+    ) -> None:
+        if n_items < 1:
+            raise ValueError(f"n_items must be >= 1, got {n_items!r}")
+        if alpha < 0.0:
+            raise ValueError(f"alpha must be >= 0, got {alpha!r}")
+        self.n_items = n_items
+        self.alpha = alpha
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n_items + 1, dtype=np.float64), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._perm: Optional[np.ndarray] = None
+        if shuffle:
+            self._perm = rng.permutation(n_items)
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` item indices."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size!r}")
+        u = self._rng.random(size)
+        ranks = np.searchsorted(self._cdf, u, side="right")
+        if self._perm is not None:
+            return self._perm[ranks]
+        return ranks
+
+    def sample_one(self) -> int:
+        return int(self.sample(1)[0])
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Selection probability of the given popularity rank."""
+        if not (0 <= rank < self.n_items):
+            raise ValueError(f"rank out of range: {rank!r}")
+        if rank == 0:
+            return float(self._cdf[0])
+        return float(self._cdf[rank] - self._cdf[rank - 1])

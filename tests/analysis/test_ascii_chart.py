@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import GLYPHS, render_chart
+
+
+def lines_of(chart):
+    return chart.splitlines()
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            [128, 256, 512],
+            {"a": [10.0, 5.0, 1.0], "b": [2.0, 4.0, 8.0]},
+            title="demo", height=8,
+        )
+        lines = lines_of(chart)
+        assert lines[0] == "demo"
+        # 8 grid rows + axis rule + tick row + legend.
+        assert len(lines) == 1 + 8 + 3
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+
+    def test_extremes_on_scale(self):
+        chart = render_chart([1, 2], {"s": [0.0, 100.0]})
+        assert "100" in chart
+        assert "0" in chart
+
+    def test_monotone_series_orientation(self):
+        """A rising series' glyph must appear lower-left to upper-right."""
+        chart = render_chart([1, 2, 3], {"up": [0.0, 5.0, 10.0]}, height=6)
+        rows = [l for l in lines_of(chart) if "|" in l]
+        first_row_with_glyph = next(
+            i for i, l in enumerate(rows) if "o" in l
+        )
+        last_row_with_glyph = max(
+            i for i, l in enumerate(rows) if "o" in l
+        )
+        # Top of the grid (index 0) holds the max -> the last x lands there.
+        top = rows[first_row_with_glyph]
+        bottom = rows[last_row_with_glyph]
+        assert top.rindex("o") > bottom.index("o")
+
+    def test_flat_series_does_not_crash(self):
+        chart = render_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in chart
+
+    def test_x_tick_labels_present(self):
+        chart = render_chart([128, 4096], {"s": [1.0, 2.0]})
+        assert "128" in chart and "4096" in chart
+
+    def test_collisions_keep_first_series(self):
+        chart = render_chart([1, 2], {"a": [1.0, 2.0], "b": [1.0, 2.0]})
+        # Identical series: the first one's glyph owns the sample cells.
+        grid_rows = [l for l in lines_of(chart) if "|" in l]
+        body = "\n".join(grid_rows)
+        assert "o" in body
+        assert "x" not in body
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            render_chart([1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            render_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            render_chart([1, 2], {"s": [1.0, 2.0]}, height=2)
+        too_many = {f"s{i}": [0.0, 1.0] for i in range(len(GLYPHS) + 1)}
+        with pytest.raises(ValueError):
+            render_chart([1, 2], too_many)

@@ -1,0 +1,95 @@
+"""Smoke + shape tests for the per-figure experiment harnesses.
+
+Runs the whole experiment battery on a deliberately tiny configuration so
+the suite stays fast; the paper-scale numbers come from ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.analysis.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        num_references=4000, seed=3, cache_sizes=(64, 256)
+    )
+
+
+class TestHarnessSmoke:
+    @pytest.mark.parametrize("runner", ex.ALL_EXPERIMENTS,
+                             ids=lambda f: f.__name__)
+    def test_runs_and_renders(self, ctx, runner):
+        result = runner(ctx)
+        assert result.exp_id
+        assert result.title
+        assert result.paper_expectation
+        assert isinstance(result.text, str) and result.text
+        assert result.data
+
+
+class TestArtifactShapes:
+    def test_table1_rows(self, ctx):
+        res = ex.run_table1(ctx)
+        assert len(res.data["rows"]) == 4
+
+    def test_fig6_all_policies_per_trace(self, ctx):
+        res = ex.run_fig6(ctx)
+        for trace in ("cello", "snake", "cad", "sitar"):
+            assert set(res.data[trace]) == set(ex.FIG6_POLICIES)
+            assert all(len(v) == 2 for v in res.data[trace].values())
+        assert "max_reduction_vs_no_prefetch_pct" in res.data
+
+    def test_fig13_budget_axis(self, ctx):
+        res = ex.run_fig13(ctx, cache_sizes=(64,))
+        assert res.data["budgets"][-1] == "unbounded"
+        ratios = res.data["series"]["cache_64"]
+        assert all(r >= 0.0 for r in ratios)
+
+    def test_table2_values_in_range(self, ctx):
+        res = ex.run_table2(ctx, cache_size=64)
+        assert all(0.0 <= v <= 100.0 for v in res.data.values())
+
+    def test_table3_both_columns(self, ctx):
+        res = ex.run_table3(ctx, cache_size=64)
+        for trace, cols in res.data.items():
+            assert cols["nonroot"] >= cols["all_nodes"] - 1e-9
+
+    def test_table4_best_not_worse_than_worst(self, ctx):
+        res = ex.run_table4(ctx, cache_size=64)
+        for trace, d in res.data.items():
+            assert d["best"][1] <= d["worst"][1]
+            assert d["difference_pct"] >= 0.0
+
+    def test_fig15_oracle_no_worse_than_tree(self, ctx):
+        res = ex.run_fig15(ctx)
+        for trace, series in res.data.items():
+            for oracle, tree in zip(series["perfect-selector"], series["tree"]):
+                assert oracle <= tree + 5.0  # small-slack: tiny traces are noisy
+
+    def test_memoisation_across_experiments(self, ctx):
+        """Figures 7-10 reuse the tree sweep: re-running is instant/cached."""
+        before = len(ctx._stats)
+        ex.run_fig7(ctx)
+        ex.run_fig8(ctx)
+        after = len(ctx._stats)
+        assert after == before  # everything already memoised by earlier tests
+
+
+class TestJsonExport:
+    def test_to_json_roundtrip(self, ctx):
+        import json
+
+        res = ex.run_table2(ctx, cache_size=64)
+        payload = json.loads(res.to_json())
+        assert payload["exp_id"] == "table2"
+        assert set(payload["data"]) == {"cello", "snake", "cad", "sitar"}
+
+
+class TestChartRendering:
+    def test_fig6_includes_ascii_chart(self, ctx):
+        res = ex.run_fig6(ctx)
+        # The chart block: an axis rule and a legend with series glyphs.
+        assert "+----" in res.text
+        assert "o=no-prefetch" in res.text

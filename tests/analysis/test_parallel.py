@@ -1,0 +1,70 @@
+"""Tests for the batch/parallel experiment runner."""
+
+import pytest
+
+from repro.analysis.parallel import RunSpec, execute, run_batch
+
+
+def spec(**overrides):
+    base = dict(
+        trace_name="cad",
+        policy_name="no-prefetch",
+        cache_size=64,
+        num_references=1500,
+        seed=3,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestRunSpec:
+    def test_label(self):
+        assert spec().label() == "cad/no-prefetch@64x1500"
+
+    def test_frozen(self):
+        s = spec()
+        with pytest.raises(Exception):
+            s.cache_size = 1  # type: ignore[misc]
+
+
+class TestExecute:
+    def test_runs_and_tags(self):
+        stats = execute(spec())
+        stats.check_conservation()
+        assert stats.extra["spec"] == "cad/no-prefetch@64x1500"
+        assert stats.accesses == 1500
+
+    def test_policy_kwargs(self):
+        stats = execute(
+            spec(policy_name="tree-threshold",
+                 policy_kwargs={"threshold": 0.1})
+        )
+        assert stats.extra["threshold"] == 0.1
+
+    def test_t_cpu_override(self):
+        fast = execute(spec(policy_name="tree", t_cpu=5.0))
+        slow = execute(spec(policy_name="tree", t_cpu=640.0))
+        assert fast.elapsed_time < slow.elapsed_time
+
+
+class TestRunBatch:
+    def test_serial_order_preserved(self):
+        specs = [spec(cache_size=c) for c in (32, 64, 128)]
+        results = run_batch(specs)
+        assert [r.extra["cache_size"] for r in results] == [32, 64, 128]
+
+    def test_deterministic_across_modes(self):
+        specs = [spec(policy_name="tree", cache_size=c) for c in (32, 64)]
+        serial = run_batch(specs, max_workers=1)
+        parallel = run_batch(specs, max_workers=2)
+        assert [r.misses for r in serial] == [r.misses for r in parallel]
+        assert [r.prefetches_issued for r in serial] == [
+            r.prefetches_issued for r in parallel
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_batch([spec()], max_workers=0)
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []

@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII table/series renderers."""
+
+import pytest
+
+from repro.analysis.tables import (
+    format_value,
+    render_dict,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_float_decimals(self):
+        assert format_value(3.14159, 2) == "3.14"
+
+    def test_bool_not_floatified(self):
+        assert format_value(True) == "True"
+
+    def test_none_dash(self):
+        assert format_value(None) == "-"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_values_present(self):
+        out = render_table(["x", "y"], [[1.5, "hi"]])
+        assert "1.50" in out and "hi" in out
+
+
+class TestRenderSeries:
+    def test_columns_per_series(self):
+        out = render_series("cache", [128, 256], {"tree": [1.0, 2.0],
+                                                  "nl": [3.0, 4.0]})
+        header = out.splitlines()[0]
+        assert "cache" in header and "tree" in header and "nl" in header
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], {"s": [1.0]})
+
+
+class TestRenderDict:
+    def test_keys_and_values(self):
+        out = render_dict({"alpha": 0.5, "n": 10}, title="Config")
+        assert "Config" in out
+        assert "alpha" in out and "0.50" in out
+        assert "n" in out and "10" in out
+
+    def test_empty(self):
+        assert render_dict({}) == ""

@@ -1,0 +1,109 @@
+"""Tests for the trace characterisation toolkit."""
+
+import pytest
+
+from repro.analysis.tracestats import (
+    characterise,
+    first_access_share,
+    predictability,
+    reuse_profile,
+    sequential_run_lengths,
+    sequentiality,
+    working_set_curve,
+)
+
+
+class TestSequentiality:
+    def test_pure_run(self):
+        assert sequentiality(list(range(100))) == 1.0
+
+    def test_no_runs(self):
+        assert sequentiality([5, 1, 9, 2]) == 0.0
+
+    def test_run_lengths(self):
+        blocks = [1, 2, 3, 10, 11, 50]
+        assert sequential_run_lengths(blocks) == [3, 2, 1]
+
+    def test_run_lengths_empty(self):
+        assert sequential_run_lengths([]) == []
+
+    def test_single(self):
+        assert sequential_run_lengths([7]) == [1]
+        assert sequentiality([7]) == 0.0
+
+
+class TestFirstAccessShare:
+    def test_all_cold(self):
+        assert first_access_share([1, 2, 3]) == 1.0
+
+    def test_half_reused(self):
+        assert first_access_share([1, 2, 1, 2]) == 0.5
+
+    def test_empty(self):
+        assert first_access_share([]) == 0.0
+
+
+class TestReuseProfile:
+    def test_hit_curve_monotone(self):
+        blocks = [i % 300 for i in range(3000)]
+        profile = reuse_profile(blocks, max_depth=2048)
+        curve = profile["hit_rate_by_cache"]
+        values = [curve[n] for n in sorted(curve)]
+        assert values == sorted(values)
+
+    def test_cold_share(self):
+        profile = reuse_profile([1, 2, 3, 1, 2, 3], max_depth=128)
+        assert profile["cold_share"] == pytest.approx(0.5)
+
+
+class TestPredictability:
+    def test_cycle_highly_predictable(self):
+        stats = predictability([1, 2, 3, 4] * 100)
+        assert stats["prediction_accuracy"] > 0.6
+        assert stats["tree_nodes"] > 0
+
+    def test_keys(self):
+        stats = predictability([1, 2, 3])
+        assert set(stats) == {
+            "prediction_accuracy", "lvc_repeat_rate",
+            "lvc_repeat_rate_nonroot", "tree_nodes",
+        }
+
+
+class TestWorkingSet:
+    def test_small_trace_uses_all(self):
+        ws = working_set_curve([1, 2, 3], windows=(100,))
+        assert ws[100] == 3.0
+
+    def test_windowed_mean(self):
+        blocks = [i % 10 for i in range(1000)]
+        ws = working_set_curve(blocks, windows=(100,))
+        assert ws[100] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_set_curve([1], windows=(0,))
+
+
+class TestCharacterise:
+    def test_full_report(self):
+        blocks = list(range(50)) * 4
+        report = characterise(blocks, max_depth=512)
+        assert report["references"] == 200
+        assert report["unique_blocks"] == 50
+        assert report["sequentiality"] > 0.9
+        assert 0.0 <= report["first_access_share"] <= 1.0
+        assert "hit_rate_by_cache" in report
+        assert "prediction_accuracy" in report
+
+    def test_distinguishes_workload_shapes(self):
+        """CAD-like (no runs, repetitive) vs sitar-like (sequential)."""
+        from repro.traces.synthetic import make_trace
+
+        cad = characterise(make_trace("cad", num_references=5000).as_list(),
+                           max_depth=512)
+        sitar = characterise(
+            make_trace("sitar", num_references=5000).as_list(), max_depth=512
+        )
+        assert sitar["sequentiality"] > cad["sequentiality"] + 0.3
+        assert sitar["mean_run_length"] > cad["mean_run_length"]

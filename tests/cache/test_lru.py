@@ -1,0 +1,137 @@
+"""Unit tests for the LRU cache."""
+
+import pytest
+
+from repro.cache.lru import LRUCache
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        c = LRUCache(4)
+        c.insert(1)
+        assert 1 in c
+        assert 2 not in c
+        assert len(c) == 1
+
+    def test_capacity_eviction(self):
+        c = LRUCache(2)
+        c.insert(1)
+        c.insert(2)
+        victim = c.insert(3)
+        assert victim == (1, None)
+        assert 1 not in c and 2 in c and 3 in c
+
+    def test_access_refreshes_recency(self):
+        c = LRUCache(2)
+        c.insert(1)
+        c.insert(2)
+        assert c.access(1)
+        victim = c.insert(3)
+        assert victim == (2, None)  # 2 became LRU after 1 was touched
+
+    def test_access_counts(self):
+        c = LRUCache(2)
+        c.insert(1)
+        assert c.access(1)
+        assert not c.access(9)
+        assert c.hits == 1 and c.misses == 1
+        assert c.hit_rate == pytest.approx(0.5)
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_access_does_not_insert_on_miss(self):
+        c = LRUCache(2)
+        assert not c.access(5)
+        assert 5 not in c
+
+    def test_contains_does_not_count(self):
+        c = LRUCache(2)
+        c.insert(1)
+        _ = 1 in c
+        assert c.hits == 0 and c.misses == 0
+
+    def test_values(self):
+        c = LRUCache(2)
+        c.insert(1, "meta")
+        assert c.peek(1) == "meta"
+        c.insert(1, "meta2")  # refresh updates value
+        assert c.peek(1) == "meta2"
+        assert len(c) == 1
+
+
+class TestEvictionProtocol:
+    def test_lru_block(self):
+        c = LRUCache(3)
+        for b in (1, 2, 3):
+            c.insert(b)
+        assert c.lru_block() == 1
+        assert c.mru_block() == 3
+
+    def test_evict_lru(self):
+        c = LRUCache(3)
+        for b in (1, 2, 3):
+            c.insert(b)
+        assert c.evict_lru() == (1, None)
+        assert c.evictions == 1
+        assert len(c) == 2
+
+    def test_evict_empty(self):
+        assert LRUCache(2).evict_lru() is None
+
+    def test_remove_and_discard(self):
+        c = LRUCache(3)
+        c.insert(1, "x")
+        assert c.remove(1) == "x"
+        with pytest.raises(KeyError):
+            c.remove(1)
+        assert not c.discard(1)
+        c.insert(2)
+        assert c.discard(2)
+
+    def test_blocks_lru_to_mru(self):
+        c = LRUCache(4)
+        for b in (1, 2, 3):
+            c.insert(b)
+        c.access(1)
+        assert list(c.blocks_lru_to_mru()) == [2, 3, 1]
+
+    def test_touch(self):
+        c = LRUCache(2)
+        c.insert(1)
+        c.insert(2)
+        assert c.touch(1)
+        assert not c.touch(99)
+        assert c.hits == 0  # touch doesn't count
+        assert c.insert(3) == (2, None)
+
+
+class TestResize:
+    def test_shrink_evicts(self):
+        c = LRUCache(4)
+        for b in range(4):
+            c.insert(b)
+        victims = c.resize(2)
+        assert [b for b, _ in victims] == [0, 1]
+        assert len(c) == 2
+
+    def test_grow(self):
+        c = LRUCache(1)
+        c.insert(1)
+        assert c.resize(3) == []
+        c.insert(2)
+        c.insert(3)
+        assert len(c) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+        with pytest.raises(ValueError):
+            LRUCache(2).resize(-1)
+
+
+class TestZeroCapacity:
+    def test_always_misses(self):
+        c = LRUCache(0)
+        assert c.insert(1) is None
+        assert 1 not in c
+        assert not c.access(1)
+        assert c.is_full

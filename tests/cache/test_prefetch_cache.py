@@ -1,0 +1,151 @@
+"""Unit tests for the prefetch cache and its Eq. 11 eviction costs."""
+
+import math
+
+import pytest
+
+from repro.cache.prefetch_cache import OVERDUE_DECAY, PrefetchCache, PrefetchEntry
+from repro.core import costbenefit
+from repro.params import PAPER_PARAMS
+
+
+def entry(block, p=0.5, depth=1, period=0, arrival=0.0, tag="tree"):
+    return PrefetchEntry(
+        block=block,
+        probability=p,
+        depth=depth,
+        issue_period=period,
+        arrival_time=arrival,
+        tag=tag,
+    )
+
+
+class TestEntry:
+    def test_remaining_depth(self):
+        e = entry(1, depth=3, period=10)
+        assert e.remaining_depth(10) == 3
+        assert e.remaining_depth(12) == 1
+        assert e.remaining_depth(15) == 0
+
+    def test_effective_probability_decays_when_overdue(self):
+        e = entry(1, p=0.8, depth=2, period=0)
+        assert e.effective_probability(2) == pytest.approx(0.8)
+        assert e.effective_probability(3) == pytest.approx(0.8 * OVERDUE_DECAY)
+        assert e.effective_probability(5) == pytest.approx(
+            0.8 * OVERDUE_DECAY**3
+        )
+
+
+class TestInsertTakeEvict:
+    def test_insert_and_get(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        pc.insert(entry(1))
+        assert 1 in pc
+        assert pc.get(1).block == 1
+        assert len(pc) == 1
+        assert pc.inserted == 1
+
+    def test_full_insert_raises(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=1)
+        pc.insert(entry(1))
+        assert pc.is_full
+        with pytest.raises(RuntimeError):
+            pc.insert(entry(2))
+
+    def test_duplicate_insert_raises(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        pc.insert(entry(1))
+        with pytest.raises(ValueError):
+            pc.insert(entry(1))
+
+    def test_take_counts_hit(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        pc.insert(entry(1))
+        e = pc.take(1)
+        assert e.block == 1
+        assert pc.hits == 1
+        assert 1 not in pc
+
+    def test_evict_counts_unreferenced(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        pc.insert(entry(1))
+        pc.evict(1)
+        assert pc.evicted_unreferenced == 1
+        assert pc.hits == 0
+
+    def test_refresh(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        pc.insert(entry(1, p=0.2, depth=1, period=0))
+        assert pc.refresh(1, probability=0.9, depth=2, current_period=5)
+        e = pc.get(1)
+        assert e.probability == 0.9
+        assert e.depth == 2
+        assert e.issue_period == 5
+        assert not pc.refresh(99, 0.5, 1, 5)
+
+    def test_tag_counts(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=8)
+        pc.insert(entry(1, tag="nl"))
+        pc.insert(entry(2, tag="nl"))
+        pc.insert(entry(3, tag="tree"))
+        assert pc.tag_count("nl") == 2
+        assert pc.tag_count("tree") == 1
+        pc.take(1)
+        assert pc.tag_count("nl") == 1
+        pc.evict(2)
+        assert pc.tag_count("nl") == 0
+        assert pc.tag_count("never") == 0
+
+
+class TestEvictionCosts:
+    def test_cost_matches_equation(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        e = entry(1, p=0.5, depth=3, period=0)
+        cost = pc.eviction_cost(e, current_period=0, s=1.0)
+        expected = costbenefit.cost_prefetch_eviction(PAPER_PARAMS, 0.5, 3, 1.0)
+        assert cost == pytest.approx(expected)
+
+    def test_min_cost_entry_matches_eviction_cost(self):
+        """The inlined scan must agree with the public per-entry cost."""
+        pc = PrefetchCache(PAPER_PARAMS, capacity=8)
+        for i, (p, depth, period) in enumerate(
+            [(0.9, 1, 5), (0.1, 1, 5), (0.5, 4, 3), (0.7, 2, 0)]
+        ):
+            pc.insert(entry(i, p=p, depth=depth, period=period))
+        best, cost = pc.min_cost_entry(current_period=6, s=1.0)
+        brute = min(
+            (pc.eviction_cost(e, 6, 1.0), e.block) for e in pc
+        )
+        assert cost == pytest.approx(brute[0])
+        assert best.block == brute[1]
+
+    def test_overdue_blocks_become_cheap(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        pc.insert(entry(1, p=0.9, depth=1, period=0))   # overdue at t=10
+        pc.insert(entry(2, p=0.3, depth=1, period=10))  # fresh
+        best, _ = pc.min_cost_entry(current_period=10, s=1.0)
+        assert best.block == 1
+
+    def test_empty_cache(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=4)
+        assert pc.min_cost_entry(0, 1.0) is None
+
+    def test_costs_finite_and_nonnegative(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=16)
+        for i in range(10):
+            pc.insert(entry(i, p=0.1 * (i % 9 + 1), depth=i % 4 + 1, period=i))
+        _, cost = pc.min_cost_entry(current_period=8, s=0.5)
+        assert 0.0 <= cost < math.inf
+
+    def test_resize(self):
+        pc = PrefetchCache(PAPER_PARAMS, capacity=1)
+        pc.insert(entry(1))
+        pc.resize(3)
+        pc.insert(entry(2))
+        assert len(pc) == 2
+        with pytest.raises(ValueError):
+            pc.resize(-1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchCache(PAPER_PARAMS, capacity=-1)

@@ -1,0 +1,100 @@
+"""Unit tests for prefetch-candidate enumeration."""
+
+import pytest
+
+from repro.core.candidates import Candidate, best_candidates, iter_candidates
+from repro.core.tree import PrefetchTree
+
+
+def figure1_tree():
+    tree = PrefetchTree()
+    tree.record_all(["a", "a", "c", "a", "b", "a", "b", "a", "a", "b", "b", "b"])
+    assert tree.current is tree.root
+    return tree
+
+
+class TestIterCandidates:
+    def test_depth1_probabilities(self):
+        tree = figure1_tree()
+        cands = {c.block: c for c in iter_candidates(tree, max_depth=1)}
+        assert cands["a"].probability == pytest.approx(5 / 6)
+        assert cands["b"].probability == pytest.approx(1 / 6)
+        assert all(c.depth == 1 for c in cands.values())
+        assert all(c.parent_probability == 1.0 for c in cands.values())
+
+    def test_depth2_path_products(self):
+        tree = figure1_tree()
+        cands = list(iter_candidates(tree, max_depth=2, min_probability=1e-6))
+        # Figure 1's d_c = 2 candidate: P(a then c) = 5/6 * 1/5 = 1/6.
+        c = next(
+            x for x in cands
+            if x.block == "c" and x.depth == 2
+        )
+        assert c.probability == pytest.approx(1 / 6)
+        assert c.parent_probability == pytest.approx(5 / 6)
+        assert c.parent_block == "a"
+
+    def test_best_first_order(self):
+        tree = figure1_tree()
+        probs = [c.probability for c in iter_candidates(tree, max_depth=3,
+                                                        min_probability=1e-6)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_min_probability_prunes(self):
+        tree = figure1_tree()
+        cands = list(iter_candidates(tree, max_depth=3, min_probability=0.5))
+        assert all(c.probability >= 0.5 for c in cands)
+
+    def test_empty_tree_yields_nothing(self):
+        tree = PrefetchTree()
+        assert list(iter_candidates(tree)) == []
+
+    def test_start_node_override(self):
+        tree = figure1_tree()
+        a = tree.root.children["a"]
+        cands = {c.block for c in iter_candidates(tree, max_depth=1, start=a)}
+        assert cands == {"b", "c"}
+
+    def test_invalid_args(self):
+        tree = figure1_tree()
+        with pytest.raises(ValueError):
+            list(iter_candidates(tree, max_depth=0))
+        with pytest.raises(ValueError):
+            list(iter_candidates(tree, min_probability=0.0))
+
+
+class TestBestCandidates:
+    def test_dedup_keeps_best(self):
+        tree = PrefetchTree()
+        # Block 2 reachable at depth 1 (p=2/3... exact values unimportant)
+        tree.record_all([1, 1, 2, 2, 1, 2])
+        cands = best_candidates(tree, max_depth=3, min_probability=1e-6)
+        blocks = [c.block for c in cands]
+        assert len(blocks) == len(set(blocks))
+
+    def test_max_candidates_cap(self):
+        tree = PrefetchTree()
+        tree.record_all(list(range(40)))
+        cands = best_candidates(tree, max_candidates=5, min_probability=1e-6)
+        assert len(cands) <= 5
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            best_candidates(figure1_tree(), max_candidates=0)
+
+
+class TestCandidateValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Candidate(block=1, probability=1.5, depth=1,
+                      parent_probability=1.0, parent_block=None)
+
+    def test_depth_bounds(self):
+        with pytest.raises(ValueError):
+            Candidate(block=1, probability=0.5, depth=0,
+                      parent_probability=1.0, parent_block=None)
+
+    def test_parent_probability_dominates(self):
+        with pytest.raises(ValueError):
+            Candidate(block=1, probability=0.9, depth=2,
+                      parent_probability=0.5, parent_block=2)

@@ -1,0 +1,107 @@
+"""Unit tests for the online estimators (s, h, windowed rates)."""
+
+import pytest
+
+from repro.core.estimators import (
+    EwmaRate,
+    PrefetchHitRatioEstimator,
+    PrefetchRateEstimator,
+    WindowedRate,
+)
+
+
+class TestEwmaRate:
+    def test_initial_value(self):
+        e = EwmaRate(alpha=0.1, initial=2.0)
+        assert e.value == 2.0
+
+    def test_first_observation_snaps(self):
+        e = EwmaRate(alpha=0.1, initial=5.0)
+        e.observe(1.0)
+        assert e.value == 1.0
+
+    def test_smoothing(self):
+        e = EwmaRate(alpha=0.5)
+        e.observe(0.0)
+        e.observe(4.0)
+        assert e.value == pytest.approx(2.0)
+
+    def test_converges_to_constant(self):
+        e = EwmaRate(alpha=0.2)
+        for _ in range(200):
+            e.observe(3.0)
+        assert e.value == pytest.approx(3.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaRate(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaRate(alpha=1.5)
+
+
+class TestPrefetchRateEstimator:
+    def test_lifetime_mean(self):
+        est = PrefetchRateEstimator()
+        for n in (2, 0, 4):
+            est.end_period(n)
+        assert est.lifetime_mean == pytest.approx(2.0)
+        assert est.periods == 3
+
+    def test_s_tracks_recent(self):
+        est = PrefetchRateEstimator(alpha=0.5)
+        for _ in range(50):
+            est.end_period(2)
+        assert est.s == pytest.approx(2.0, abs=1e-6)
+
+    def test_negative_rejected(self):
+        est = PrefetchRateEstimator()
+        with pytest.raises(ValueError):
+            est.end_period(-1)
+
+    def test_empty(self):
+        est = PrefetchRateEstimator(initial=1.0)
+        assert est.lifetime_mean == 0.0
+        assert est.s == 1.0
+
+
+class TestPrefetchHitRatioEstimator:
+    def test_ratio(self):
+        est = PrefetchHitRatioEstimator()
+        for _ in range(3):
+            est.record_hit()
+        est.record_miss()
+        assert est.h == pytest.approx(0.75)
+        assert est.resolved == 4
+
+    def test_empty(self):
+        assert PrefetchHitRatioEstimator().h == 0.0
+
+
+class TestWindowedRate:
+    def test_basic_rate(self):
+        w = WindowedRate(window=10)
+        for flag in [True, False, True, True]:
+            w.observe(flag)
+        assert w.rate == pytest.approx(0.75)
+        assert len(w) == 4
+
+    def test_window_rolls(self):
+        w = WindowedRate(window=4)
+        for _ in range(4):
+            w.observe(True)
+        for _ in range(4):
+            w.observe(False)
+        assert w.rate == 0.0
+
+    def test_partial_roll(self):
+        w = WindowedRate(window=4)
+        for flag in [True, True, True, True, False]:
+            w.observe(flag)
+        assert w.rate == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert WindowedRate().rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window=0)

@@ -1,0 +1,65 @@
+"""Unit tests for TreeNode."""
+
+import pytest
+
+from repro.core.node import TreeNode
+
+
+def chain(*blocks):
+    """Build a root -> b1 -> b2 ... chain; returns (root, leaf)."""
+    root = TreeNode(block=None, parent=None)
+    node = root
+    for b in blocks:
+        child = TreeNode(block=b, parent=node)
+        node.children[b] = child
+        node = child
+    return root, node
+
+
+class TestStructure:
+    def test_root_flags(self):
+        root, leaf = chain(1, 2)
+        assert root.is_root and not leaf.is_root
+        assert leaf.is_leaf and not root.is_leaf
+
+    def test_depth(self):
+        root, leaf = chain(1, 2, 3)
+        assert root.depth() == 0
+        assert leaf.depth() == 3
+
+    def test_path_blocks(self):
+        _, leaf = chain("a", "b", "c")
+        assert leaf.path_blocks() == ["a", "b", "c"]
+        root, _ = chain()
+        assert root.path_blocks() == []
+
+    def test_iter_descendants(self):
+        root, _ = chain(1, 2)
+        extra = TreeNode(block=9, parent=root)
+        root.children[9] = extra
+        blocks = {n.block for n in root.iter_descendants()}
+        assert blocks == {1, 2, 9}
+
+    def test_subtree_size(self):
+        root, _ = chain(1, 2, 3)
+        assert root.subtree_size() == 4
+        assert root.children[1].subtree_size() == 3
+
+
+class TestProbability:
+    def test_child_probability(self):
+        root, _ = chain(1)
+        root.weight = 4
+        root.children[1].weight = 3
+        assert root.child_probability(1) == pytest.approx(0.75)
+
+    def test_missing_child_zero(self):
+        root, _ = chain(1)
+        assert root.child_probability(42) == 0.0
+
+    def test_new_node_defaults(self):
+        node = TreeNode(block=5, parent=None)
+        assert node.weight == 1
+        assert node.children == {}
+        assert node.last_visited_child is None
+        assert node.heavy is None

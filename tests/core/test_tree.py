@@ -1,0 +1,235 @@
+"""Unit tests for the LZ prefetch tree, including the paper's Figure 1."""
+
+import pytest
+
+from repro.core.tree import PrefetchTree
+
+
+def feed(tree, blocks):
+    for b in blocks:
+        tree.record_access(b)
+
+
+class TestFigure1:
+    """The worked example of Section 2: accesses (a)(ac)(ab)(aba)(abb)(b)."""
+
+    ACCESSES = ["a", "a", "c", "a", "b", "a", "b", "a", "a", "b", "b", "b"]
+
+    def build(self):
+        tree = PrefetchTree()
+        feed(tree, self.ACCESSES)
+        return tree
+
+    def test_substring_parse(self):
+        tree = self.build()
+        # Six substrings: (a)(ac)(ab)(aba)(abb)(b)
+        assert tree.stats.substrings == 6
+        assert tree.root.weight == 6
+
+    def test_node_weights(self):
+        tree = self.build()
+        a = tree.root.children["a"]
+        b_root = tree.root.children["b"]
+        assert a.weight == 5
+        assert b_root.weight == 1
+        assert a.children["c"].weight == 1
+        ab = a.children["b"]
+        assert ab.weight == 3
+        assert ab.children["a"].weight == 1
+        assert ab.children["b"].weight == 1
+
+    def test_node_count(self):
+        tree = self.build()
+        # Nodes: a, c, b(under a), a(under ab), b(under ab), b(under root)
+        assert tree.node_count == 6
+
+    def test_edge_probabilities(self):
+        tree = self.build()
+        # "the probability of accessing nodes a and b from the root" = 5/6, 1/6
+        assert tree.root.child_probability("a") == pytest.approx(5 / 6)
+        assert tree.root.child_probability("b") == pytest.approx(1 / 6)
+
+    def test_path_probability_figure1(self):
+        """Paper: P(a then c from root) = 5/6 * 1/5 = 1/6."""
+        tree = self.build()
+        assert tree.current is tree.root
+        assert tree.path_probability(["a", "c"]) == pytest.approx(1 / 6)
+
+    def test_after_accessing_b_from_root(self):
+        """Figure 1(b): accessing b from the root increments its weight."""
+        tree = self.build()
+        tree.record_access("b")
+        assert tree.root.weight == 7
+        assert tree.root.children["b"].weight == 2
+        assert tree.current is tree.root.children["b"]
+
+    def test_invariants(self):
+        tree = self.build()
+        tree.check_invariants()
+
+
+class TestParseMechanics:
+    def test_empty_tree(self):
+        tree = PrefetchTree()
+        assert tree.node_count == 0
+        assert tree.next_probabilities() == []
+        assert not tree.is_predictable(1)
+        assert tree.last_visited_child() is None
+
+    def test_first_access_creates_root_child(self):
+        tree = PrefetchTree()
+        out = tree.record_access(7)
+        assert out.created_node
+        assert not out.predictable
+        assert out.at_root
+        assert tree.node_count == 1
+        assert tree.current is tree.root
+
+    def test_repeat_access_traverses(self):
+        tree = PrefetchTree()
+        tree.record_access(7)
+        out = tree.record_access(7)
+        assert out.predictable
+        assert not out.created_node
+        assert out.probability == pytest.approx(1.0)
+        assert tree.current is tree.root.children[7]
+
+    def test_probability_measured_before_update(self):
+        tree = PrefetchTree()
+        feed(tree, [1, 1, 2, 3])  # substrings (1)(12)(3); pointer back at root
+        # At root (weight 3), child 1 has weight 2 before this access.
+        out = tree.record_access(1)
+        assert out.probability == pytest.approx(2 / 3)
+
+    def test_weights_never_exceed_parent(self):
+        tree = PrefetchTree()
+        feed(tree, [1, 2, 3] * 50 + [4, 5] * 30)
+        tree.check_invariants()
+
+    def test_sequential_run_becomes_predictable(self):
+        """Re-scanned sequential runs are what the tree must learn."""
+        tree = PrefetchTree()
+        run = list(range(100, 120))
+        for _ in range(12):
+            feed(tree, run)
+        stats = tree.stats
+        assert stats.prediction_accuracy > 0.6
+
+    def test_record_all_matches_loop(self):
+        t1, t2 = PrefetchTree(), PrefetchTree()
+        seq = [1, 2, 1, 2, 3, 1, 2, 3, 4]
+        t1.record_all(seq)
+        feed(t2, seq)
+        assert t1.root.weight == t2.root.weight
+        assert t1.node_count == t2.node_count
+
+
+class TestPredictabilityAndLvc:
+    def test_lvc_tracking(self):
+        tree = PrefetchTree()
+        feed(tree, [1, 2])        # (1)(2): both root children
+        out = tree.record_access(1)
+        # Root's last visited child was 2; this access is 1 -> no repeat.
+        assert out.lvc_available
+        assert not out.lvc_repeat
+        out = tree.record_access(9)  # at node 1; lvc of node 1 unset
+        assert not out.lvc_available
+
+    def test_lvc_repeat(self):
+        tree = PrefetchTree()
+        feed(tree, [1])  # root's last visited child is now 1; pointer at root
+        out = tree.record_access(1)
+        assert out.lvc_available and out.lvc_repeat
+
+    def test_nonroot_lvc_counters(self):
+        tree = PrefetchTree()
+        # Build (1)(12)(12...) so that deep visits happen at node 1.
+        feed(tree, [1, 1, 2, 1, 2])
+        s = tree.stats
+        assert s.lvc_opportunities_nonroot <= s.lvc_opportunities
+        assert s.lvc_repeats_nonroot <= s.lvc_repeats
+
+    def test_next_probabilities_sorted(self):
+        tree = PrefetchTree()
+        feed(tree, [1, 1, 2, 1, 2, 1, 3])
+        probs = tree.next_probabilities()
+        values = [p for _, p in probs]
+        assert values == sorted(values, reverse=True)
+        assert sum(values) <= 1.0 + 1e-9
+
+
+class TestNodeBudget:
+    def test_budget_enforced(self):
+        tree = PrefetchTree(max_nodes=16)
+        feed(tree, list(range(200)))
+        assert tree.node_count <= 16
+        tree.check_invariants()
+
+    def test_eviction_counts(self):
+        tree = PrefetchTree(max_nodes=8)
+        feed(tree, list(range(50)))
+        assert tree.stats.nodes_evicted >= 42
+        assert tree.stats.nodes_created == 50
+
+    def test_budget_keeps_recent(self):
+        tree = PrefetchTree(max_nodes=4)
+        feed(tree, [1, 2, 3, 4, 5, 6, 7, 8])
+        # The most recent root children must survive.
+        assert 8 in tree.root.children
+
+    def test_unbounded_by_default(self):
+        tree = PrefetchTree()
+        feed(tree, list(range(1000)))
+        assert tree.node_count == 1000
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            PrefetchTree(max_nodes=0)
+
+    def test_memory_bytes(self):
+        tree = PrefetchTree()
+        feed(tree, list(range(10)))
+        assert tree.memory_bytes() == 10 * 40
+        assert tree.memory_bytes(bytes_per_node=26) == 260
+
+    def test_current_pointer_survives_eviction(self):
+        """Evicting the subtree holding the parse pointer resets to root."""
+        tree = PrefetchTree(max_nodes=2)
+        feed(tree, list(range(100)))
+        # Pointer is always valid: either root or a live node.
+        node = tree.current
+        while node.parent is not None:
+            node = node.parent
+        assert node is tree.root
+        tree.check_invariants()
+
+
+class TestHeavyChildren:
+    def test_relevant_children_small_node(self):
+        tree = PrefetchTree()
+        feed(tree, [1, 2, 3])
+        items = dict(tree.iter_relevant_children(tree.root))
+        assert set(items) == {1, 2, 3}
+
+    def test_relevant_children_covers_heavy(self):
+        """All children above the 1/1024 floor must be reported at hubs."""
+        tree = PrefetchTree()
+        # 100 distinct root children, then re-visit a few heavily.
+        feed(tree, list(range(100)))
+        for _ in range(50):
+            feed(tree, [0, 999])  # (0 999) substrings revisit child 0
+        items = dict(tree.iter_relevant_children(tree.root))
+        heavy = {
+            b
+            for b, c in tree.root.children.items()
+            if c.weight * 1024 >= tree.root.weight
+        }
+        assert heavy <= set(items)
+
+    def test_relevant_children_hub(self):
+        tree = PrefetchTree()
+        feed(tree, list(range(500)))  # root becomes a hub
+        for _ in range(20):
+            feed(tree, [42, 10_000])
+        items = dict(tree.iter_relevant_children(tree.root))
+        assert 42 in items

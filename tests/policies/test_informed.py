@@ -1,0 +1,109 @@
+"""Tests for the informed-prefetching (TIP) reference policy."""
+
+import pytest
+
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.informed import InformedPolicy
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator, simulate
+
+
+def run(trace, cache, params=PAPER_PARAMS, **kwargs):
+    return simulate(params, make_policy("informed", **kwargs), trace, cache)
+
+
+class TestConstruction:
+    def test_registered(self):
+        assert isinstance(make_policy("informed"), InformedPolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InformedPolicy(lookahead_slack=-1)
+
+    def test_self_hints_from_trace(self):
+        trace = [1, 2, 3, 4]
+        sim = Simulator(PAPER_PARAMS, make_policy("informed"), 8)
+        sim.run(trace)
+        assert sim.policy.hints == trace
+
+    def test_explicit_hints_kept(self):
+        policy = InformedPolicy(hints=[9, 8, 7])
+        sim = Simulator(PAPER_PARAMS, policy, 8)
+        sim.run([9, 8, 7])
+        assert policy.hints == [9, 8, 7]
+
+
+class TestUpperBound:
+    def test_near_zero_misses_on_any_stream(self):
+        """With perfect hints and no disk congestion, only the first access
+        can miss (everything else is prefetched exactly in time)."""
+        import random
+
+        rng = random.Random(1)
+        trace = [rng.randrange(100_000) for _ in range(2000)]
+        stats = run(trace, 64)
+        assert stats.misses <= 5
+        assert stats.extra["hint_mismatches"] == 0
+        assert stats.extra["hints_consumed"] == len(trace)
+
+    def test_dominates_every_other_policy(self):
+        from repro.traces.synthetic import make_trace
+
+        trace = make_trace("snake", num_references=8000).as_list()
+        informed = run(trace, 256)
+        for other in ("no-prefetch", "next-limit", "tree", "perfect-selector"):
+            stats = simulate(PAPER_PARAMS, make_policy(other), trace, 256)
+            assert informed.miss_rate <= stats.miss_rate + 1e-9, other
+
+    def test_prefetches_are_used(self):
+        trace = list(range(500))
+        stats = run(trace, 64)
+        # Deterministic hints: essentially every prefetch is consumed.
+        assert stats.prefetch_cache_hit_rate > 95.0
+
+    def test_stalls_with_tiny_tcpu(self):
+        """When compute cannot hide T_disk, even TIP stalls (Eq. 6 floor)."""
+        params = SystemParams(t_cpu=0.01)
+        trace = list(range(1000))
+        stats = run(trace, 64, params=params)
+        assert stats.stall_time > 0.0
+
+    def test_deeper_lookahead_reduces_stall_at_tiny_tcpu(self):
+        params = SystemParams(t_cpu=0.01)
+        trace = list(range(1000))
+        shallow = run(trace, 64, params=params, lookahead_slack=0)
+        deep = run(trace, 64, params=params, lookahead_slack=12)
+        assert deep.stall_time <= shallow.stall_time + 1e-6
+
+
+class TestHintMismatch:
+    def test_resync_on_imperfect_hints(self):
+        # Hints miss one access that actually happens.
+        actual = [1, 2, 99, 3, 4, 5, 6]
+        policy = InformedPolicy(hints=[1, 2, 3, 4, 5, 6])
+        stats = simulate(PAPER_PARAMS, policy, actual, 8)
+        stats.check_conservation()
+        # 99 is a mismatch but the stream re-syncs at 3.
+        assert stats.extra["hints_consumed"] == 6
+
+    def test_mismatch_counter(self):
+        policy = InformedPolicy(hints=[1, 2, 3])
+        stats = simulate(PAPER_PARAMS, policy, [500, 600, 700], 8)
+        assert stats.extra["hint_mismatches"] == 3
+
+
+class TestMaxLookahead:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InformedPolicy(max_lookahead=0)
+
+    def test_caps_pipeline_depth(self):
+        """With depth capped at 1 and an I/O-bound CPU, every prefetch
+        arrives late: stall per prefetched block ~ T_disk - T_cpu-ish."""
+        params = SystemParams(t_cpu=1.0)
+        trace = list(range(2000))
+        capped = run(trace, 64, params=params, max_lookahead=1)
+        free = run(trace, 64, params=params, lookahead_slack=8)
+        assert capped.stall_time > free.stall_time
+        per_hit = capped.stall_time / max(capped.prefetch_hits, 1)
+        assert per_hit > 10.0  # most of T_disk = 15 ms is exposed

@@ -1,0 +1,149 @@
+"""Unit/behavioural tests for the individual prefetching policies."""
+
+import random
+
+import pytest
+
+from repro.params import PAPER_PARAMS
+from repro.policies.next_limit import NL_TAG, partition_cap
+from repro.policies.registry import make_policy, policy_names
+from repro.sim.engine import Simulator, simulate
+
+P = PAPER_PARAMS
+
+
+def run(policy_name, trace, cache_size, **policy_kwargs):
+    return simulate(P, make_policy(policy_name, **policy_kwargs), trace, cache_size)
+
+
+class TestRegistry:
+    def test_all_paper_policies_present(self):
+        names = set(policy_names())
+        assert {
+            "no-prefetch", "next-limit", "tree", "tree-next-limit",
+            "tree-threshold", "tree-children", "tree-lvc", "perfect-selector",
+        } <= names
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nope")
+
+    def test_kwargs_forwarded(self):
+        p = make_policy("tree-threshold", threshold=0.1)
+        assert p.threshold == 0.1
+        p = make_policy("tree", max_tree_nodes=128)
+        assert p.tree.max_nodes == 128
+
+    def test_fresh_instances(self):
+        assert make_policy("tree") is not make_policy("tree")
+
+
+class TestPartitionCaps:
+    def test_partition_cap_function(self):
+        assert partition_cap(100) == 10
+        assert partition_cap(5) == 1  # at least one buffer
+
+    def test_no_prefetch_partition_zero(self):
+        sim = Simulator(P, make_policy("no-prefetch"), 50)
+        assert sim.cache.prefetch.capacity == 0
+
+    def test_tree_shares_whole_pool(self):
+        sim = Simulator(P, make_policy("tree"), 50)
+        assert sim.cache.prefetch.capacity == 50
+
+    def test_tree_next_limit_caps_nl_tag_only(self):
+        """The 10% rule binds one-block-lookahead blocks, not tree blocks."""
+        sim = Simulator(P, make_policy("tree-next-limit"), 40)
+        assert sim.cache.prefetch.capacity == 40  # pool shared...
+        sim.run(list(range(400)))
+        # ...but lookahead residents never exceed 10% of the cache.
+        assert sim.cache.prefetch.tag_count(NL_TAG) <= partition_cap(40)
+
+
+class TestTreeThreshold:
+    def test_high_threshold_prefetches_little(self):
+        rng = random.Random(2)
+        trace = [rng.randrange(50) for _ in range(1000)]
+        lo = run("tree-threshold", trace, 32, threshold=0.01)
+        hi = run("tree-threshold", trace, 32, threshold=0.9)
+        assert hi.prefetches_issued <= lo.prefetches_issued
+
+    def test_respects_threshold(self):
+        pattern = [1, 2, 3, 4] * 100
+        stats = run("tree-threshold", pattern, 16, threshold=0.5)
+        # mean probability of issued prefetches can't sit below the threshold
+        if stats.prefetches_issued:
+            assert stats.mean_prefetched_probability >= 0.5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            make_policy("tree-threshold", threshold=0.0)
+        with pytest.raises(ValueError):
+            make_policy("tree-threshold", threshold=1.5)
+
+    def test_extra_records_threshold(self):
+        stats = run("tree-threshold", [1, 2] * 50, 16, threshold=0.05)
+        assert stats.extra["threshold"] == 0.05
+
+
+class TestTreeChildren:
+    def test_child_count_bounds_prefetching(self):
+        rng = random.Random(4)
+        trace = [rng.randrange(30) for _ in range(1500)]
+        one = run("tree-children", trace, 64, num_children=1)
+        five = run("tree-children", trace, 64, num_children=5)
+        assert one.prefetches_issued <= five.prefetches_issued
+        # k=1 can never issue more than one prefetch per access.
+        assert one.prefetches_issued <= one.accesses
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            make_policy("tree-children", num_children=0)
+
+    def test_extra_records_count(self):
+        stats = run("tree-children", [1, 2] * 50, 16, num_children=3)
+        assert stats.extra["num_children"] == 3
+
+
+class TestTreeLvc:
+    def test_tracks_lvc_issues(self):
+        pattern = list(range(40))
+        stats = run("tree-lvc", pattern * 20, 16)
+        assert "lvc_issued" in stats.extra
+        assert "lvc_already_cached_at_issue" in stats.extra
+
+    def test_close_to_tree_when_lvc_cached(self):
+        """Section 9.6: when the working set fits, LVCs are cached and
+        tree-lvc degenerates to tree."""
+        pattern = [1, 2, 3, 4, 5]
+        trace = pattern * 60
+        tree = run("tree", trace, 32)
+        lvc = run("tree-lvc", trace, 32)
+        assert lvc.miss_rate == pytest.approx(tree.miss_rate, abs=1.0)
+
+
+class TestNextLimitObserve:
+    def test_no_rearm_after_demand_hit(self):
+        """A demand-cache hit must not trigger lookahead (data was resident)."""
+        trace = [1, 1, 1, 1]
+        stats = run("next-limit", trace, 8)
+        # Only the initial miss arms the lookahead: one prefetch of block 2.
+        assert stats.prefetches_issued == 1
+
+    def test_non_integer_blocks_ignored(self):
+        stats = run("next-limit", ["x", "y", "x"], 8)
+        assert stats.prefetches_issued == 0
+
+
+class TestObserveStats:
+    def test_fig14_instrumentation(self):
+        """predictable_uncached must count predictable misses only."""
+        pattern = [1, 2, 3, 4, 5]
+        stats = run("tree", pattern * 50, 32)
+        # Working set fits: after warmup predictable accesses are all cached.
+        assert stats.predictable_uncached_rate < 10.0
+
+    def test_fig16_instrumentation(self):
+        pattern = [1, 2, 3, 4, 5]
+        stats = run("tree", pattern * 50, 32)
+        assert stats.lvc_cached_rate > 80.0

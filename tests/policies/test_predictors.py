@@ -1,0 +1,193 @@
+"""Tests for the pluggable predictors and the generic cost-benefit policy."""
+
+import random
+
+import pytest
+
+from repro.params import PAPER_PARAMS
+from repro.policies.predictor import PredictorPolicy
+from repro.policies.registry import make_policy
+from repro.predictors import PREDICTORS, make_predictor
+from repro.predictors.graph import ProbabilityGraphPredictor
+from repro.predictors.lz import LZPredictor
+from repro.predictors.markov import LastSuccessorPredictor, MarkovPredictor
+from repro.predictors.ppm import PPMPredictor
+from repro.sim.engine import simulate
+
+CYCLE = [1, 7, 3, 9, 5]
+
+
+def feed(predictor, blocks):
+    return [predictor.update(b) for b in blocks]
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert set(PREDICTORS) == {
+            "lz", "ppm", "prob-graph", "markov", "last-successor",
+        }
+
+    def test_make_predictor(self):
+        assert isinstance(make_predictor("ppm"), PPMPredictor)
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("crystal-ball")
+
+    def test_kwargs(self):
+        p = make_predictor("ppm", max_order=2)
+        assert p.max_order == 2
+
+
+@pytest.mark.parametrize("name", sorted(PREDICTORS))
+class TestPredictorContract:
+    def test_learns_a_cycle(self, name):
+        p = make_predictor(name)
+        feed(p, CYCLE * 30)
+        outcomes = feed(p, CYCLE * 5)
+        assert sum(outcomes) / len(outcomes) > 0.8
+
+    def test_predictions_valid(self, name):
+        p = make_predictor(name)
+        feed(p, CYCLE * 20)
+        preds = p.predictions()
+        assert preds, name
+        probs = [prob for _, prob in preds]
+        assert all(0.0 < prob <= 1.0 + 1e-9 for prob in probs)
+        assert probs == sorted(probs, reverse=True)
+
+    def test_cycle_successor_is_top_prediction(self, name):
+        p = make_predictor(name)
+        feed(p, CYCLE * 30)
+        # Last update was CYCLE[-1]; the cycle successor is CYCLE[0].
+        top_block, _ = p.predictions()[0]
+        assert top_block == CYCLE[0]
+
+    def test_empty_model_predicts_nothing(self, name):
+        assert make_predictor(name).predictions() == []
+
+    def test_memory_items_grows(self, name):
+        p = make_predictor(name)
+        feed(p, list(range(200)))
+        assert p.memory_items() > 0
+
+
+class TestPPM:
+    def test_higher_order_disambiguates(self):
+        """Order >= 2 separates 'A after X' from 'A after Y'."""
+        p = PPMPredictor(max_order=2, min_probability=1e-4)
+        # X A P ... Y A Q: after (X, A) expect P; after (Y, A) expect Q.
+        feed(p, ["x", "a", "p", "y", "a", "q"] * 40)
+        feed(p, ["x", "a"])
+        top, _ = p.predictions()[0]
+        assert top == "p"
+        feed(p, ["p", "y", "a"])
+        top, _ = p.predictions()[0]
+        assert top == "q"
+
+    def test_context_cap(self):
+        p = PPMPredictor(max_order=2, max_contexts_per_order=16)
+        feed(p, [random.Random(0).randrange(1000) for _ in range(2000)])
+        assert all(len(t) <= 16 for t in p._tables)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPMPredictor(max_order=0)
+        with pytest.raises(ValueError):
+            PPMPredictor(min_probability=0.0)
+
+
+class TestProbabilityGraph:
+    def test_window_catches_interleaved_pairs(self):
+        """a->b holds even when one junk access sits in between."""
+        p = ProbabilityGraphPredictor(lookahead=2, min_probability=1e-4)
+        stream = []
+        for i in range(100):
+            stream.extend(["a", 1000 + i, "b", 2000 + i])
+        feed(p, stream)
+        feed(p, ["a"])
+        assert "b" in dict(p.predictions())
+
+    def test_markov_equivalence_at_window_one(self):
+        rng = random.Random(4)
+        stream = [rng.randrange(8) for _ in range(800)]
+        g = ProbabilityGraphPredictor(lookahead=1, min_probability=1e-6,
+                                      max_successors=64)
+        m = MarkovPredictor(min_probability=1e-6, max_successors=64)
+        feed(g, stream)
+        feed(m, stream)
+        assert dict(g.predictions()) == pytest.approx(dict(m.predictions()))
+
+    def test_node_cap(self):
+        p = ProbabilityGraphPredictor(max_nodes=32)
+        feed(p, list(range(500)))
+        assert len(p._nodes) <= 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilityGraphPredictor(lookahead=0)
+        with pytest.raises(ValueError):
+            ProbabilityGraphPredictor(max_successors=0)
+
+
+class TestLastSuccessor:
+    def test_tracks_repeat_rate(self):
+        p = LastSuccessorPredictor()
+        feed(p, [1, 2] * 10)
+        block, prob = p.predictions()[0]
+        # After ...2, current=2; last successor of 2 is 1.
+        assert prob > 0.8
+
+    def test_switches_successor(self):
+        p = LastSuccessorPredictor()
+        feed(p, [1, 2, 1, 3])
+        feed(p, [1])
+        block, _ = p.predictions()[0]
+        assert block == 3  # most recent successor wins
+
+
+class TestLZAdapter:
+    def test_matches_tree_predictability(self):
+        from repro.core.tree import PrefetchTree
+
+        stream = CYCLE * 40
+        adapter = LZPredictor()
+        outcomes = feed(adapter, stream)
+        tree = PrefetchTree()
+        tree.record_all(stream)
+        assert sum(outcomes) == tree.stats.predictable
+
+
+class TestPredictorPolicy:
+    def test_name_derived(self):
+        policy = PredictorPolicy(PPMPredictor())
+        assert policy.name == "cb-ppm"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictorPolicy(PPMPredictor(), max_candidates=0)
+
+    def test_registry_names(self):
+        for name in ("cb-lz", "cb-ppm", "cb-prob-graph", "cb-markov",
+                     "cb-last-successor"):
+            assert make_policy(name).name == name
+
+    def test_registry_kwargs_forwarded(self):
+        policy = make_policy("cb-ppm", max_order=2, max_candidates=4)
+        assert policy.predictor.max_order == 2
+        assert policy.max_candidates == 4
+
+    def test_end_to_end_conservation(self):
+        trace = CYCLE * 60
+        for name in ("cb-ppm", "cb-prob-graph", "cb-markov"):
+            stats = simulate(PAPER_PARAMS, make_policy(name), trace, 3)
+            stats.check_conservation()
+            assert stats.prefetch_hits > 0  # cycle of 5 > cache of 3
+
+    def test_markov_beats_lz_on_sticky_walks(self):
+        """The known LZ78 weakness: context fragmentation on Markovian
+        streams; conditioning on the current block predicts better."""
+        from repro.traces.synthetic import make_trace
+
+        trace = make_trace("cad", num_references=10_000).as_list()
+        lz = simulate(PAPER_PARAMS, make_policy("cb-lz"), trace, 256)
+        markov = simulate(PAPER_PARAMS, make_policy("cb-markov"), trace, 256)
+        assert markov.miss_rate < lz.miss_rate

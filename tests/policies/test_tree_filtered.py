@@ -1,0 +1,116 @@
+"""Tests for the tree-filtered extension policy (Section 9.2.2 direction)."""
+
+import random
+
+import pytest
+
+from repro.params import PAPER_PARAMS
+from repro.policies.registry import make_policy
+from repro.policies.tree_filtered import TreeFilteredPolicy
+from repro.sim.engine import simulate
+
+
+def run(trace, cache, **kwargs):
+    return simulate(
+        PAPER_PARAMS, make_policy("tree-filtered", **kwargs), trace, cache
+    )
+
+
+class TestConstruction:
+    def test_registered(self):
+        assert isinstance(make_policy("tree-filtered"), TreeFilteredPolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeFilteredPolicy(grace_periods=0)
+        with pytest.raises(ValueError):
+            TreeFilteredPolicy(score_alpha=0.0)
+        with pytest.raises(ValueError):
+            TreeFilteredPolicy(suppress_below=1.5)
+        with pytest.raises(ValueError):
+            TreeFilteredPolicy(min_outcomes=0)
+
+    def test_tree_kwargs_forwarded(self):
+        p = TreeFilteredPolicy(max_tree_nodes=64)
+        assert p.tree.max_nodes == 64
+
+
+class TestFeedback:
+    def test_success_raises_score(self):
+        p = TreeFilteredPolicy(score_alpha=0.5)
+        p._record_outcome(1, success=False)
+        low, _ = p._scores[1]
+        p._record_outcome(1, success=True)
+        high, count = p._scores[1]
+        assert high > low
+        assert count == 2
+
+    def test_suppression_requires_min_outcomes(self):
+        p = TreeFilteredPolicy(score_alpha=1.0, suppress_below=0.5,
+                               min_outcomes=3)
+        p._record_outcome(1, success=False)
+        assert not p._is_suppressed(1)
+        p._record_outcome(1, success=False)
+        p._record_outcome(1, success=False)
+        assert p._is_suppressed(1)
+
+    def test_score_recovers(self):
+        p = TreeFilteredPolicy(score_alpha=1.0, suppress_below=0.5,
+                               min_outcomes=1)
+        p._record_outcome(1, success=False)
+        assert p._is_suppressed(1)
+        p._record_outcome(1, success=True)
+        assert not p._is_suppressed(1)
+
+    def test_expiry_counts_failure(self):
+        p = TreeFilteredPolicy(grace_periods=4, score_alpha=1.0,
+                               min_outcomes=1, suppress_below=0.5)
+        p._pending.append((10, 7))
+        p._pending_blocks[7] = 10
+        p._expire_pending(10)
+        assert 7 not in p._pending_blocks
+        assert p._is_suppressed(7)
+
+
+class TestEndToEnd:
+    def test_stats_extras_present(self):
+        trace = [1, 2, 3, 4] * 100
+        stats = run(trace, 16)
+        assert "filter_suppressed" in stats.extra
+        assert "filter_tracked_blocks" in stats.extra
+        stats.check_conservation()
+
+    def test_never_hurts_much_on_predictable_pattern(self):
+        pattern = list(range(10, 310, 10))
+        trace = pattern * 40
+        tree = simulate(PAPER_PARAMS, make_policy("tree"), trace, 16)
+        filt = run(trace, 16)
+        assert filt.miss_rate <= tree.miss_rate + 5.0
+
+    def test_suppresses_deceptive_pattern(self):
+        """A stale edge (1 -> 2 learned during warmup) keeps proposing a
+        block that never arrives anymore; the filter must shut it off."""
+        trace = [1, 2] * 30  # teach a strong 1 -> 2 edge
+        cold = 10_000
+        for _ in range(100):  # the pattern changes: 2 never follows 1 again
+            trace.append(1)
+            for _ in range(5):
+                trace.append(cold)
+                cold += 7
+        stats = run(trace, 16, grace_periods=3, min_outcomes=2,
+                    suppress_below=0.6)
+        assert stats.extra["filter_suppressed"] > 10
+        # The unfiltered tree keeps re-prefetching the dead edge.
+        tree = simulate(PAPER_PARAMS, make_policy("tree"), trace, 16)
+        assert stats.prefetches_issued < tree.prefetches_issued
+
+    def test_improves_or_matches_prefetch_precision(self):
+        """The filter should not lower the prefetch-cache hit rate."""
+        from repro.traces.synthetic import make_trace
+
+        trace = make_trace("snake", num_references=12_000).as_list()
+        tree = simulate(PAPER_PARAMS, make_policy("tree"), trace, 512)
+        filt = run(trace, 512)
+        assert (
+            filt.prefetch_cache_hit_rate >= tree.prefetch_cache_hit_rate - 2.0
+        )

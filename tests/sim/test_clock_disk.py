@@ -1,0 +1,57 @@
+"""Unit tests for the simulated clock and the disk model."""
+
+import pytest
+
+from repro.params import PAPER_PARAMS
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel
+
+
+class TestClock:
+    def test_categories_sum_to_now(self):
+        c = SimClock()
+        c.charge_compute(50.0)
+        c.charge_hit(0.243)
+        c.charge_driver(0.58)
+        c.charge_demand_fetch(15.0)
+        c.charge_stall(3.0)
+        total = (
+            c.compute_time + c.hit_time + c.driver_time
+            + c.demand_fetch_time + c.stall_time
+        )
+        assert c.now == pytest.approx(total)
+        assert c.now == pytest.approx(68.823)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge_compute(-1.0)
+
+    def test_starts_at_zero(self):
+        c = SimClock()
+        assert c.now == 0.0
+        assert c.stall_time == 0.0
+
+
+class TestDisk:
+    def test_demand_read_completion(self):
+        d = DiskModel(PAPER_PARAMS)
+        assert d.demand_read(100.0) == pytest.approx(115.0)
+        assert d.demand_reads == 1
+
+    def test_prefetch_read_arrival(self):
+        d = DiskModel(PAPER_PARAMS)
+        assert d.prefetch_read(10.0) == pytest.approx(25.0)
+        assert d.prefetch_reads == 1
+
+    def test_traffic_totals(self):
+        d = DiskModel(PAPER_PARAMS)
+        d.demand_read(0.0)
+        d.prefetch_read(0.0)
+        d.prefetch_read(0.0)
+        assert d.total_reads == 3
+
+    def test_unlimited_parallelism(self):
+        """Many in-flight reads never queue: each takes exactly T_disk."""
+        d = DiskModel(PAPER_PARAMS)
+        arrivals = [d.prefetch_read(5.0) for _ in range(100)]
+        assert all(a == pytest.approx(20.0) for a in arrivals)

@@ -1,0 +1,95 @@
+"""Tests for the finite-disk (queued) model and its engine integration."""
+
+import pytest
+
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.registry import make_policy
+from repro.sim.disk import DiskModel, QueuedDiskModel
+from repro.sim.engine import Simulator
+
+
+class TestQueuedDiskModel:
+    def test_no_queue_when_idle(self):
+        d = QueuedDiskModel(PAPER_PARAMS, num_disks=2)
+        assert d.demand_read(100.0) == pytest.approx(115.0)
+        assert d.queued_requests == 0
+
+    def test_single_disk_serialises(self):
+        d = QueuedDiskModel(PAPER_PARAMS, num_disks=1)
+        first = d.prefetch_read(0.0)
+        second = d.prefetch_read(0.0)
+        assert first == pytest.approx(15.0)
+        assert second == pytest.approx(30.0)
+        assert d.queued_requests == 1
+        assert d.queue_delay_total == pytest.approx(15.0)
+
+    def test_two_disks_parallel_pair(self):
+        d = QueuedDiskModel(PAPER_PARAMS, num_disks=2)
+        a = d.prefetch_read(0.0)
+        b = d.prefetch_read(0.0)
+        c = d.prefetch_read(0.0)
+        assert a == pytest.approx(15.0)
+        assert b == pytest.approx(15.0)
+        assert c == pytest.approx(30.0)
+
+    def test_idle_gap_resets_queue(self):
+        d = QueuedDiskModel(PAPER_PARAMS, num_disks=1)
+        d.prefetch_read(0.0)
+        assert d.prefetch_read(100.0) == pytest.approx(115.0)
+
+    def test_utilisation(self):
+        d = QueuedDiskModel(PAPER_PARAMS, num_disks=2)
+        d.prefetch_read(0.0)
+        d.prefetch_read(0.0)
+        assert d.utilisation(15.0) == pytest.approx(1.0)
+        assert d.utilisation(60.0) == pytest.approx(0.25)
+        assert d.utilisation(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueuedDiskModel(PAPER_PARAMS, num_disks=0)
+
+    def test_busy_time(self):
+        d = DiskModel(PAPER_PARAMS)
+        d.demand_read(0.0)
+        d.prefetch_read(0.0)
+        assert d.busy_time == pytest.approx(30.0)
+
+
+class TestEngineIntegration:
+    def test_default_is_infinite(self):
+        sim = Simulator(PAPER_PARAMS, make_policy("tree"), 32)
+        assert type(sim.disk) is DiskModel
+
+    def test_num_disks_selects_queued_model(self):
+        sim = Simulator(PAPER_PARAMS, make_policy("tree"), 32, num_disks=2)
+        assert isinstance(sim.disk, QueuedDiskModel)
+        stats = sim.run([1, 2, 3] * 50)
+        assert stats.extra["num_disks"] == 2
+        assert "disk_utilisation" in stats.extra
+
+    def test_congestion_increases_elapsed_time(self):
+        """At tiny T_cpu the request rate exceeds one drive's service rate;
+        a single disk must be slower end-to-end than the infinite model."""
+        params = SystemParams(t_cpu=0.5)
+        trace = list(range(400)) * 2
+        infinite = Simulator(
+            params, make_policy("next-limit"), 64
+        ).run(trace)
+        congested = Simulator(
+            params, make_policy("next-limit"), 64, num_disks=1
+        ).run(trace)
+        assert congested.elapsed_time > infinite.elapsed_time
+        assert congested.extra["disk_queued_requests"] > 0
+
+    def test_many_disks_recover_paper_model(self):
+        params = SystemParams(t_cpu=0.5)
+        trace = list(range(300))
+        infinite = Simulator(params, make_policy("next-limit"), 64).run(trace)
+        wide = Simulator(
+            params, make_policy("next-limit"), 64, num_disks=64
+        ).run(trace)
+        assert wide.elapsed_time == pytest.approx(
+            infinite.elapsed_time, rel=0.01
+        )
+        assert wide.misses == infinite.misses

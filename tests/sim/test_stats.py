@@ -1,0 +1,95 @@
+"""Unit tests for the simulation statistics container."""
+
+import pytest
+
+from repro.sim.stats import SimulationStats
+
+
+class TestRates:
+    def test_miss_rate(self):
+        s = SimulationStats(accesses=100, misses=25, demand_hits=70,
+                            prefetch_hits=5)
+        assert s.miss_rate == pytest.approx(25.0)
+        assert s.hit_rate == pytest.approx(75.0)
+        assert s.hits == 75
+
+    def test_empty_run_all_zero(self):
+        s = SimulationStats()
+        assert s.miss_rate == 0.0
+        assert s.prefetch_cache_hit_rate == 0.0
+        assert s.prediction_accuracy == 0.0
+        assert s.mean_access_time == 0.0
+        assert s.traffic_increase == 0.0
+
+    def test_prefetch_cache_hit_rate_over_resolved(self):
+        s = SimulationStats(
+            prefetches_issued=10, prefetch_hits=3,
+            prefetched_evicted_unreferenced=1,
+        )
+        # 3 hits / (3 + 1) resolved; 6 still resident are excluded.
+        assert s.prefetch_cache_hit_rate == pytest.approx(75.0)
+
+    def test_prefetches_per_period(self):
+        s = SimulationStats(accesses=50, prefetches_issued=25)
+        assert s.prefetches_per_period == pytest.approx(0.5)
+
+    def test_mean_prefetched_probability(self):
+        s = SimulationStats(prefetches_issued=4, prefetch_probability_sum=2.0)
+        assert s.mean_prefetched_probability == pytest.approx(0.5)
+
+    def test_candidates_already_cached_rate(self):
+        s = SimulationStats(prefetches_issued=3, candidates_already_cached=7)
+        assert s.candidates_already_cached_rate == pytest.approx(70.0)
+
+    def test_traffic(self):
+        s = SimulationStats(accesses=10, misses=4, prefetches_issued=8)
+        assert s.disk_fetches == 12
+        assert s.traffic_increase == pytest.approx(200.0)
+
+    def test_lvc_rates(self):
+        s = SimulationStats(
+            lvc_opportunities=10, lvc_repeats=4,
+            lvc_opportunities_nonroot=5, lvc_repeats_nonroot=4,
+            lvc_cached=8,
+        )
+        assert s.lvc_repeat_rate == pytest.approx(40.0)
+        assert s.lvc_repeat_rate_nonroot == pytest.approx(80.0)
+        assert s.lvc_cached_rate == pytest.approx(80.0)
+
+    def test_predictable_uncached_rate(self):
+        s = SimulationStats(predictable_accesses=20, predictable_uncached=3)
+        assert s.predictable_uncached_rate == pytest.approx(15.0)
+
+
+class TestConservation:
+    def test_valid_passes(self):
+        s = SimulationStats(accesses=10, misses=2, demand_hits=7,
+                            prefetch_hits=1, prefetches_issued=3,
+                            prefetch_probability_sum=1.0)
+        s.check_conservation()
+
+    def test_hit_miss_mismatch_fails(self):
+        s = SimulationStats(accesses=10, misses=5, demand_hits=7)
+        with pytest.raises(AssertionError):
+            s.check_conservation()
+
+    def test_resolved_exceeding_issued_fails(self):
+        s = SimulationStats(accesses=1, demand_hits=0, prefetch_hits=1,
+                            prefetches_issued=0)
+        with pytest.raises(AssertionError):
+            s.check_conservation()
+
+
+class TestExport:
+    def test_as_dict_roundtrip_keys(self):
+        d = SimulationStats(accesses=5, misses=5).as_dict()
+        assert d["accesses"] == 5
+        assert d["miss_rate"] == pytest.approx(100.0)
+        assert isinstance(d["extra"], dict)
+
+    def test_extra_is_copied(self):
+        s = SimulationStats()
+        s.extra["k"] = 1
+        d = s.as_dict()
+        d["extra"]["k"] = 2
+        assert s.extra["k"] == 1

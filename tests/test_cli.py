@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--trace", "cad"])
+        assert args.policy == "tree"
+        assert args.cache == 1024
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--trace", "cad", "--policy", "magic"]
+            )
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--trace", "cad", "--refs", "2000",
+                   "--cache", "128"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "miss_rate" in out
+        assert "tree on cad" in out
+
+    def test_simulate_with_policy_kwargs(self, capsys):
+        rc = main(["simulate", "--trace", "cad", "--refs", "2000",
+                   "--cache", "128", "--policy", "tree-threshold",
+                   "--threshold", "0.1"])
+        assert rc == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_simulate_tcpu_override(self, capsys):
+        rc = main(["simulate", "--trace", "cad", "--refs", "2000",
+                   "--cache", "128", "--t-cpu", "200"])
+        assert rc == 0
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--trace", "sitar", "--refs", "2000",
+                   "--policies", "no-prefetch", "next-limit",
+                   "--sizes", "64", "128"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no-prefetch" in out and "next-limit" in out
+        assert "64" in out and "128" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "t.npz"
+        rc = main(["trace", "--name", "snake", "--refs", "1500",
+                   "--out", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        # The written file is a valid simulation input.
+        rc = main(["simulate", "--trace", str(out_file), "--cache", "64"])
+        assert rc == 0
+
+    def test_trace_text_format(self, tmp_path):
+        out_file = tmp_path / "t.trace"
+        rc = main(["trace", "--name", "cad", "--refs", "500",
+                   "--out", str(out_file)])
+        assert rc == 0
+        first = out_file.read_text().splitlines()[0]
+        assert first.startswith("# name:")
+
+    def test_report(self, tmp_path, capsys, monkeypatch):
+        out_file = tmp_path / "EXP.md"
+        import repro.analysis.report as report_mod
+        import repro.analysis.experiments as ex
+
+        # Shrink the battery to two cheap experiments for the CLI test.
+        monkeypatch.setattr(
+            report_mod, "ALL_EXPERIMENTS", (ex.run_table1, ex.run_table2)
+        )
+        rc = main(["report", "--refs", "1500", "--out", str(out_file)])
+        assert rc == 0
+        body = out_file.read_text()
+        assert "paper vs. measured" in body
+        assert "table2" in body

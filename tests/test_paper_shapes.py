@@ -1,0 +1,170 @@
+"""Regression tests on the paper's qualitative claims (Section 9).
+
+Small/medium simulations asserting the *shape* results that define the
+paper; the full-scale versions live in ``benchmarks/``.  Each claim cites
+the paper section it reproduces.
+"""
+
+import pytest
+
+from repro.params import PAPER_PARAMS
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+from repro.traces.synthetic import make_trace
+
+REFS = 15_000
+CACHE = 512
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Miss rates for the main policies on all four workloads."""
+    table = {}
+    for trace_name in ("cello", "snake", "cad", "sitar"):
+        trace = make_trace(trace_name, num_references=REFS)
+        blocks = trace.as_list()
+        table[trace_name] = {
+            policy: simulate(PAPER_PARAMS, make_policy(policy), blocks, CACHE)
+            for policy in (
+                "no-prefetch", "next-limit", "tree", "tree-next-limit"
+            )
+        }
+    return table
+
+
+def reduction(base, other):
+    return 100.0 * (base.miss_rate - other.miss_rate) / max(base.miss_rate, 1e-9)
+
+
+class TestSection91MainComparison:
+    def test_prefetching_always_helps_where_claimed(self, runs):
+        """'In all cases, the prefetching strategies offer significant
+        performance improvements over the system that performs no
+        prefetching' (with CAD's next-limit as the stated exception)."""
+        for trace in ("cello", "snake", "sitar"):
+            base = runs[trace]["no-prefetch"]
+            assert reduction(base, runs[trace]["tree-next-limit"]) > 10.0
+
+    def test_cad_next_limit_useless(self, runs):
+        """CAD: 'the next-limit scheme performs no better than the
+        no-prefetch scheme'."""
+        base = runs["cad"]["no-prefetch"]
+        assert abs(reduction(base, runs["cad"]["next-limit"])) < 8.0
+
+    def test_cad_tree_effective(self, runs):
+        """CAD: tree-based prediction reduces misses substantially."""
+        base = runs["cad"]["no-prefetch"]
+        assert reduction(base, runs["cad"]["tree"]) > 10.0
+
+    def test_sitar_next_limit_dominates(self, runs):
+        """sitar: one-block lookahead cuts misses dramatically (paper 73%)."""
+        base = runs["sitar"]["no-prefetch"]
+        assert reduction(base, runs["sitar"]["next-limit"]) > 50.0
+
+    def test_sitar_tree_adds_little_over_next_limit(self, runs):
+        """sitar: 'tree-next-limit and next-limit perform similarly'."""
+        nl = runs["sitar"]["next-limit"].miss_rate
+        tnl = runs["sitar"]["tree-next-limit"].miss_rate
+        assert abs(nl - tnl) < 6.0
+
+    def test_gains_additive_cello_snake(self, runs):
+        """Section 9.1: combined reduction ~ sum of individual reductions."""
+        for trace in ("cello", "snake"):
+            base = runs[trace]["no-prefetch"].miss_rate
+            tree_gain = base - runs[trace]["tree"].miss_rate
+            nl_gain = base - runs[trace]["next-limit"].miss_rate
+            combined = base - runs[trace]["tree-next-limit"].miss_rate
+            # Combined captures most of the summed gain and is at least
+            # comparable to the better individual scheme.
+            assert combined > 0.6 * max(tree_gain, nl_gain)
+            assert combined < (tree_gain + nl_gain) + 10.0
+
+
+class TestSection92TreeBehaviour:
+    def test_less_prefetching_at_larger_caches(self):
+        """Figure 8: prefetch volume falls as the cache grows."""
+        trace = make_trace("cad", num_references=REFS).as_list()
+        small = simulate(PAPER_PARAMS, make_policy("tree"), trace, 128)
+        large = simulate(PAPER_PARAMS, make_policy("tree"), trace, 4096)
+        assert large.prefetches_per_period <= small.prefetches_per_period
+
+    def test_candidates_cached_rises_with_cache(self):
+        """Figure 7: more candidates already resident at larger caches."""
+        trace = make_trace("cad", num_references=REFS).as_list()
+        small = simulate(PAPER_PARAMS, make_policy("tree"), trace, 128)
+        large = simulate(PAPER_PARAMS, make_policy("tree"), trace, 4096)
+        assert (
+            large.candidates_already_cached_rate
+            >= small.candidates_already_cached_rate - 5.0
+        )
+
+    def test_cad_leads_prefetch_hit_rate(self, runs):
+        """Figure 9: CAD's prefetch-cache hit rate tops cello's."""
+        assert (
+            runs["cad"]["tree"].prefetch_cache_hit_rate
+            > runs["cello"]["tree"].prefetch_cache_hit_rate
+        )
+
+    def test_cad_leads_mean_probability(self, runs):
+        """Figure 10: CAD prefetches carry higher average probability."""
+        assert (
+            runs["cad"]["tree"].mean_prefetched_probability
+            > runs["cello"]["tree"].mean_prefetched_probability
+        )
+
+
+class TestSection94Predictability:
+    def test_cello_least_predictable(self, runs):
+        """Table 2: cello's prediction accuracy trails all other traces."""
+        acc = {t: runs[t]["tree"].prediction_accuracy for t in runs}
+        assert acc["cello"] == min(acc.values())
+
+    def test_lvc_ordering(self, runs):
+        """Table 3: cello < snake < CAD/sitar, in both LVC measures."""
+        for metric in ("lvc_repeat_rate", "lvc_repeat_rate_nonroot"):
+            vals = {t: getattr(runs[t]["tree"], metric) for t in runs}
+            assert vals["cello"] < vals["snake"]
+            assert vals["snake"] < max(vals["cad"], vals["sitar"])
+
+
+class TestSection95Oracle:
+    def test_perfect_selector_beats_tree(self):
+        """Figure 15: considerable headroom in candidate selection."""
+        trace = make_trace("cad", num_references=REFS).as_list()
+        tree = simulate(PAPER_PARAMS, make_policy("tree"), trace, CACHE)
+        oracle = simulate(
+            PAPER_PARAMS, make_policy("perfect-selector"), trace, CACHE
+        )
+        assert oracle.miss_rate < tree.miss_rate
+
+
+class TestSection97CostBenefit:
+    def test_tree_matches_best_threshold(self):
+        """Figure 17 / Table 4: the untuned tree is close to the best-tuned
+        tree-threshold configuration."""
+        trace = make_trace("cad", num_references=REFS).as_list()
+        tree = simulate(PAPER_PARAMS, make_policy("tree"), trace, CACHE)
+        best = min(
+            simulate(
+                PAPER_PARAMS,
+                make_policy("tree-threshold", threshold=t),
+                trace,
+                CACHE,
+            ).miss_rate
+            for t in (0.002, 0.025, 0.1, 0.4)
+        )
+        assert tree.miss_rate <= best + 6.0
+
+    def test_threshold_choice_matters(self):
+        """Table 4: a bad threshold costs real misses."""
+        trace = make_trace("cad", num_references=REFS).as_list()
+        misses = [
+            simulate(
+                PAPER_PARAMS,
+                make_policy("tree-threshold", threshold=t),
+                trace,
+                CACHE,
+            ).miss_rate
+            for t in (0.002, 0.025, 0.1, 0.4)
+        ]
+        assert max(misses) > min(misses)

@@ -1,0 +1,344 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Invariants checked:
+
+* LZ tree: structural invariants after any access sequence, with or without
+  a node budget; weight laws; parse determinism.
+* LRU cache: capacity bound, recency order, hit iff previously inserted and
+  not evicted (cross-checked against a model dict).
+* Stack-distance profiler: agrees with a brute-force LRU stack; histogram
+  mass conservation.
+* Cost model: stall monotonicity, benefit bounds, eviction-cost positivity.
+* Simulator: conservation laws for every policy on arbitrary traces.
+"""
+
+import math
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.ghost import StackDistanceProfiler
+from repro.cache.lru import LRUCache
+from repro.core import costbenefit as cb
+from repro.core.candidates import iter_candidates
+from repro.core.tree import PrefetchTree
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.registry import make_policy
+from repro.sim.engine import simulate
+
+small_blocks = st.integers(min_value=0, max_value=15)
+traces = st.lists(small_blocks, min_size=0, max_size=300)
+wide_traces = st.lists(st.integers(min_value=0, max_value=500),
+                       min_size=0, max_size=300)
+
+
+class TestTreeProperties:
+    @given(traces)
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_unbounded(self, blocks):
+        tree = PrefetchTree()
+        tree.record_all(blocks)
+        tree.check_invariants()
+
+    @given(traces, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=150, deadline=None)
+    def test_invariants_bounded(self, blocks, budget):
+        tree = PrefetchTree(max_nodes=budget)
+        tree.record_all(blocks)
+        tree.check_invariants()
+        assert tree.node_count <= budget
+
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_counter_laws(self, blocks):
+        tree = PrefetchTree()
+        tree.record_all(blocks)
+        s = tree.stats
+        assert s.accesses == len(blocks)
+        assert s.predictable + s.nodes_created == s.accesses
+        # Every completed substring created a node; the final substring may
+        # still be in progress (parse pointer below the root).
+        assert s.nodes_created <= s.substrings <= s.nodes_created + 1
+        assert tree.root.weight == s.substrings
+        assert s.lvc_repeats <= s.lvc_opportunities <= s.accesses
+        assert s.lvc_repeats_nonroot <= s.lvc_repeats
+
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_parse_deterministic(self, blocks):
+        t1, t2 = PrefetchTree(), PrefetchTree()
+        t1.record_all(blocks)
+        t2.record_all(blocks)
+        assert t1.node_count == t2.node_count
+        assert t1.root.weight == t2.root.weight
+
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_child_weights_bounded_by_parent(self, blocks):
+        tree = PrefetchTree()
+        tree.record_all(blocks)
+        for node in tree.iter_nodes():
+            total_child = sum(c.weight for c in node.children.values())
+            # Each traversal into a child also passed through the parent.
+            assert total_child <= node.weight + len(node.children)
+
+    @given(traces)
+    @settings(max_examples=100, deadline=None)
+    def test_candidate_probabilities_valid(self, blocks):
+        tree = PrefetchTree()
+        tree.record_all(blocks)
+        for cand in iter_candidates(tree, max_depth=4, min_probability=1e-9):
+            assert 0.0 < cand.probability <= 1.0 + 1e-9
+            assert cand.probability <= cand.parent_probability + 1e-9
+
+    @given(traces)
+    @settings(max_examples=60, deadline=None)
+    def test_depth1_candidates_sum_to_at_most_one(self, blocks):
+        tree = PrefetchTree()
+        tree.record_all(blocks)
+        total = sum(p for _, p in tree.next_probabilities())
+        assert total <= 1.0 + 1e-9
+
+
+class TestLRUProperties:
+    @given(wide_traces, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=150, deadline=None)
+    def test_against_model(self, blocks, capacity):
+        cache = LRUCache(capacity)
+        model = OrderedDict()
+        for b in blocks:
+            hit = cache.access(b)
+            model_hit = b in model
+            assert hit == model_hit
+            if model_hit:
+                model.move_to_end(b)
+            else:
+                cache.insert(b)
+                model[b] = None
+                if len(model) > capacity:
+                    model.popitem(last=False)
+            assert len(cache) == len(model)
+            assert cache.lru_block() == next(iter(model))
+
+    @given(wide_traces, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_exceeded(self, blocks, capacity):
+        cache = LRUCache(capacity)
+        for b in blocks:
+            if not cache.access(b):
+                cache.insert(b)
+            assert len(cache) <= capacity
+
+
+class TestProfilerProperties:
+    @staticmethod
+    def brute(blocks, max_depth):
+        stack = OrderedDict()
+        out = []
+        for b in blocks:
+            if b in stack:
+                d = 0
+                for candidate in reversed(stack):
+                    d += 1
+                    if candidate == b:
+                        break
+                out.append(d if d <= max_depth else None)
+                del stack[b]
+            else:
+                out.append(None)
+            stack[b] = None
+            while len(stack) > max_depth:
+                stack.popitem(last=False)
+        return out
+
+    @given(wide_traces, st.integers(min_value=1, max_value=12))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, blocks, depth):
+        p = StackDistanceProfiler(max_depth=depth)
+        got = [p.record(b) for b in blocks]
+        assert got == self.brute(blocks, depth)
+
+    @given(wide_traces)
+    @settings(max_examples=100, deadline=None)
+    def test_histogram_mass_conservation(self, blocks):
+        p = StackDistanceProfiler(max_depth=8)
+        for b in blocks:
+            p.record(b)
+        assert sum(p.histogram()) + p.cold_references == p.references
+        if blocks:
+            assert 0.0 <= p.cumulative_hit_rate(8) <= 1.0
+
+
+class TestCostModelProperties:
+    probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+    depths = st.integers(min_value=1, max_value=50)
+    esses = st.floats(min_value=0.0, max_value=32.0, allow_nan=False)
+    tcpus = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+    @given(depths, esses, tcpus)
+    @settings(max_examples=200, deadline=None)
+    def test_stall_bounds_and_monotonicity(self, depth, s, tcpu):
+        params = SystemParams(t_cpu=tcpu)
+        stall = cb.t_stall(params, depth, s)
+        assert 0.0 <= stall <= params.t_disk
+        assert cb.t_stall(params, depth + 1, s) <= stall + 1e-12
+
+    @given(probs, probs, depths, esses)
+    @settings(max_examples=200, deadline=None)
+    def test_benefit_bounded_by_disk_time(self, p1, p2, depth, s):
+        p_b, p_x = min(p1, p2), max(p1, p2)
+        b = cb.benefit(PAPER_PARAMS, p_b, p_x, depth, s)
+        assert b <= PAPER_PARAMS.t_disk + 1e-9
+        assert b >= -PAPER_PARAMS.t_disk - 1e-9
+
+    @given(probs, depths, esses)
+    @settings(max_examples=200, deadline=None)
+    def test_eviction_cost_nonnegative(self, p, depth, s):
+        cost = cb.cost_prefetch_eviction(PAPER_PARAMS, p, depth, s)
+        assert cost >= 0.0 or cost == math.inf
+
+    @given(probs, probs)
+    @settings(max_examples=200, deadline=None)
+    def test_overhead_within_driver_time(self, p1, p2):
+        p_b, p_x = min(p1, p2), max(p1, p2)
+        oh = cb.prefetch_overhead(PAPER_PARAMS, p_b, p_x)
+        assert 0.0 <= oh <= PAPER_PARAMS.t_driver + 1e-12
+
+
+class TestSimulatorProperties:
+    policy_names = st.sampled_from(
+        ["no-prefetch", "next-limit", "tree", "tree-next-limit",
+         "tree-lvc", "perfect-selector"]
+    )
+
+    @given(wide_traces, st.integers(min_value=1, max_value=32), policy_names)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation(self, blocks, cache_size, policy):
+        stats = simulate(PAPER_PARAMS, make_policy(policy), blocks, cache_size)
+        stats.check_conservation()
+        assert stats.accesses == len(blocks)
+        assert 0.0 <= stats.miss_rate <= 100.0
+        assert stats.elapsed_time >= 0.0
+
+    @given(wide_traces, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded(self, blocks, cache_size):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(PAPER_PARAMS, make_policy("tree"), cache_size)
+        for i, b in enumerate(blocks):
+            sim.step(b)
+            assert sim.cache.occupancy <= cache_size
+        sim.finalize()
+
+    @given(wide_traces, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_no_prefetch_equals_plain_lru(self, blocks, cache_size):
+        stats = simulate(PAPER_PARAMS, make_policy("no-prefetch"), blocks,
+                         cache_size)
+        lru = LRUCache(cache_size)
+        misses = 0
+        for b in blocks:
+            if not lru.access(b):
+                misses += 1
+                lru.insert(b)
+        assert stats.misses == misses
+
+
+class TestPredictorProperties:
+    predictor_names = st.sampled_from(
+        ["lz", "ppm", "prob-graph", "markov", "last-successor"]
+    )
+
+    @given(wide_traces, predictor_names)
+    @settings(max_examples=80, deadline=None)
+    def test_predictions_always_valid(self, blocks, name):
+        from repro.predictors import make_predictor
+
+        p = make_predictor(name)
+        for b in blocks:
+            outcome = p.update(b)
+            assert isinstance(outcome, bool)
+        preds = p.predictions()
+        seen_blocks = [blk for blk, _ in preds]
+        assert len(seen_blocks) == len(set(seen_blocks))  # no duplicates
+        probs = [prob for _, prob in preds]
+        assert all(0.0 < prob <= 1.0 + 1e-9 for prob in probs)
+        assert probs == sorted(probs, reverse=True)
+        assert p.memory_items() >= 0
+
+    @given(traces)
+    @settings(max_examples=60, deadline=None)
+    def test_graph_window1_equals_markov(self, blocks):
+        from repro.predictors.graph import ProbabilityGraphPredictor
+        from repro.predictors.markov import MarkovPredictor
+
+        g = ProbabilityGraphPredictor(lookahead=1, min_probability=1e-9,
+                                      max_successors=64)
+        m = MarkovPredictor(min_probability=1e-9, max_successors=64)
+        g_out = [g.update(b) for b in blocks]
+        m_out = [m.update(b) for b in blocks]
+        assert g_out == m_out
+        assert dict(g.predictions()) == pytest.approx(dict(m.predictions()))
+
+    @given(wide_traces, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_ppm_bounded_blend(self, blocks, order):
+        from repro.predictors.ppm import PPMPredictor
+
+        p = PPMPredictor(max_order=order, min_probability=1e-9)
+        for b in blocks:
+            p.update(b)
+        total = sum(prob for _, prob in p.predictions())
+        assert total <= 1.0 + 1e-6
+
+
+class TestPrefetchCacheCheapList:
+    """The amortised min-cost cache must match a brute-force scan under any
+    interleaving of inserts, removals, refreshes and period advances."""
+
+    ops = st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "take", "evict", "refresh", "query",
+                             "advance"]),
+            st.integers(min_value=0, max_value=30),   # block
+            st.floats(min_value=0.01, max_value=1.0), # probability
+            st.integers(min_value=1, max_value=6),    # depth
+        ),
+        min_size=1, max_size=120,
+    )
+
+    @given(ops, st.floats(min_value=0.0, max_value=4.0))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, operations, s):
+        from repro.cache.prefetch_cache import PrefetchCache, PrefetchEntry
+
+        pc = PrefetchCache(PAPER_PARAMS, capacity=64)
+        period = 0
+        for op, block, prob, depth in operations:
+            if op == "insert" and block not in pc and not pc.is_full:
+                pc.insert(PrefetchEntry(
+                    block=block, probability=prob, depth=depth,
+                    issue_period=period, arrival_time=0.0,
+                ))
+            elif op == "take" and block in pc:
+                pc.take(block)
+            elif op == "evict" and block in pc:
+                pc.evict(block)
+            elif op == "refresh":
+                pc.refresh(block, prob, depth, period)
+            elif op == "advance":
+                period += 1
+            elif op == "query":
+                got = pc.min_cost_entry(period, s)
+                if len(pc) == 0:
+                    assert got is None
+                else:
+                    brute = min(
+                        (pc.eviction_cost(e, period, s), repr(e.block))
+                        for e in pc
+                    )
+                    assert got is not None
+                    assert got[1] == pytest.approx(brute[0])

@@ -1,0 +1,69 @@
+"""Sanity tests on the public API surface (`repro` top-level + __all__)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        """The documented five-line quickstart works end to end."""
+        trace = repro.make_trace("cad", num_references=2000)
+        stats = repro.simulate(
+            repro.PAPER_PARAMS, repro.make_policy("tree"), trace.as_list(), 256
+        )
+        assert 0.0 <= stats.miss_rate <= 100.0
+
+    def test_policy_names_match_paper(self):
+        assert set(repro.policy_names()) >= {
+            "no-prefetch", "next-limit", "tree", "tree-next-limit",
+        }
+
+    def test_trace_names(self):
+        assert repro.TRACE_NAMES == ["cello", "snake", "cad", "sitar"]
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.cache", "repro.policies", "repro.sim",
+    "repro.traces", "repro.traces.synthetic", "repro.analysis",
+])
+class TestSubpackages:
+    def test_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", [
+        "repro", "repro.params", "repro.core.tree", "repro.core.costbenefit",
+        "repro.core.candidates", "repro.core.estimators", "repro.cache.lru",
+        "repro.cache.ghost", "repro.cache.prefetch_cache",
+        "repro.cache.buffer_cache", "repro.sim.engine", "repro.sim.stats",
+        "repro.policies.base", "repro.policies.tree",
+        "repro.traces.base", "repro.traces.synthetic.components",
+        "repro.analysis.experiments",
+    ])
+    def test_every_module_documented(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40, module
+
+    def test_public_classes_documented(self):
+        from repro.cache.buffer_cache import BufferCache
+        from repro.core.tree import PrefetchTree
+        from repro.sim.engine import Simulator
+
+        for cls in (PrefetchTree, BufferCache, Simulator):
+            assert cls.__doc__
+            for name, member in vars(cls).items():
+                if callable(member) and not name.startswith("_"):
+                    assert member.__doc__, f"{cls.__name__}.{name}"

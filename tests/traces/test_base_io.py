@@ -1,0 +1,140 @@
+"""Unit tests for the trace container, file I/O and the L1 filter."""
+
+import numpy as np
+import pytest
+
+from repro.traces.base import Trace
+from repro.traces.filters import filter_trace, iter_l1_misses, l1_filter
+from repro.traces.io import load, load_npz, load_text, save, save_npz, save_text
+
+
+def sample_trace():
+    return Trace(
+        name="sample",
+        blocks=[1, 2, 3, 2, 3, 4],
+        description="a sample",
+        l1_cache_blocks=2,
+        seed=7,
+        params={"alpha": 0.5},
+    )
+
+
+class TestTrace:
+    def test_len_iter_getitem(self):
+        t = sample_trace()
+        assert len(t) == 6
+        assert list(t) == [1, 2, 3, 2, 3, 4]
+        assert t[0] == 1
+
+    def test_unique_blocks(self):
+        assert sample_trace().unique_blocks == 4
+
+    def test_as_list_and_array(self):
+        t = sample_trace()
+        assert t.as_list() == [1, 2, 3, 2, 3, 4]
+        arr = t.as_array()
+        assert arr.dtype == np.int64
+        assert arr.tolist() == t.as_list()
+
+    def test_numpy_backed(self):
+        t = Trace(name="np", blocks=np.array([5, 6, 7]))
+        assert t.as_list() == [5, 6, 7]
+        assert t.as_array() is t.blocks
+
+    def test_head(self):
+        t = sample_trace().head(3)
+        assert t.as_list() == [1, 2, 3]
+        assert t.params["head"] == 3
+        with pytest.raises(ValueError):
+            sample_trace().head(-1)
+
+    def test_sequentiality(self):
+        assert Trace(name="s", blocks=[1, 2, 3, 4]).sequentiality() == 1.0
+        assert Trace(name="s", blocks=[1, 5, 9]).sequentiality() == 0.0
+        assert Trace(name="s", blocks=[1]).sequentiality() == 0.0
+
+    def test_summary(self):
+        s = sample_trace().summary()
+        assert s["trace"] == "sample"
+        assert s["references"] == 6
+        assert s["l1_cache_blocks"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(name="", blocks=[1])
+        with pytest.raises(ValueError):
+            Trace(name="x", blocks=np.array([[1, 2]]))
+        with pytest.raises(ValueError):
+            Trace(name="x", blocks=np.array([1.5]))
+
+
+class TestIO:
+    def test_text_roundtrip(self, tmp_path):
+        t = sample_trace()
+        path = tmp_path / "t.trace"
+        save_text(t, path)
+        back = load_text(path)
+        assert back.as_list() == t.as_list()
+        assert back.name == t.name
+        assert back.description == t.description
+        assert back.l1_cache_blocks == t.l1_cache_blocks
+        assert back.seed == t.seed
+        assert back.params == t.params
+
+    def test_bare_text_file(self, tmp_path):
+        path = tmp_path / "bare.trace"
+        path.write_text("5\n6\n\n7\n")
+        t = load_text(path)
+        assert t.as_list() == [5, 6, 7]
+        assert t.name == "bare"
+
+    def test_npz_roundtrip(self, tmp_path):
+        t = sample_trace()
+        path = tmp_path / "t.npz"
+        save_npz(t, path)
+        back = load_npz(path)
+        assert back.as_list() == t.as_list()
+        assert back.params == t.params
+        assert back.l1_cache_blocks == 2
+
+    def test_dispatch_by_extension(self, tmp_path):
+        t = sample_trace()
+        save(t, tmp_path / "a.npz")
+        save(t, tmp_path / "a.trace")
+        assert load(tmp_path / "a.npz").as_list() == t.as_list()
+        assert load(tmp_path / "a.trace").as_list() == t.as_list()
+
+
+class TestL1Filter:
+    def test_misses_only(self):
+        # Capacity 2 LRU on [1,2,1,3,1,2]: miss 1,2, hit 1, miss 3, hit 1, miss 2
+        out = l1_filter([1, 2, 1, 3, 1, 2], 2)
+        assert out == [1, 2, 3, 2]
+
+    def test_zero_capacity_passthrough(self):
+        blocks = [4, 4, 4]
+        assert l1_filter(blocks, 0) == blocks
+
+    def test_lazy_iterator(self):
+        it = iter_l1_misses(iter([1, 1, 2]), 4)
+        assert next(it) == 1
+        assert next(it) == 2
+
+    def test_filter_trace_metadata(self):
+        t = Trace(name="raw", blocks=[1, 1, 2, 2, 3])
+        filtered = filter_trace(t, 1, name="cooked")
+        assert filtered.name == "cooked"
+        assert filtered.l1_cache_blocks == 1
+        assert filtered.as_list() == [1, 2, 3]
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            l1_filter([1], -1)
+
+    def test_filter_is_idempotent_at_same_size(self):
+        """Filtering an already-filtered stream removes nothing more only
+        if no residual distance fits; verify basic sanity instead."""
+        raw = [i % 10 for i in range(100)]
+        once = l1_filter(raw, 4)
+        twice = l1_filter(once, 4)
+        assert len(twice) <= len(once) <= len(raw)

@@ -1,0 +1,118 @@
+"""Tests for external trace importing (request expansion, CSV)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.importers import CsvFormat, from_arrays, from_requests, load_csv
+
+
+class TestFromRequests:
+    def test_single_block_request(self):
+        t = from_requests([(0, 100)], block_size=8192)
+        assert t.as_list() == [0]
+
+    def test_spanning_request(self):
+        # Bytes [8000, 8000 + 9000) cover blocks 0, 1, 2 at 8 KiB.
+        t = from_requests([(8000, 9000)], block_size=8192)
+        assert t.as_list() == [0, 1, 2]
+
+    def test_aligned_request(self):
+        t = from_requests([(16384, 16384)], block_size=8192)
+        assert t.as_list() == [2, 3]
+
+    def test_zero_size_touches_one_block(self):
+        t = from_requests([(8192, 0)], block_size=8192)
+        assert t.as_list() == [1]
+
+    def test_block_addressed(self):
+        t = from_requests(
+            [(5, 3)], offsets_in_bytes=False, sizes_in_bytes=False
+        )
+        assert t.as_list() == [5, 6, 7]
+
+    def test_sequence_order_preserved(self):
+        t = from_requests([(0, 1), (81920, 1), (0, 1)], block_size=8192)
+        assert t.as_list() == [0, 10, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            from_requests([(0, 1)], block_size=0)
+        with pytest.raises(ValueError):
+            from_requests([(-1, 1)])
+
+
+class TestFromArrays:
+    def test_matches_scalar_path(self):
+        offsets = np.array([0, 8000, 16384])
+        sizes = np.array([100, 9000, 16384])
+        fast = from_arrays(offsets, sizes, block_size=8192)
+        slow = from_requests(list(zip(offsets.tolist(), sizes.tolist())),
+                             block_size=8192)
+        assert fast.as_list() == slow.as_list()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            from_arrays(np.array([0]), np.array([1, 2]))
+
+
+class TestLoadCsv:
+    def _write(self, tmp_path, rows, header=""):
+        path = tmp_path / "trace.csv"
+        body = (header + "\n" if header else "") + "\n".join(rows) + "\n"
+        path.write_text(body)
+        return path
+
+    def test_basic(self, tmp_path):
+        path = self._write(tmp_path, [
+            "0.0,0,0,8192,R",
+            "0.1,0,8192,8192,R",
+            "0.2,0,0,8192,W",      # writes filtered out
+            "0.3,0,16384,4096,r",  # lowercase read accepted
+        ])
+        t = load_csv(path, block_size=8192)
+        assert t.as_list() == [0, 1, 2]
+        assert t.name == "trace"
+
+    def test_no_opcode_column(self, tmp_path):
+        path = self._write(tmp_path, ["0,0,8192,8192"])
+        fmt = CsvFormat(opcode_col=None)
+        t = load_csv(path, fmt=fmt, block_size=8192)
+        assert t.as_list() == [1]
+
+    def test_header_and_comments_skipped(self, tmp_path):
+        path = self._write(tmp_path, [
+            "# a comment",
+            "0,0,0,8192,R",
+        ], header="ts,dev,off,size,op")
+        fmt = CsvFormat(skip_header_rows=1)
+        t = load_csv(path, fmt=fmt)
+        assert t.as_list() == [0]
+
+    def test_max_rows(self, tmp_path):
+        rows = [f"0,0,{i * 8192},8192,R" for i in range(10)]
+        path = self._write(tmp_path, rows)
+        t = load_csv(path, max_rows=3)
+        assert t.as_list() == [0, 1, 2]
+
+    def test_custom_delimiter_and_columns(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("8192\t8192\n0\t8192\n")
+        fmt = CsvFormat(offset_col=0, size_col=1, opcode_col=None,
+                        delimiter="\t")
+        t = load_csv(path, fmt=fmt)
+        assert t.as_list() == [1, 0]
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError):
+            CsvFormat(offset_col=-1)
+        with pytest.raises(ValueError):
+            CsvFormat(skip_header_rows=-1)
+
+    def test_imported_trace_simulates(self, tmp_path):
+        rows = [f"0,0,{(i % 20) * 8192},8192,R" for i in range(200)]
+        path = self._write(tmp_path, rows)
+        t = load_csv(path)
+        from repro import PAPER_PARAMS, make_policy, simulate
+
+        stats = simulate(PAPER_PARAMS, make_policy("tree"), t.as_list(), 8)
+        stats.check_conservation()
