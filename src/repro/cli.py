@@ -8,6 +8,8 @@ Commands
 ``report``    Run the full experiment battery and write EXPERIMENTS.md
               (thin wrapper over :mod:`repro.analysis.report`).
 ``stats``     Characterise a workload (sequentiality, reuse, predictability).
+``serve``     Run the online prefetch advisory daemon (:mod:`repro.service`).
+``replay``    Replay a workload against a live daemon and report throughput.
 
 Examples
 --------
@@ -18,13 +20,17 @@ Examples
     python -m repro trace --name snake --refs 200000 --out snake.npz
     python -m repro report --refs 50000 --out EXPERIMENTS.md
     python -m repro stats --trace cello --refs 100000
+    python -m repro serve --port 7199
+    python -m repro replay --trace cad --clients 4 --port 7199
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+import zipfile
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.tables import render_dict, render_series
 from repro.params import PAPER_PARAMS, SystemParams
@@ -37,20 +43,50 @@ from repro.traces.synthetic import TRACE_NAMES, make_trace
 _POLICY_KWARGS = ("threshold", "num_children", "max_tree_nodes",
                   "max_candidates")
 
+#: ``--t-*`` flags mapped onto :class:`SystemParams` fields.
+_PARAM_FLAGS = ("t_cpu", "t_disk", "t_driver", "t_hit")
+
+
+class CLIError(Exception):
+    """A user-facing failure: print one line and exit nonzero."""
+
 
 def _load_workload(args) -> list:
     """Resolve ``--trace`` (generator name or file path) to a block list."""
     if args.trace in TRACE_NAMES:
         trace = make_trace(args.trace, num_references=args.refs, seed=args.seed)
     else:
-        trace = trace_io.load(args.trace)
+        try:
+            trace = trace_io.load(args.trace)
+        except FileNotFoundError:
+            raise CLIError(
+                f"trace file not found: {args.trace!r} "
+                f"(workload names are: {', '.join(TRACE_NAMES)})"
+            ) from None
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise CLIError(
+                f"cannot read trace file {args.trace!r}: {exc}"
+            ) from None
     return trace.as_list()
 
 
+def _param_overrides(args) -> Dict[str, float]:
+    """The ``--t-*`` values the user actually set, keyed by field name."""
+    return {
+        flag: getattr(args, flag)
+        for flag in _PARAM_FLAGS
+        if getattr(args, flag, None) is not None
+    }
+
+
 def _params(args) -> SystemParams:
-    if args.t_cpu is None:
+    overrides = _param_overrides(args)
+    if not overrides:
         return PAPER_PARAMS
-    return PAPER_PARAMS.with_t_cpu(args.t_cpu)
+    try:
+        return replace(PAPER_PARAMS, **overrides)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
 
 
 def _policy_kwargs(args) -> dict:
@@ -61,6 +97,19 @@ def _policy_kwargs(args) -> dict:
     }
 
 
+def _add_param_flags(parser: argparse.ArgumentParser) -> None:
+    """``--t-*`` hardware-timing overrides (cf. bench_modern_hardware)."""
+    parser.add_argument("--t-cpu", type=float, default=None, dest="t_cpu",
+                        help="override T_cpu (ms); default 50")
+    parser.add_argument("--t-disk", type=float, default=None, dest="t_disk",
+                        help="override T_disk (ms); default 15")
+    parser.add_argument("--t-driver", type=float, default=None,
+                        dest="t_driver",
+                        help="override T_driver (ms); default 0.58")
+    parser.add_argument("--t-hit", type=float, default=None, dest="t_hit",
+                        help="override T_hit (ms); default 0.243")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", required=True,
@@ -69,8 +118,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--refs", type=int, default=100_000,
                         help="references to generate (generator traces only)")
     parser.add_argument("--seed", type=int, default=1999)
-    parser.add_argument("--t-cpu", type=float, default=None, dest="t_cpu",
-                        help="override T_cpu (ms); default 50")
+    _add_param_flags(parser)
     parser.add_argument("--threshold", type=float, default=None,
                         help="tree-threshold's probability threshold")
     parser.add_argument("--num-children", type=int, default=None,
@@ -137,6 +185,63 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import PrefetchService, ServiceLimits, serve_forever
+
+    service = PrefetchService(
+        default_params=_params(args),
+        limits=ServiceLimits(
+            max_sessions=args.max_sessions,
+            max_sessions_per_connection=args.max_sessions_per_conn,
+        ),
+    )
+    try:
+        asyncio.run(serve_forever(args.host, args.port, service=service))
+    except KeyboardInterrupt:
+        metrics = service.metrics.as_dict()
+        metrics.pop("command_latency", None)
+        metrics.pop("outcomes", None)
+        print(render_dict(metrics, title="service metrics at shutdown"))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.service.client import ServiceError
+    from repro.service.protocol import ProtocolError
+    from repro.service.replay import replay
+
+    blocks = _load_workload(args)
+    overrides = _param_overrides(args)
+    try:
+        report = replay(
+            blocks,
+            host=args.host,
+            port=args.port,
+            clients=args.clients,
+            policy=args.policy,
+            cache_size=args.cache,
+            params=overrides or None,
+            policy_kwargs=_policy_kwargs(args) or None,
+            disjoint=args.disjoint,
+        )
+    except ConnectionRefusedError:
+        raise CLIError(
+            f"no server at {args.host}:{args.port} "
+            "(start one with: python -m repro serve)"
+        ) from None
+    except (ServiceError, ProtocolError) as exc:
+        raise CLIError(f"replay failed: {exc}") from None
+    flat = report.as_dict()
+    outcomes = flat.pop("outcomes")
+    flat.pop("per_client_miss_rate")
+    print(render_dict(flat, title=f"replay of {args.trace} "
+                                  f"x{args.clients} clients"))
+    print(render_dict(outcomes, title="reference outcomes"))
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis import report
 
@@ -188,12 +293,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default="EXPERIMENTS.md")
     p_rep.set_defaults(func=cmd_report)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the online prefetch advisory daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7199)
+    p_serve.add_argument("--max-sessions", type=int, default=1024,
+                         dest="max_sessions",
+                         help="live-session ceiling across all connections")
+    p_serve.add_argument("--max-sessions-per-conn", type=int, default=64,
+                         dest="max_sessions_per_conn")
+    _add_param_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay", help="replay a workload against a live daemon"
+    )
+    _add_common(p_replay)
+    p_replay.add_argument("--host", default="127.0.0.1")
+    p_replay.add_argument("--port", type=int, default=7199)
+    p_replay.add_argument("--clients", type=int, default=4,
+                          help="concurrent replay sessions")
+    p_replay.add_argument("--policy", choices=policy_names(), default="tree")
+    p_replay.add_argument("--cache", type=int, default=1024,
+                          help="per-session cache size in blocks")
+    p_replay.add_argument("--disjoint", action="store_true",
+                          help="give each client a private block-id range")
+    p_replay.set_defaults(func=cmd_replay)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

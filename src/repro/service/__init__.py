@@ -1,0 +1,47 @@
+"""Online prefetch advisory service.
+
+The offline :class:`~repro.sim.engine.Simulator` consumes a whole trace up
+front; real predictive prefetchers (MITHRIL, Pangloss) instead answer one
+question per access, online: *given this reference, what should be fetched
+ahead of demand right now?*  This package turns the predictor +
+cost-benefit core into exactly that — a long-lived advisory daemon:
+
+* :mod:`~repro.service.session`  — :class:`PrefetchSession`, the per-client
+  state machine (``observe(block) -> PrefetchAdvice``);
+* :mod:`~repro.service.protocol` — versioned newline-delimited-JSON wire
+  schema (OPEN / OBSERVE / STATS / CLOSE);
+* :mod:`~repro.service.server`   — asyncio TCP server multiplexing many
+  concurrent sessions with per-session limits and backpressure;
+* :mod:`~repro.service.client`   — async and blocking clients;
+* :mod:`~repro.service.metrics`  — service-level counters and per-command
+  latency histograms;
+* :mod:`~repro.service.replay`   — a load generator replaying any trace
+  against a live server at configurable concurrency.
+
+Entry points: ``python -m repro serve`` and ``python -m repro replay``.
+"""
+
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.replay import ReplayReport, replay, replay_async
+from repro.service.server import BackgroundServer, PrefetchService, ServiceLimits
+from repro.service.session import PrefetchAdvice, PrefetchSession, SessionError
+
+__all__ = [
+    "AsyncServiceClient",
+    "BackgroundServer",
+    "LatencyHistogram",
+    "PROTOCOL_VERSION",
+    "PrefetchAdvice",
+    "PrefetchService",
+    "PrefetchSession",
+    "ProtocolError",
+    "ReplayReport",
+    "ServiceClient",
+    "ServiceLimits",
+    "ServiceMetrics",
+    "SessionError",
+    "replay",
+    "replay_async",
+]

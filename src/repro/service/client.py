@@ -1,0 +1,236 @@
+"""Clients for the advisory service: asyncio and blocking-socket flavours.
+
+Both speak the :mod:`repro.service.protocol` NDJSON wire format, validate
+the server's HELLO banner (protocol version), auto-number request ids, and
+turn ``ok: false`` replies into :class:`ServiceError`.
+
+:class:`AsyncServiceClient` is what the replay load generator uses — many
+of them share one event loop.  :class:`ServiceClient` is a plain blocking
+wrapper for scripts, examples, and interactive use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, Optional, Type, TypeVar
+
+from repro.service import protocol
+from repro.service.protocol import (
+    CloseReply,
+    CloseRequest,
+    ErrorReply,
+    HelloReply,
+    ObserveReply,
+    ObserveRequest,
+    OpenReply,
+    OpenRequest,
+    ProtocolError,
+    Reply,
+    Request,
+    StatsReply,
+    StatsRequest,
+)
+from repro.service.session import PrefetchAdvice
+
+R = TypeVar("R", bound=Reply)
+
+
+class ServiceError(Exception):
+    """The server answered with an error reply."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+def _expect(reply: Reply, reply_type: Type[R]) -> R:
+    if isinstance(reply, ErrorReply):
+        raise ServiceError(reply.error, reply.message)
+    if not isinstance(reply, reply_type):
+        raise ProtocolError(
+            f"expected {reply_type.__name__}, got {type(reply).__name__}"
+        )
+    return reply
+
+
+def _check_hello(reply: Reply) -> HelloReply:
+    hello = _expect(reply, HelloReply)
+    if hello.protocol != protocol.PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"server speaks protocol v{hello.protocol}, "
+            f"client speaks v{protocol.PROTOCOL_VERSION}",
+            code=protocol.E_BAD_VERSION,
+        )
+    return hello
+
+
+class AsyncServiceClient:
+    """One connection to the service, usable from an event loop."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: HelloReply,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.hello = hello
+        self._next_id = 1
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7199
+    ) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        hello = _check_hello(protocol.decode_reply(await reader.readline()))
+        return cls(reader, writer, hello)
+
+    async def _rpc(self, request: Request, reply_type: Type[R]) -> R:
+        self._writer.write(protocol.encode_request(request))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return _expect(protocol.decode_reply(line), reply_type)
+
+    def _take_id(self) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        return request_id
+
+    async def open(
+        self,
+        *,
+        policy: str = "tree",
+        cache_size: int = 1024,
+        params: Optional[Dict[str, float]] = None,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Create a session; returns its server-assigned id."""
+        reply = await self._rpc(
+            OpenRequest(
+                id=self._take_id(), policy=policy, cache_size=cache_size,
+                params=params, policy_kwargs=dict(policy_kwargs or {}),
+            ),
+            OpenReply,
+        )
+        return reply.session
+
+    async def observe(self, session: str, block: int) -> PrefetchAdvice:
+        reply = await self._rpc(
+            ObserveRequest(id=self._take_id(), session=session, block=block),
+            ObserveReply,
+        )
+        return reply.advice
+
+    async def stats(self, session: str) -> Dict[str, Any]:
+        reply = await self._rpc(
+            StatsRequest(id=self._take_id(), session=session), StatsReply
+        )
+        return reply.stats
+
+    async def close_session(self, session: str) -> Dict[str, Any]:
+        reply = await self._rpc(
+            CloseRequest(id=self._take_id(), session=session), CloseReply
+        )
+        return reply.stats
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+
+class ServiceClient:
+    """Blocking client over a plain socket (scripts and examples)."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 1
+        self.hello: HelloReply = _check_hello(
+            protocol.decode_reply(self._file.readline())
+        )
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7199,
+        *,
+        timeout: Optional[float] = 30.0,
+    ) -> "ServiceClient":
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    def _rpc(self, request: Request, reply_type: Type[R]) -> R:
+        self._file.write(protocol.encode_request(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return _expect(protocol.decode_reply(line), reply_type)
+
+    def _take_id(self) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        return request_id
+
+    def open(
+        self,
+        *,
+        policy: str = "tree",
+        cache_size: int = 1024,
+        params: Optional[Dict[str, float]] = None,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        reply = self._rpc(
+            OpenRequest(
+                id=self._take_id(), policy=policy, cache_size=cache_size,
+                params=params, policy_kwargs=dict(policy_kwargs or {}),
+            ),
+            OpenReply,
+        )
+        return reply.session
+
+    def observe(self, session: str, block: int) -> PrefetchAdvice:
+        reply = self._rpc(
+            ObserveRequest(id=self._take_id(), session=session, block=block),
+            ObserveReply,
+        )
+        return reply.advice
+
+    def stats(self, session: str) -> Dict[str, Any]:
+        reply = self._rpc(
+            StatsRequest(id=self._take_id(), session=session), StatsReply
+        )
+        return reply.stats
+
+    def close_session(self, session: str) -> Dict[str, Any]:
+        reply = self._rpc(
+            CloseRequest(id=self._take_id(), session=session), CloseReply
+        )
+        return reply.stats
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

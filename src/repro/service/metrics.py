@@ -1,0 +1,185 @@
+"""Service-level observability: counters and latency histograms.
+
+The serving loop is the hot path, so the histogram is O(1) per sample:
+latencies land in logarithmic buckets (successive powers of ``2**(1/4)``
+microseconds, ~19% wide) and percentiles are interpolated inside the
+matching bucket.  That bounds memory at a few hundred ints regardless of
+load, the same trade HdrHistogram and Prometheus make.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+#: Bucket boundaries grow by 2**(1/4) per step starting at 1 microsecond;
+#: 160 steps cover 1 us .. ~1100 s, more than any sane command latency.
+_BUCKETS_PER_OCTAVE = 4
+_NUM_BUCKETS = 160
+_MIN_LATENCY_S = 1e-6
+
+
+class LatencyHistogram:
+    """Fixed-size log-bucketed latency histogram (seconds in, ms out)."""
+
+    __slots__ = ("_counts", "count", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self._counts = [0] * _NUM_BUCKETS
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            seconds = 0.0
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        ratio = max(seconds, _MIN_LATENCY_S) / _MIN_LATENCY_S
+        index = int(_BUCKETS_PER_OCTAVE * math.log2(ratio))
+        if index >= _NUM_BUCKETS:
+            index = _NUM_BUCKETS - 1
+        self._counts[index] += 1
+
+    @staticmethod
+    def _bucket_upper_s(index: int) -> float:
+        return _MIN_LATENCY_S * 2.0 ** ((index + 1) / _BUCKETS_PER_OCTAVE)
+
+    @property
+    def mean_ms(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return 1e3 * self.total_s / self.count
+
+    @property
+    def max_ms(self) -> float:
+        return 1e3 * self.max_s
+
+    def percentile_ms(self, p: float) -> float:
+        """Latency (ms) at percentile ``p`` in [0, 100], bucket-interpolated."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count > 0:
+                upper = self._bucket_upper_s(index)
+                return 1e3 * min(upper, self.max_s if self.max_s else upper)
+        return self.max_ms
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(self.percentile_ms(50), 4),
+            "p95_ms": round(self.percentile_ms(95), 4),
+            "p99_ms": round(self.percentile_ms(99), 4),
+            "max_ms": round(self.max_ms, 4),
+        }
+
+
+class ServiceMetrics:
+    """Counters for one server instance.
+
+    ``record_outcome`` feeds the advice-accuracy signal: every OBSERVE
+    reply reports how the reference resolved against the session's modelled
+    cache, so ``prefetch_hit / (prefetch_hit + miss)`` measures how often
+    the advice put the right block in place before demand arrived.
+    """
+
+    def __init__(self) -> None:
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_rejected = 0
+        self.advice_issued = 0
+        self.prefetches_recommended = 0
+        self.errors = 0
+        self.outcomes: Dict[str, int] = {
+            "demand_hit": 0, "prefetch_hit": 0, "miss": 0,
+        }
+        self.command_latency: Dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------- feeding
+
+    @property
+    def live_sessions(self) -> int:
+        return self.sessions_opened - self.sessions_closed
+
+    def record_latency(self, command: str, seconds: float) -> None:
+        histogram = self.command_latency.get(command)
+        if histogram is None:
+            histogram = self.command_latency[command] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def record_advice(self, outcome: str, prefetches: int) -> None:
+        self.advice_issued += 1
+        self.prefetches_recommended += prefetches
+        if outcome in self.outcomes:
+            self.outcomes[outcome] += 1
+
+    # ------------------------------------------------------------- reading
+
+    @property
+    def advice_accuracy(self) -> Optional[float]:
+        """Fraction of non-resident references served from prefetched blocks.
+
+        ``None`` until at least one reference actually needed the disk.
+        """
+        resolved = self.outcomes["prefetch_hit"] + self.outcomes["miss"]
+        if resolved == 0:
+            return None
+        return self.outcomes["prefetch_hit"] / resolved
+
+    def as_dict(self) -> Dict[str, Any]:
+        accuracy = self.advice_accuracy
+        return {
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_rejected": self.sessions_rejected,
+            "live_sessions": self.live_sessions,
+            "advice_issued": self.advice_issued,
+            "prefetches_recommended": self.prefetches_recommended,
+            "errors": self.errors,
+            "outcomes": dict(self.outcomes),
+            "advice_accuracy": (
+                None if accuracy is None else round(accuracy, 4)
+            ),
+            "command_latency": {
+                command: histogram.as_dict()
+                for command, histogram in sorted(self.command_latency.items())
+            },
+        }
+
+
+def percentiles_from_samples(samples: List[float]) -> Dict[str, float]:
+    """Exact p50/p95/p99 (ms) from raw second-valued samples (load gen)."""
+    if not samples:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+
+    def at(p: float) -> float:
+        return 1e3 * ordered[min(last, int(round(p / 100.0 * last)))]
+
+    return {
+        "p50_ms": round(at(50), 4),
+        "p95_ms": round(at(95), 4),
+        "p99_ms": round(at(99), 4),
+    }

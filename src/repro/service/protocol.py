@@ -1,0 +1,372 @@
+"""Wire protocol for the advisory service: versioned newline-delimited JSON.
+
+Every message is one JSON object on one line, UTF-8, ``\\n``-terminated.
+Requests carry ``{"v": 1, "cmd": ..., "id": ...}`` plus command fields;
+replies echo the request ``id`` and carry ``"ok": true`` with a payload or
+``"ok": false`` with an error code and message.  The server greets each
+connection with a HELLO reply (``id`` 0) announcing its protocol version
+and limits, so clients can fail fast on a version mismatch.
+
+Commands
+--------
+``open``     create a session (policy, cache size, system parameters)
+``observe``  feed one block reference, get :class:`PrefetchAdvice` back
+``stats``    non-destructive mid-session counter snapshot
+``close``    seal the session and return the final statistics
+
+The schema is deliberately flat and text-first (cf. redis' RESP or
+memcached's text protocol): a session can be driven from ``nc`` by hand,
+and any language with a JSON library can implement a client in a page.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Type, Union
+
+from repro.service.session import PrefetchAdvice
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one encoded line; guards the server against a client
+#: streaming an unbounded "line" into memory.
+MAX_LINE_BYTES = 1 << 20
+
+# Error codes carried by ErrorReply.error.
+E_BAD_REQUEST = "bad_request"
+E_BAD_VERSION = "bad_version"
+E_UNKNOWN_SESSION = "unknown_session"
+E_SESSION_ERROR = "session_error"
+E_LIMIT = "limit_exceeded"
+
+
+class ProtocolError(Exception):
+    """A line that cannot be parsed into a valid message."""
+
+    def __init__(self, message: str, *, code: str = E_BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+# --------------------------------------------------------------- requests
+
+
+@dataclass(frozen=True)
+class OpenRequest:
+    """Create a new session."""
+
+    id: int
+    policy: str = "tree"
+    cache_size: int = 1024
+    params: Optional[Dict[str, float]] = None
+    """Overrides for :class:`SystemParams` fields (t_cpu, t_disk, ...)."""
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    cmd = "open"
+
+    def payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "policy": self.policy,
+            "cache_size": self.cache_size,
+        }
+        if self.params is not None:
+            out["params"] = self.params
+        if self.policy_kwargs:
+            out["policy_kwargs"] = self.policy_kwargs
+        return out
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "OpenRequest":
+        return cls(
+            id=id,
+            policy=str(payload.get("policy", "tree")),
+            cache_size=int(payload.get("cache_size", 1024)),
+            params=payload.get("params"),
+            policy_kwargs=dict(payload.get("policy_kwargs", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ObserveRequest:
+    """Feed one block reference to a session."""
+
+    id: int
+    session: str
+    block: int
+
+    cmd = "observe"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"session": self.session, "block": self.block}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "ObserveRequest":
+        if "session" not in payload or "block" not in payload:
+            raise ProtocolError("observe requires 'session' and 'block'")
+        return cls(id=id, session=str(payload["session"]),
+                   block=int(payload["block"]))
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Request a non-destructive counter snapshot for a session."""
+
+    id: int
+    session: str
+
+    cmd = "stats"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"session": self.session}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "StatsRequest":
+        if "session" not in payload:
+            raise ProtocolError("stats requires 'session'")
+        return cls(id=id, session=str(payload["session"]))
+
+
+@dataclass(frozen=True)
+class CloseRequest:
+    """Seal a session and collect its final statistics."""
+
+    id: int
+    session: str
+
+    cmd = "close"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"session": self.session}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "CloseRequest":
+        if "session" not in payload:
+            raise ProtocolError("close requires 'session'")
+        return cls(id=id, session=str(payload["session"]))
+
+
+Request = Union[OpenRequest, ObserveRequest, StatsRequest, CloseRequest]
+
+_REQUEST_TYPES: Dict[str, Type[Any]] = {
+    cls.cmd: cls
+    for cls in (OpenRequest, ObserveRequest, StatsRequest, CloseRequest)
+}
+
+
+# ---------------------------------------------------------------- replies
+
+
+@dataclass(frozen=True)
+class HelloReply:
+    """Server banner, sent unsolicited when a connection opens."""
+
+    id: int
+    server: str = "repro.service"
+    protocol: int = PROTOCOL_VERSION
+    max_sessions: Optional[int] = None
+
+    cmd = "hello"
+    ok = True
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "server": self.server,
+            "protocol": self.protocol,
+            "max_sessions": self.max_sessions,
+        }
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "HelloReply":
+        return cls(
+            id=id,
+            server=str(payload.get("server", "repro.service")),
+            protocol=int(payload.get("protocol", -1)),
+            max_sessions=payload.get("max_sessions"),
+        )
+
+
+@dataclass(frozen=True)
+class OpenReply:
+    id: int
+    session: str
+    policy: str
+    cache_size: int
+
+    cmd = "open"
+    ok = True
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "session": self.session,
+            "policy": self.policy,
+            "cache_size": self.cache_size,
+        }
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "OpenReply":
+        return cls(
+            id=id,
+            session=str(payload["session"]),
+            policy=str(payload["policy"]),
+            cache_size=int(payload["cache_size"]),
+        )
+
+
+@dataclass(frozen=True)
+class ObserveReply:
+    id: int
+    session: str
+    advice: PrefetchAdvice
+
+    cmd = "observe"
+    ok = True
+
+    def payload(self) -> Dict[str, Any]:
+        return {"session": self.session, "advice": self.advice.as_dict()}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "ObserveReply":
+        return cls(
+            id=id,
+            session=str(payload["session"]),
+            advice=PrefetchAdvice.from_dict(payload["advice"]),
+        )
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    id: int
+    session: str
+    stats: Dict[str, Any]
+
+    cmd = "stats"
+    ok = True
+
+    def payload(self) -> Dict[str, Any]:
+        return {"session": self.session, "stats": self.stats}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "StatsReply":
+        return cls(id=id, session=str(payload["session"]),
+                   stats=dict(payload["stats"]))
+
+
+@dataclass(frozen=True)
+class CloseReply:
+    id: int
+    session: str
+    stats: Dict[str, Any]
+
+    cmd = "close"
+    ok = True
+
+    def payload(self) -> Dict[str, Any]:
+        return {"session": self.session, "stats": self.stats}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "CloseReply":
+        return cls(id=id, session=str(payload["session"]),
+                   stats=dict(payload["stats"]))
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    id: int
+    error: str
+    message: str
+
+    cmd = "error"
+    ok = False
+
+    def payload(self) -> Dict[str, Any]:
+        return {"error": self.error, "message": self.message}
+
+    @classmethod
+    def from_payload(cls, id: int, payload: Dict[str, Any]) -> "ErrorReply":
+        return cls(id=id, error=str(payload["error"]),
+                   message=str(payload["message"]))
+
+
+Reply = Union[HelloReply, OpenReply, ObserveReply, StatsReply, CloseReply,
+              ErrorReply]
+
+_REPLY_TYPES: Dict[str, Type[Any]] = {
+    cls.cmd: cls
+    for cls in (HelloReply, OpenReply, ObserveReply, StatsReply, CloseReply,
+                ErrorReply)
+}
+
+
+# ------------------------------------------------------------ wire codecs
+
+
+def _check_version(obj: Dict[str, Any]) -> None:
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"want {PROTOCOL_VERSION}",
+            code=E_BAD_VERSION,
+        )
+
+
+def _parse_line(line: Union[str, bytes]) -> Dict[str, Any]:
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("line exceeds MAX_LINE_BYTES")
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("message must be a JSON object")
+    return obj
+
+
+def encode_request(request: Request) -> bytes:
+    obj = {"v": PROTOCOL_VERSION, "cmd": request.cmd, "id": request.id}
+    obj.update(request.payload())
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_request(line: Union[str, bytes]) -> Request:
+    obj = _parse_line(line)
+    _check_version(obj)
+    cmd = obj.get("cmd")
+    cls = _REQUEST_TYPES.get(cmd)  # type: ignore[arg-type]
+    if cls is None:
+        raise ProtocolError(f"unknown command {cmd!r}")
+    try:
+        request_id = int(obj.get("id", 0))
+    except (TypeError, ValueError):
+        raise ProtocolError("request id must be an integer") from None
+    try:
+        return cls.from_payload(request_id, obj)
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {cmd} request: {exc}") from None
+
+
+def encode_reply(reply: Reply) -> bytes:
+    obj = {"v": PROTOCOL_VERSION, "cmd": reply.cmd, "id": reply.id,
+           "ok": reply.ok}
+    obj.update(reply.payload())
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_reply(line: Union[str, bytes]) -> Reply:
+    obj = _parse_line(line)
+    _check_version(obj)
+    cmd = obj.get("cmd")
+    cls = _REPLY_TYPES.get(cmd)  # type: ignore[arg-type]
+    if cls is None:
+        raise ProtocolError(f"unknown reply {cmd!r}")
+    try:
+        return cls.from_payload(int(obj.get("id", 0)), obj)
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {cmd} reply: {exc}") from None

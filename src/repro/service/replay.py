@@ -1,0 +1,162 @@
+"""Load generator: replay a block trace against a live advisory server.
+
+Spawns N concurrent clients, each with its own connection and session,
+streaming the trace one OBSERVE per reference, and reports aggregate
+throughput (advice/sec), client-side latency percentiles, and the outcome
+mix.  Because each session is deterministic given its reference stream,
+replaying the same seeded trace always produces the same advice — the
+harness doubles as a correctness check under concurrency.
+
+``disjoint=True`` offsets each client's block ids into a private range so
+the server is exercised with genuinely different streams (the concurrent-
+isolation tests use this); the default replays the identical trace in all
+clients, the usual load-testing setup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.service.client import AsyncServiceClient
+from repro.service.metrics import percentiles_from_samples
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate results of one replay run."""
+
+    clients: int
+    policy: str
+    cache_size: int
+    requests: int
+    prefetches_recommended: int
+    wall_seconds: float
+    latency: Dict[str, float]
+    outcomes: Dict[str, int]
+    per_client_miss_rate: List[float] = field(default_factory=list)
+
+    @property
+    def advice_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "policy": self.policy,
+            "cache_size": self.cache_size,
+            "requests": self.requests,
+            "prefetches_recommended": self.prefetches_recommended,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "advice_per_second": round(self.advice_per_second, 1),
+            "latency_p50_ms": self.latency["p50_ms"],
+            "latency_p95_ms": self.latency["p95_ms"],
+            "latency_p99_ms": self.latency["p99_ms"],
+            "outcomes": dict(self.outcomes),
+            "per_client_miss_rate": [
+                round(rate, 2) for rate in self.per_client_miss_rate
+            ],
+        }
+
+
+@dataclass
+class _ClientResult:
+    samples: List[float]
+    outcomes: Dict[str, int]
+    prefetches: int
+    miss_rate: float
+
+
+async def _replay_one(
+    host: str,
+    port: int,
+    blocks: Sequence[int],
+    *,
+    policy: str,
+    cache_size: int,
+    params: Optional[Dict[str, float]],
+    policy_kwargs: Optional[Dict[str, Any]],
+    offset: int,
+) -> _ClientResult:
+    samples: List[float] = []
+    outcomes = {"demand_hit": 0, "prefetch_hit": 0, "miss": 0}
+    prefetches = 0
+    async with await AsyncServiceClient.connect(host, port) as client:
+        session = await client.open(
+            policy=policy, cache_size=cache_size, params=params,
+            policy_kwargs=policy_kwargs,
+        )
+        for block in blocks:
+            started = time.perf_counter()
+            advice = await client.observe(session, int(block) + offset)
+            samples.append(time.perf_counter() - started)
+            outcomes[advice.outcome] += 1
+            prefetches += len(advice.prefetch)
+        final = await client.close_session(session)
+    return _ClientResult(
+        samples=samples,
+        outcomes=outcomes,
+        prefetches=prefetches,
+        miss_rate=float(final.get("miss_rate", 0.0)),
+    )
+
+
+async def replay_async(
+    blocks: Sequence[int],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 7199,
+    clients: int = 4,
+    policy: str = "tree",
+    cache_size: int = 1024,
+    params: Optional[Dict[str, float]] = None,
+    policy_kwargs: Optional[Dict[str, Any]] = None,
+    disjoint: bool = False,
+) -> ReplayReport:
+    """Replay ``blocks`` from ``clients`` concurrent sessions."""
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients!r}")
+    if not blocks:
+        raise ValueError("cannot replay an empty trace")
+    # Private id ranges per client when streams must not collide.
+    span = (max(int(b) for b in blocks) + 1) if disjoint else 0
+    started = time.perf_counter()
+    results = await asyncio.gather(*(
+        _replay_one(
+            host, port, blocks,
+            policy=policy, cache_size=cache_size, params=params,
+            policy_kwargs=policy_kwargs,
+            offset=index * span,
+        )
+        for index in range(clients)
+    ))
+    wall = time.perf_counter() - started
+
+    samples: List[float] = []
+    outcomes = {"demand_hit": 0, "prefetch_hit": 0, "miss": 0}
+    prefetches = 0
+    for result in results:
+        samples.extend(result.samples)
+        prefetches += result.prefetches
+        for key, count in result.outcomes.items():
+            outcomes[key] += count
+    return ReplayReport(
+        clients=clients,
+        policy=policy,
+        cache_size=cache_size,
+        requests=len(samples),
+        prefetches_recommended=prefetches,
+        wall_seconds=wall,
+        latency=percentiles_from_samples(samples),
+        outcomes=outcomes,
+        per_client_miss_rate=[result.miss_rate for result in results],
+    )
+
+
+def replay(blocks: Sequence[int], **kwargs: Any) -> ReplayReport:
+    """Blocking wrapper around :func:`replay_async`."""
+    return asyncio.run(replay_async(blocks, **kwargs))

@@ -1,0 +1,359 @@
+"""Asyncio TCP server multiplexing many concurrent advisory sessions.
+
+One process serves many connections; each connection may open several
+sessions (e.g. one per application being advised).  Sessions are isolated
+— every OPEN builds a fresh policy, prefetch tree, and cost-benefit
+estimator — and are torn down with the connection that opened them.
+
+Flow control is cooperative: requests on one connection are processed in
+order, every reply is ``drain()``-ed before the next request is read (so a
+slow reader backpressures its own pipeline, not the whole server), and the
+stream reader's line limit bounds per-connection buffering.  Session work
+itself is synchronous pure-Python; the event loop interleaves connections
+between requests, which is the right trade for a model-driven advisor
+whose per-request work is microseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Set
+
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    CloseReply,
+    CloseRequest,
+    ErrorReply,
+    HelloReply,
+    ObserveReply,
+    ObserveRequest,
+    OpenReply,
+    OpenRequest,
+    ProtocolError,
+    Reply,
+    Request,
+    StatsReply,
+    StatsRequest,
+)
+from repro.service.session import PrefetchSession, SessionError
+
+#: SystemParams fields an OPEN request may override.
+_PARAM_FIELDS = frozenset({"t_hit", "t_driver", "t_disk", "t_cpu", "block_size"})
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Hard ceilings protecting one server instance."""
+
+    max_sessions: int = 1024
+    """Live sessions across all connections."""
+    max_sessions_per_connection: int = 64
+    max_observations_per_session: Optional[int] = 10_000_000
+    max_line_bytes: int = protocol.MAX_LINE_BYTES
+
+
+class PrefetchService:
+    """Session table + request dispatcher (transport-independent)."""
+
+    def __init__(
+        self,
+        *,
+        default_params: Optional[SystemParams] = None,
+        limits: Optional[ServiceLimits] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self.default_params = (
+            default_params if default_params is not None else PAPER_PARAMS
+        )
+        self.limits = limits if limits is not None else ServiceLimits()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.sessions: Dict[str, PrefetchSession] = {}
+        self._session_ids = itertools.count(1)
+
+    # ----------------------------------------------------------- dispatch
+
+    def handle(self, request: Request, owned: Set[str]) -> Reply:
+        """Serve one decoded request; ``owned`` is the connection's sessions."""
+        started = time.perf_counter()
+        try:
+            if isinstance(request, OpenRequest):
+                reply = self._handle_open(request, owned)
+            elif isinstance(request, ObserveRequest):
+                reply = self._handle_observe(request)
+            elif isinstance(request, StatsRequest):
+                reply = self._handle_stats(request)
+            elif isinstance(request, CloseRequest):
+                reply = self._handle_close(request, owned)
+            else:  # pragma: no cover - decode_request guards this
+                reply = ErrorReply(request.id, protocol.E_BAD_REQUEST,
+                                   f"unhandled command {request!r}")
+        except SessionError as exc:
+            reply = ErrorReply(request.id, protocol.E_SESSION_ERROR, str(exc))
+        if isinstance(reply, ErrorReply):
+            self.metrics.errors += 1
+        self.metrics.record_latency(request.cmd, time.perf_counter() - started)
+        return reply
+
+    def _handle_open(self, request: OpenRequest, owned: Set[str]) -> Reply:
+        limits = self.limits
+        if len(self.sessions) >= limits.max_sessions:
+            self.metrics.sessions_rejected += 1
+            return ErrorReply(
+                request.id, protocol.E_LIMIT,
+                f"server session limit reached ({limits.max_sessions})",
+            )
+        if len(owned) >= limits.max_sessions_per_connection:
+            self.metrics.sessions_rejected += 1
+            return ErrorReply(
+                request.id, protocol.E_LIMIT,
+                "connection session limit reached "
+                f"({limits.max_sessions_per_connection})",
+            )
+        try:
+            params = self._resolve_params(request.params)
+        except (TypeError, ValueError) as exc:
+            self.metrics.sessions_rejected += 1
+            return ErrorReply(request.id, protocol.E_BAD_REQUEST, str(exc))
+        try:
+            session = PrefetchSession(
+                policy=request.policy,
+                cache_size=request.cache_size,
+                params=params,
+                policy_kwargs=request.policy_kwargs,
+                max_observations=limits.max_observations_per_session,
+            )
+        except SessionError as exc:
+            self.metrics.sessions_rejected += 1
+            return ErrorReply(request.id, protocol.E_SESSION_ERROR, str(exc))
+        session_id = f"s{next(self._session_ids)}"
+        self.sessions[session_id] = session
+        owned.add(session_id)
+        self.metrics.sessions_opened += 1
+        return OpenReply(
+            id=request.id,
+            session=session_id,
+            policy=session.policy_name,
+            cache_size=session.cache_size,
+        )
+
+    def _handle_observe(self, request: ObserveRequest) -> Reply:
+        session = self.sessions.get(request.session)
+        if session is None:
+            return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
+                              f"unknown session {request.session!r}")
+        advice = session.observe(request.block)
+        self.metrics.record_advice(advice.outcome, len(advice.prefetch))
+        return ObserveReply(id=request.id, session=request.session,
+                            advice=advice)
+
+    def _handle_stats(self, request: StatsRequest) -> Reply:
+        session = self.sessions.get(request.session)
+        if session is None:
+            return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
+                              f"unknown session {request.session!r}")
+        return StatsReply(id=request.id, session=request.session,
+                          stats=session.stats_snapshot())
+
+    def _handle_close(self, request: CloseRequest, owned: Set[str]) -> Reply:
+        session = self.sessions.pop(request.session, None)
+        if session is None:
+            return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
+                              f"unknown session {request.session!r}")
+        owned.discard(request.session)
+        stats = session.close()
+        self.metrics.sessions_closed += 1
+        return CloseReply(id=request.id, session=request.session, stats=stats)
+
+    def _resolve_params(
+        self, overrides: Optional[Dict[str, float]]
+    ) -> SystemParams:
+        if not overrides:
+            return self.default_params
+        unknown = set(overrides) - _PARAM_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown system parameter(s): {', '.join(sorted(unknown))}"
+            )
+        cleaned = {
+            key: (int(value) if key == "block_size" else float(value))
+            for key, value in overrides.items()
+        }
+        return replace(self.default_params, **cleaned)
+
+    def drop_connection_sessions(self, owned: Set[str]) -> None:
+        """Tear down sessions whose connection vanished without CLOSE."""
+        for session_id in owned:
+            session = self.sessions.pop(session_id, None)
+            if session is not None:
+                session.close()
+                self.metrics.sessions_closed += 1
+        owned.clear()
+
+    # --------------------------------------------------------- connection
+
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.connections_opened += 1
+        owned: Set[str] = set()
+        try:
+            writer.write(protocol.encode_reply(
+                HelloReply(id=0, max_sessions=self.limits.max_sessions)
+            ))
+            await writer.drain()
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.encode_reply(ErrorReply(
+                        0, protocol.E_BAD_REQUEST, "request line too long",
+                    )))
+                    await writer.drain()
+                    self.metrics.errors += 1
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    request = protocol.decode_request(stripped)
+                except ProtocolError as exc:
+                    self.metrics.errors += 1
+                    writer.write(protocol.encode_reply(
+                        ErrorReply(0, exc.code, str(exc))
+                    ))
+                    await writer.drain()
+                    continue
+                writer.write(protocol.encode_reply(
+                    self.handle(request, owned)
+                ))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.drop_connection_sessions(owned)
+            self.metrics.connections_closed += 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Bind and start serving; returns the listening asyncio server."""
+        return await asyncio.start_server(
+            self.handle_connection, host, port,
+            limit=self.limits.max_line_bytes,
+        )
+
+
+def bound_port(server: asyncio.AbstractServer) -> int:
+    """The actual port of a (possibly port-0) listening server."""
+    return server.sockets[0].getsockname()[1]
+
+
+async def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 7199,
+    *,
+    service: Optional[PrefetchService] = None,
+    ready_message: bool = True,
+) -> None:
+    """Run a service until cancelled (the ``python -m repro serve`` core)."""
+    service = service if service is not None else PrefetchService()
+    server = await service.start(host, port)
+    if ready_message:
+        print(f"repro.service listening on {host}:{bound_port(server)} "
+              f"(protocol v{protocol.PROTOCOL_VERSION})", flush=True)
+    async with server:
+        await server.serve_forever()
+
+
+class BackgroundServer:
+    """A live server on a daemon thread — for tests, benchmarks, examples.
+
+    ::
+
+        with BackgroundServer() as server:
+            client = ServiceClient.connect(port=server.port)
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: Optional[PrefetchService] = None,
+    ) -> None:
+        self.host = host
+        self.service = service if service is not None else PrefetchService()
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 10 s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            server = loop.run_until_complete(
+                self.service.start(self.host, self._requested_port)
+            )
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self.port = bound_port(server)
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._thread = None
+        self._loop = None
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self.service.metrics.as_dict()
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,197 @@
+"""Per-client session state machine for the advisory service.
+
+A :class:`PrefetchSession` wraps one policy + prefetch tree + cost-benefit
+estimator behind a three-call lifecycle::
+
+    session = PrefetchSession(policy="tree", cache_size=1024)
+    advice = session.observe(block)     # once per application reference
+    session.stats_snapshot()            # any time, non-destructive
+    final = session.close()             # seals and validates the stats
+
+Unlike :meth:`Simulator.run`, a session never sees the future: it drives
+:meth:`Simulator.step` one reference at a time, which is why oracle
+policies that read ``engine.next_block`` / ``engine.full_trace`` (the
+perfect-selector and hinting schemes) are rejected at construction.  For
+every online-capable policy the advice stream is *bit-identical* to the
+decisions the offline simulator would make on the same trace — the
+determinism-parity tests in ``tests/service/`` enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.registry import make_policy
+from repro.sim.engine import PrefetchDecision, Simulator
+
+Block = Hashable
+
+#: Policies that need the whole trace (or one-access lookahead) up front and
+#: therefore cannot serve online sessions.
+OFFLINE_ONLY_POLICIES = frozenset({"perfect-selector", "informed"})
+
+
+class SessionError(Exception):
+    """Misuse of a session: unknown policy, observe-after-close, ..."""
+
+
+@dataclass(frozen=True)
+class PrefetchAdvice:
+    """The service's answer to one observed reference.
+
+    ``outcome`` reports how the reference itself resolved against the
+    session's modelled cache (``demand_hit`` / ``prefetch_hit`` / ``miss``);
+    ``prefetch`` lists the blocks the cost-benefit rule decided to fetch
+    ahead of the *next* references, most valuable first.
+    """
+
+    block: Block
+    period: int
+    outcome: str
+    stall_ms: float
+    prefetch: Tuple[PrefetchDecision, ...]
+    s: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the OBSERVE reply payload)."""
+        return {
+            "block": self.block,
+            "period": self.period,
+            "outcome": self.outcome,
+            "stall_ms": self.stall_ms,
+            "prefetch": [
+                {
+                    "block": d.block,
+                    "probability": d.probability,
+                    "depth": d.depth,
+                    "tag": d.tag,
+                }
+                for d in self.prefetch
+            ],
+            "s": self.s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PrefetchAdvice":
+        return cls(
+            block=payload["block"],
+            period=int(payload["period"]),
+            outcome=str(payload["outcome"]),
+            stall_ms=float(payload["stall_ms"]),
+            prefetch=tuple(
+                PrefetchDecision(
+                    d["block"], float(d["probability"]), int(d["depth"]),
+                    str(d["tag"]),
+                )
+                for d in payload["prefetch"]
+            ),
+            s=float(payload["s"]),
+        )
+
+
+class PrefetchSession:
+    """One client's long-lived predictor + cost-benefit state."""
+
+    def __init__(
+        self,
+        *,
+        policy: str = "tree",
+        cache_size: int = 1024,
+        params: Optional[SystemParams] = None,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+        max_observations: Optional[int] = None,
+        **sim_kwargs: Any,
+    ) -> None:
+        if policy in OFFLINE_ONLY_POLICIES:
+            raise SessionError(
+                f"policy {policy!r} needs the full trace up front and "
+                "cannot run as an online session"
+            )
+        try:
+            policy_obj = make_policy(policy, **(policy_kwargs or {}))
+        except (ValueError, TypeError) as exc:
+            raise SessionError(str(exc)) from None
+        if max_observations is not None and max_observations < 1:
+            raise SessionError(
+                f"max_observations must be >= 1, got {max_observations!r}"
+            )
+        try:
+            self._sim = Simulator(
+                params if params is not None else PAPER_PARAMS,
+                policy_obj,
+                cache_size,
+                **sim_kwargs,
+            )
+        except (ValueError, TypeError) as exc:
+            raise SessionError(str(exc)) from None
+        self.policy_name = policy
+        self.cache_size = cache_size
+        self.max_observations = max_observations
+        self.closed = False
+        self._final_stats: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def simulator(self) -> Simulator:
+        """The underlying engine (read-only use: tests, diagnostics)."""
+        return self._sim
+
+    @property
+    def observations(self) -> int:
+        return self._sim.period
+
+    def observe(self, block: Block) -> PrefetchAdvice:
+        """Fold one reference into the session and return prefetch advice."""
+        if self.closed:
+            raise SessionError("session is closed")
+        if (
+            self.max_observations is not None
+            and self._sim.period >= self.max_observations
+        ):
+            raise SessionError(
+                f"session observation limit reached ({self.max_observations})"
+            )
+        result = self._sim.step(block)
+        return PrefetchAdvice(
+            block=result.block,
+            period=result.period,
+            outcome=result.outcome,
+            stall_ms=result.stall_ms,
+            prefetch=result.decisions,
+            s=self._sim.s,
+        )
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Live counters without sealing the run (the STATS reply payload)."""
+        if self._final_stats is not None:
+            return dict(self._final_stats)
+        sim = self._sim
+        snapshot = sim.stats.as_dict()
+        # elapsed/stall are only folded into the stats object at finalize();
+        # report the live clock so mid-session STATS is honest.
+        snapshot["elapsed_time"] = sim.clock.now
+        snapshot["stall_time"] = sim.clock.stall_time
+        snapshot["policy"] = self.policy_name
+        snapshot["cache_size"] = self.cache_size
+        snapshot["period"] = sim.period
+        snapshot["s"] = sim.s
+        return snapshot
+
+    def close(self) -> Dict[str, Any]:
+        """Seal the session and return the validated final statistics.
+
+        Idempotent: closing twice returns the same final snapshot.
+        """
+        if self._final_stats is None:
+            stats = self._sim.finalize()
+            snapshot = stats.as_dict()
+            snapshot["policy"] = self.policy_name
+            snapshot["cache_size"] = self.cache_size
+            snapshot["period"] = self._sim.period
+            snapshot["s"] = self._sim.s
+            self._final_stats = snapshot
+            self.closed = True
+        return dict(self._final_stats)

@@ -2,7 +2,14 @@
 
 from repro.sim.clock import SimClock
 from repro.sim.disk import DiskModel, QueuedDiskModel
-from repro.sim.engine import IssueStatus, PrefetchContext, Simulator, simulate
+from repro.sim.engine import (
+    IssueStatus,
+    PrefetchContext,
+    PrefetchDecision,
+    Simulator,
+    StepResult,
+    simulate,
+)
 from repro.sim.stats import SimulationStats
 
 __all__ = [
@@ -10,6 +17,8 @@ __all__ = [
     "QueuedDiskModel",
     "IssueStatus",
     "PrefetchContext",
+    "PrefetchDecision",
+    "StepResult",
     "SimClock",
     "SimulationStats",
     "Simulator",

@@ -23,7 +23,16 @@ unconditional one-block lookahead).
 from __future__ import annotations
 
 import enum
-from typing import Hashable, Iterable, Optional, Sequence, TYPE_CHECKING
+from typing import (
+    Hashable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.cache.buffer_cache import BufferCache, Location
 from repro.cache.prefetch_cache import PrefetchEntry
@@ -47,6 +56,45 @@ class IssueStatus(enum.Enum):
     ALREADY_CACHED = "already_cached"
     REJECTED_COST = "rejected_cost"
     NO_CAPACITY = "no_capacity"
+
+
+class PrefetchDecision(NamedTuple):
+    """One block the engine decided to fetch ahead of demand.
+
+    The sequence of these decisions *is* the observable behaviour of a
+    policy + cost-benefit configuration: the service layer streams them to
+    clients, and the determinism-parity tests compare them between an
+    offline run and an online session.
+    """
+
+    block: Block
+    probability: float
+    depth: int
+    tag: str
+
+
+class StepResult(NamedTuple):
+    """What one access period did, as seen from outside the engine.
+
+    Returned by :meth:`Simulator.step` so callers that drive the engine one
+    reference at a time (the online :mod:`repro.service` session) can relay
+    the outcome without reaching into engine internals.
+    """
+
+    block: Block
+    period: int
+    location: "Location"
+    stall_ms: float
+    decisions: Tuple[PrefetchDecision, ...]
+
+    @property
+    def outcome(self) -> str:
+        """``demand_hit`` / ``prefetch_hit`` / ``miss`` (wire-level name)."""
+        if self.location is Location.DEMAND:
+            return "demand_hit"
+        if self.location is Location.PREFETCH:
+            return "prefetch_hit"
+        return "miss"
 
 
 class PrefetchContext:
@@ -109,6 +157,7 @@ class Simulator:
         refetch_distance: Optional[int] = None,
         marginal_band: int = 8,
         num_disks: Optional[int] = None,
+        record_decisions: bool = False,
     ) -> None:
         """``num_disks=None`` keeps the paper's infinite-disk assumption;
         an integer uses the FCFS :class:`QueuedDiskModel` instead."""
@@ -143,6 +192,10 @@ class Simulator:
         """One-access lookahead, available only to oracle policies."""
         self.full_trace: Optional[Sequence[Block]] = None
         """The materialised trace, published at run start (hint policies)."""
+        self.record_decisions = record_decisions
+        self.decision_log: List[PrefetchDecision] = []
+        """Every prefetch decision of the run, when ``record_decisions``."""
+        self._step_decisions: List[PrefetchDecision] = []
         policy.setup(self)
 
     # ------------------------------------------------------------- queries
@@ -170,12 +223,19 @@ class Simulator:
             self.step(blocks[i])
         return self.finalize()
 
-    def step(self, block: Block) -> None:
-        """Simulate one access period."""
+    def step(self, block: Block) -> StepResult:
+        """Simulate one access period and report what it did.
+
+        This is the engine's session-reusable core: it needs no lookahead
+        and no materialised trace, so a long-lived caller (the online
+        advisory service) can feed references one at a time and stream the
+        returned :class:`StepResult` back to its client.
+        """
         self.period += 1
         stats = self.stats
         params = self.params
         stats.accesses += 1
+        stall = 0.0
 
         location = self.cache.location_of(block)
         self.policy.observe(block, self.period, location, self.cache, stats)
@@ -200,10 +260,18 @@ class Simulator:
             self.cache.insert_demand(block)
             self.clock.charge_hit(params.t_hit)
 
+        self._step_decisions = []
         ctx = PrefetchContext(self)
         self.policy.prefetch_round(ctx)
         self._s_estimator.end_period(ctx.issued)
         self.clock.charge_compute(params.t_cpu)
+        return StepResult(
+            block=block,
+            period=self.period,
+            location=result.location,
+            stall_ms=stall,
+            decisions=tuple(self._step_decisions),
+        )
 
     def finalize(self) -> SimulationStats:
         """Seal and validate the statistics after the last access."""
@@ -296,6 +364,10 @@ class Simulator:
         stats.prefetches_issued += 1
         stats.prefetch_probability_sum += p_b
         stats.prefetch_depth_sum += depth
+        decision = PrefetchDecision(block, p_b, depth, tag)
+        self._step_decisions.append(decision)
+        if self.record_decisions:
+            self.decision_log.append(decision)
         return IssueStatus.ISSUED
 
 

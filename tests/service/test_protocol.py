@@ -1,0 +1,136 @@
+"""Wire-protocol unit tests: a round trip for every message type."""
+
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    CloseReply,
+    CloseRequest,
+    ErrorReply,
+    HelloReply,
+    ObserveReply,
+    ObserveRequest,
+    OpenReply,
+    OpenRequest,
+    ProtocolError,
+    StatsReply,
+    StatsRequest,
+    decode_reply,
+    decode_request,
+    encode_reply,
+    encode_request,
+)
+from repro.service.session import PrefetchAdvice
+from repro.sim.engine import PrefetchDecision
+
+ADVICE = PrefetchAdvice(
+    block=17, period=3, outcome="miss", stall_ms=0.25,
+    prefetch=(PrefetchDecision(18, 0.5, 1, "tree"),
+              PrefetchDecision(21, 0.125, 2, "tree")),
+    s=1.5,
+)
+
+REQUESTS = [
+    OpenRequest(id=1, policy="tree", cache_size=512,
+                params={"t_cpu": 20.0, "t_disk": 0.1},
+                policy_kwargs={"max_tree_nodes": 4096}),
+    OpenRequest(id=2),
+    ObserveRequest(id=3, session="s1", block=42),
+    StatsRequest(id=4, session="s1"),
+    CloseRequest(id=5, session="s1"),
+]
+
+REPLIES = [
+    HelloReply(id=0, max_sessions=64),
+    OpenReply(id=1, session="s1", policy="tree", cache_size=512),
+    ObserveReply(id=3, session="s1", advice=ADVICE),
+    StatsReply(id=4, session="s1", stats={"accesses": 10, "miss_rate": 40.0}),
+    CloseReply(id=5, session="s1", stats={"accesses": 10}),
+    ErrorReply(id=6, error=protocol.E_UNKNOWN_SESSION, message="nope"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_msg", REQUESTS, ids=lambda r: f"{r.cmd}-{r.id}"
+    )
+    def test_request_round_trip(self, request_msg):
+        assert decode_request(encode_request(request_msg)) == request_msg
+
+    @pytest.mark.parametrize(
+        "reply_msg", REPLIES, ids=lambda r: f"{r.cmd}-{r.id}"
+    )
+    def test_reply_round_trip(self, reply_msg):
+        assert decode_reply(encode_reply(reply_msg)) == reply_msg
+
+    def test_one_line_per_message(self):
+        for message in REQUESTS:
+            encoded = encode_request(message)
+            assert encoded.endswith(b"\n")
+            assert encoded.count(b"\n") == 1
+
+    def test_wire_is_plain_json_with_version(self):
+        obj = json.loads(encode_request(REQUESTS[0]))
+        assert obj["v"] == protocol.PROTOCOL_VERSION
+        assert obj["cmd"] == "open"
+        obj = json.loads(encode_reply(REPLIES[-1]))
+        assert obj["ok"] is False
+
+
+class TestRejects:
+    def test_invalid_json(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_request(b"{nope\n")
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_request(b"[1, 2]\n")
+
+    def test_version_mismatch(self):
+        line = json.dumps({"v": 99, "cmd": "open", "id": 1})
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.code == protocol.E_BAD_VERSION
+
+    def test_missing_version(self):
+        line = json.dumps({"cmd": "open", "id": 1})
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_unknown_command(self):
+        line = json.dumps({"v": 1, "cmd": "launch", "id": 1})
+        with pytest.raises(ProtocolError, match="unknown command"):
+            decode_request(line)
+
+    def test_observe_requires_block(self):
+        line = json.dumps({"v": 1, "cmd": "observe", "id": 1,
+                           "session": "s1"})
+        with pytest.raises(ProtocolError, match="observe requires"):
+            decode_request(line)
+
+    def test_stats_requires_session(self):
+        line = json.dumps({"v": 1, "cmd": "stats", "id": 1})
+        with pytest.raises(ProtocolError, match="stats requires"):
+            decode_request(line)
+
+    def test_close_requires_session(self):
+        line = json.dumps({"v": 1, "cmd": "close", "id": 1})
+        with pytest.raises(ProtocolError, match="close requires"):
+            decode_request(line)
+
+    def test_unknown_reply(self):
+        line = json.dumps({"v": 1, "cmd": "launch", "id": 1, "ok": True})
+        with pytest.raises(ProtocolError, match="unknown reply"):
+            decode_reply(line)
+
+    def test_oversized_line(self):
+        line = b" " * (protocol.MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="MAX_LINE_BYTES"):
+            decode_request(line)
+
+    def test_non_integer_id(self):
+        line = json.dumps({"v": 1, "cmd": "open", "id": "abc"})
+        with pytest.raises(ProtocolError, match="id must be an integer"):
+            decode_request(line)

@@ -43,6 +43,22 @@ class TestCommands:
                    "--cache", "128", "--t-cpu", "200"])
         assert rc == 0
 
+    def test_simulate_hardware_overrides(self, capsys):
+        # Modern-hardware timings: every --t-* flag maps into SystemParams.
+        rc = main(["simulate", "--trace", "cad", "--refs", "2000",
+                   "--cache", "128", "--t-cpu", "5", "--t-disk", "0.1",
+                   "--t-driver", "0.02", "--t-hit", "0.005"])
+        assert rc == 0
+        assert "miss_rate" in capsys.readouterr().out
+
+    def test_negative_param_override_is_clean_error(self, capsys):
+        rc = main(["simulate", "--trace", "cad", "--refs", "500",
+                   "--cache", "64", "--t-disk", "-1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "t_disk" in err
+
     def test_sweep(self, capsys):
         rc = main(["sweep", "--trace", "sitar", "--refs", "2000",
                    "--policies", "no-prefetch", "next-limit",
@@ -70,6 +86,31 @@ class TestCommands:
         first = out_file.read_text().splitlines()[0]
         assert first.startswith("# name:")
 
+    def test_missing_trace_file_is_clean_error(self, capsys):
+        rc = main(["simulate", "--trace", "/no/such/file.trace",
+                   "--cache", "64"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not found" in err
+        assert "Traceback" not in err
+
+    def test_malformed_trace_file_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("12\nnot-a-block-id\n")
+        rc = main(["simulate", "--trace", str(bad), "--cache", "64"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read trace file" in err
+
+    def test_corrupt_npz_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"this is not a zip archive")
+        rc = main(["simulate", "--trace", str(bad), "--cache", "64"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
     def test_report(self, tmp_path, capsys, monkeypatch):
         out_file = tmp_path / "EXP.md"
         import repro.analysis.report as report_mod
@@ -84,3 +125,42 @@ class TestCommands:
         body = out_file.read_text()
         assert "paper vs. measured" in body
         assert "table2" in body
+
+
+class TestServiceCommands:
+    def test_serve_and_replay_parsers(self):
+        args = build_parser().parse_args(["serve", "--port", "7000"])
+        assert args.port == 7000 and args.host == "127.0.0.1"
+        args = build_parser().parse_args(
+            ["replay", "--trace", "cad", "--clients", "8", "--t-disk", "0.1"]
+        )
+        assert args.clients == 8
+        assert args.t_disk == 0.1
+
+    def test_replay_against_live_server(self, capsys):
+        from repro.service.server import BackgroundServer
+
+        with BackgroundServer() as server:
+            rc = main(["replay", "--trace", "cad", "--refs", "800",
+                       "--clients", "4", "--cache", "128",
+                       "--port", str(server.port), "--t-disk", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "advice_per_second" in out
+        assert "latency_p50_ms" in out
+        assert "latency_p99_ms" in out
+        assert "requests               : 3200" in out
+
+    def test_replay_without_server_is_clean_error(self, capsys):
+        # An unused ephemeral port: bind-then-close guarantees nothing listens.
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        rc = main(["replay", "--trace", "cad", "--refs", "100",
+                   "--port", str(port)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no server" in err

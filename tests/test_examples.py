@@ -59,6 +59,15 @@ class TestExamples:
         assert "tree budget" in out
         assert "unbounded" in out
 
+    def test_service_readahead(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "service_readahead.py",
+            ["--refs", "3000", "--cache", "128"],
+        )
+        assert "daemon listening" in out
+        assert "prefetch" in out
+        assert "advice issued" in out
+
     def test_custom_workload(self, monkeypatch, capsys, tmp_path):
         out = run_example(
             monkeypatch, capsys, "custom_workload.py",
