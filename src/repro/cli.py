@@ -8,6 +8,9 @@ Commands
 ``report``    Run the full experiment battery and write EXPERIMENTS.md
               (thin wrapper over :mod:`repro.analysis.report`).
 ``stats``     Characterise a workload (sequentiality, reuse, predictability).
+``train``     Run a policy over a workload and snapshot the trained state
+              (a file or a :class:`~repro.store.ModelStore` registry entry).
+``inspect``   Verify a snapshot and print its header, or list a registry.
 ``serve``     Run the online prefetch advisory daemon (:mod:`repro.service`).
 ``replay``    Replay a workload against a live daemon and report throughput.
 
@@ -20,7 +23,9 @@ Examples
     python -m repro trace --name snake --refs 200000 --out snake.npz
     python -m repro report --refs 50000 --out EXPERIMENTS.md
     python -m repro stats --trace cello --refs 100000
-    python -m repro serve --port 7199
+    python -m repro train --trace cad --policy tree --store models --name tree-cad
+    python -m repro inspect --store models --model tree-cad
+    python -m repro serve --port 7199 --store models --model tree-cad
     python -m repro replay --trace cad --clients 4 --port 7199
 """
 
@@ -185,20 +190,152 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    from repro.service.session import PrefetchSession, SessionError
+    from repro.store import (
+        ModelStore, model_snapshot, snapshot_session, write_snapshot,
+    )
+    from repro.store.codec import SnapshotError
+
+    if (args.out is None) == (args.store is None):
+        raise CLIError("train needs exactly one of --out FILE or --store DIR")
+    if args.store is not None and args.name is None:
+        raise CLIError("--store needs --name NAME for the registry entry")
+    blocks = _load_workload(args)
+    try:
+        session = PrefetchSession(
+            policy=args.policy,
+            cache_size=args.cache,
+            params=_params(args),
+            policy_kwargs=_policy_kwargs(args) or None,
+        )
+    except SessionError as exc:
+        raise CLIError(str(exc)) from None
+    for block in blocks:
+        session.observe(block)
+    provenance = {"trace": args.trace, "refs": len(blocks),
+                  "seed": args.seed, "policy": args.policy}
+    try:
+        if args.model_only:
+            model = session.simulator.policy.model()
+            if model is None:
+                raise CLIError(
+                    f"policy {args.policy!r} has no model to snapshot"
+                )
+            snapshot = model_snapshot(
+                model,
+                config={"policy": args.policy, "cache_size": args.cache},
+                provenance=provenance,
+            )
+        else:
+            snapshot = snapshot_session(session, provenance=provenance)
+        if args.out is not None:
+            write_snapshot(snapshot, args.out)
+            where = args.out
+        else:
+            version = ModelStore(args.store).save(args.name, snapshot)
+            where = f"{args.store}: {args.name}@{version}"
+    except SnapshotError as exc:
+        raise CLIError(str(exc)) from None
+    summary = {"kind": snapshot.kind, "model": snapshot.model}
+    for key, value in sorted(snapshot.counts.items()):
+        summary[f"counts[{key}]"] = value
+    print(render_dict(
+        summary,
+        title=f"trained {args.policy} on {args.trace} -> {where}",
+    ))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.store import ModelStore, read_snapshot
+    from repro.store.codec import SnapshotError
+
+    if (args.snapshot is None) == (args.store is None):
+        raise CLIError(
+            "inspect needs exactly one of --snapshot FILE or --store DIR"
+        )
+    try:
+        if args.snapshot is not None:
+            snapshot = read_snapshot(args.snapshot)
+            source = args.snapshot
+        else:
+            store = ModelStore(args.store)
+            if args.model is None:
+                rows = store.list_entries()
+                if not rows:
+                    print(f"registry {args.store} is empty")
+                    return 0
+                for row in rows:
+                    latest = " (latest)" if row["latest"] else ""
+                    counts = ", ".join(
+                        f"{k}={v}" for k, v in sorted(row["counts"].items())
+                    )
+                    print(f"{row['name']}@{row['version']}{latest}: "
+                          f"{row['kind']} [{counts}]")
+                return 0
+            name, version, path = store.resolve(args.model)
+            snapshot = read_snapshot(path)
+            source = f"{name}@{version}"
+    except FileNotFoundError as exc:
+        raise CLIError(f"cannot read snapshot: {exc}") from None
+    except SnapshotError as exc:
+        raise CLIError(str(exc)) from None
+    flat = {"kind": snapshot.kind, "model": snapshot.model,
+            "records": len(snapshot.records)}
+    for section in ("counts", "provenance", "config"):
+        for key, value in sorted(snapshot.header.get(section, {}).items()):
+            if isinstance(value, dict):
+                for sub, v in sorted(value.items()):
+                    flat[f"{section}[{key}.{sub}]"] = v
+            else:
+                flat[f"{section}[{key}]"] = value
+    print(render_dict(flat, title=f"snapshot {source} (checksum verified)"))
+    return 0
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
     from repro.service.server import PrefetchService, ServiceLimits, serve_forever
 
+    store = None
+    default_model = None
+    if args.model is not None and args.store is None:
+        raise CLIError("--model needs --store DIR")
+    if (args.checkpoint_dir is None) != (args.checkpoint_every_s is None):
+        raise CLIError(
+            "checkpointing needs both --checkpoint-dir and "
+            "--checkpoint-every-s"
+        )
+    if args.checkpoint_every_s is not None and args.checkpoint_every_s <= 0:
+        raise CLIError("--checkpoint-every-s must be positive")
+    if args.store is not None:
+        from repro.store import ModelStore
+        from repro.store.codec import SnapshotError
+
+        store = ModelStore(args.store)
+        if args.model is not None:
+            try:
+                store.resolve(args.model)  # fail fast, before binding
+            except SnapshotError as exc:
+                raise CLIError(str(exc)) from None
+            default_model = args.model
     service = PrefetchService(
         default_params=_params(args),
         limits=ServiceLimits(
             max_sessions=args.max_sessions,
             max_sessions_per_connection=args.max_sessions_per_conn,
         ),
+        store=store,
+        default_model=default_model,
     )
     try:
-        asyncio.run(serve_forever(args.host, args.port, service=service))
+        asyncio.run(serve_forever(
+            args.host, args.port, service=service,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_s=args.checkpoint_every_s,
+        ))
     except KeyboardInterrupt:
         metrics = service.metrics.as_dict()
         metrics.pop("command_latency", None)
@@ -293,6 +430,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default="EXPERIMENTS.md")
     p_rep.set_defaults(func=cmd_report)
 
+    p_train = sub.add_parser(
+        "train", help="train a policy offline and snapshot the result"
+    )
+    _add_common(p_train)
+    p_train.add_argument("--policy", choices=policy_names(), default="tree")
+    p_train.add_argument("--cache", type=int, default=1024,
+                         help="cache size in blocks")
+    p_train.add_argument("--out", default=None,
+                         help="write the snapshot to this file")
+    p_train.add_argument("--store", default=None,
+                         help="save into this registry directory instead")
+    p_train.add_argument("--name", default=None,
+                         help="registry entry name (with --store)")
+    p_train.add_argument(
+        "--model-only", action="store_true", dest="model_only",
+        help="snapshot just the model (portable warm start) instead of "
+             "the whole session (decision-identical resume)",
+    )
+    p_train.set_defaults(func=cmd_train)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="verify a snapshot and print its header"
+    )
+    p_inspect.add_argument("--snapshot", default=None,
+                           help="snapshot file to verify and summarise")
+    p_inspect.add_argument("--store", default=None,
+                           help="registry directory")
+    p_inspect.add_argument(
+        "--model", default=None,
+        help="registry spec NAME[@VERSION] (with --store); "
+             "omit to list every entry",
+    )
+    p_inspect.set_defaults(func=cmd_inspect)
+
     p_serve = sub.add_parser(
         "serve", help="run the online prefetch advisory daemon"
     )
@@ -303,6 +474,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="live-session ceiling across all connections")
     p_serve.add_argument("--max-sessions-per-conn", type=int, default=64,
                          dest="max_sessions_per_conn")
+    p_serve.add_argument("--store", default=None,
+                         help="model registry directory (enables OPEN with "
+                              "a model= spec)")
+    p_serve.add_argument("--model", default=None,
+                         help="default registry spec for sessions that "
+                              "don't name one (needs --store)")
+    p_serve.add_argument("--checkpoint-dir", default=None,
+                         dest="checkpoint_dir",
+                         help="periodically snapshot live sessions here")
+    p_serve.add_argument("--checkpoint-every-s", type=float, default=None,
+                         dest="checkpoint_every_s",
+                         help="seconds between checkpoint passes")
     _add_param_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 

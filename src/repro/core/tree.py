@@ -25,8 +25,8 @@ discarded.  The root is never evicted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.node import TreeNode
 
@@ -370,6 +370,109 @@ class PrefetchTree:
             prob *= child.weight / node.weight
             node = child
         return prob
+
+    # ----------------------------------------------------------- snapshots
+
+    #: Snapshot body kind (see :mod:`repro.store`).
+    snapshot_kind = "tree"
+
+    def memory_items(self) -> int:
+        """Model size in retained items; mirrors ``Predictor.memory_items``."""
+        return self._node_count
+
+    def snapshot_state(self) -> Tuple[Dict[str, Any], List[Any]]:
+        """Serialize the tree to JSON-able ``(meta, items)``.
+
+        Items are node records ``[id, parent_id, block, weight,
+        last_visited_child, heavy_keys_or_null, heavy_rebuild_at]`` in
+        preorder, with sibling order equal to child-map insertion order —
+        the order every traversal in this module observes, so a restored
+        tree is behaviourally *identical* to the original, not merely
+        isomorphic.  The lazily built ``heavy`` index and its rebuild
+        threshold are captured verbatim for the same reason: letting the
+        restored tree re-derive them would change candidate enumeration
+        order relative to a run that never snapshotted.
+        """
+        ids: Dict[int, int] = {id(self.root): 0}
+        records: List[Any] = []
+        stack = list(reversed(list(self.root.children.values())))
+        next_id = 1
+        while stack:
+            node = stack.pop()
+            nid = next_id
+            next_id += 1
+            ids[id(node)] = nid
+            assert node.parent is not None
+            records.append([
+                nid,
+                ids[id(node.parent)],
+                node.block,
+                node.weight,
+                node.last_visited_child,
+                None if node.heavy is None else list(node.heavy.keys()),
+                node.heavy_rebuild_at,
+            ])
+            stack.extend(reversed(list(node.children.values())))
+        lru: List[int] = []
+        walker = self._lru_head.lru_next
+        while walker is not self._lru_tail:
+            assert walker is not None
+            lru.append(ids[id(walker)])
+            walker = walker.lru_next
+        meta = {
+            "max_nodes": self.max_nodes,
+            "root": {
+                "weight": self.root.weight,
+                "lvc": self.root.last_visited_child,
+                "heavy": (None if self.root.heavy is None
+                          else list(self.root.heavy.keys())),
+                "rebuild_at": self.root.heavy_rebuild_at,
+            },
+            "current": ids[id(self.current)],
+            "lru": lru,
+            "stats": asdict(self.stats),
+        }
+        return meta, records
+
+    def restore_state(self, meta: Dict[str, Any], items: List[Any]) -> None:
+        """Rebuild the tree from :meth:`snapshot_state` output in place."""
+        self.max_nodes = meta["max_nodes"]
+        root_meta = meta["root"]
+        self.root = TreeNode(block=None, parent=None)
+        self.root.weight = root_meta["weight"]
+        self.root.last_visited_child = root_meta["lvc"]
+        self.root.heavy_rebuild_at = root_meta["rebuild_at"]
+        nodes: Dict[int, TreeNode] = {0: self.root}
+        for nid, parent_id, block, weight, lvc, _heavy, rebuild_at in items:
+            parent = nodes[parent_id]
+            node = TreeNode(block=block, parent=parent)
+            node.weight = weight
+            node.last_visited_child = lvc
+            node.heavy_rebuild_at = rebuild_at
+            parent.children[block] = node
+            nodes[nid] = node
+        # Heavy indexes need the children maps complete, so a second pass.
+        for nid, _parent_id, _block, _weight, _lvc, heavy, _rebuild in items:
+            if heavy is not None:
+                node = nodes[nid]
+                node.heavy = {b: node.children[b] for b in heavy}
+        if root_meta["heavy"] is not None:
+            self.root.heavy = {
+                b: self.root.children[b] for b in root_meta["heavy"]
+            }
+        self._node_count = len(items)
+        self.current = nodes[meta["current"]]
+        self.stats = TreeStats(**meta["stats"])
+        self._lru_head = TreeNode(block=None, parent=None)
+        self._lru_tail = TreeNode(block=None, parent=None)
+        prev = self._lru_head
+        for nid in meta["lru"]:
+            node = nodes[nid]
+            prev.lru_next = node
+            node.lru_prev = prev
+            prev = node
+        prev.lru_next = self._lru_tail
+        self._lru_tail.lru_prev = prev
 
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if structural invariants are violated.

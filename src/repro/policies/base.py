@@ -76,6 +76,35 @@ class Policy(abc.ABC):
     def snapshot_extra(self, stats: SimulationStats) -> None:
         """Record policy-specific diagnostics into ``stats.extra`` at the end."""
 
+    # ------------------------------------------------------------ persistence
+
+    def model(self):
+        """The policy's snapshotable model, or ``None`` for model-free ones.
+
+        Tree-backed policies return their :class:`PrefetchTree`; predictor
+        policies return the predictor.  The returned object implements the
+        :mod:`repro.store` ``Snapshotable`` surface (``snapshot_kind``,
+        ``snapshot_state``, ``restore_state``, ``memory_items``).
+        """
+        return None
+
+    def model_items(self) -> int:
+        """Current model size in retained items (0 for model-free policies)."""
+        m = self.model()
+        return m.memory_items() if m is not None else 0
+
+    def aux_state(self) -> dict:
+        """Policy-local mutable state beyond the model, JSON-able.
+
+        Captured into session snapshots so a restored session is
+        decision-identical to one that never stopped; the default covers
+        policies whose only cross-step state is the model itself.
+        """
+        return {}
+
+    def restore_aux_state(self, state: dict) -> None:
+        """Inverse of :meth:`aux_state`."""
+
 
 class TreeBackedPolicy(Policy):
     """Base for policies that maintain an LZ prefetch tree.
@@ -133,6 +162,9 @@ class TreeBackedPolicy(Policy):
                 stats.lvc_opportunities_nonroot += 1
                 if outcome.lvc_repeat:
                     stats.lvc_repeats_nonroot += 1
+
+    def model(self):
+        return self.tree
 
     def snapshot_extra(self, stats: SimulationStats) -> None:
         stats.extra["tree_nodes"] = self.tree.node_count

@@ -148,6 +148,23 @@ class FilePrefetchPolicy(Policy):
             if status is IssueStatus.NO_CAPACITY:
                 break
 
+    def aux_state(self) -> dict:
+        return {
+            "extents": (
+                None if self.extent_map is None
+                else [[s, l] for s, l in self.extent_map._extents]
+            ),
+            "pending": list(self._pending) if self._pending is not None else None,
+            "files_triggered": self.files_triggered,
+        }
+
+    def restore_aux_state(self, state: dict) -> None:
+        extents = state["extents"]
+        self.extent_map = ExtentMap(extents) if extents is not None else None
+        pending = state["pending"]
+        self._pending = tuple(pending) if pending is not None else None
+        self.files_triggered = state["files_triggered"]
+
     def snapshot_extra(self, stats: SimulationStats) -> None:
         stats.extra["files_triggered"] = self.files_triggered
         stats.extra["extent_count"] = (

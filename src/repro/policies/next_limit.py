@@ -77,3 +77,9 @@ class NextLimitPolicy(Policy):
         except TypeError:
             return
         ctx.try_issue(successor, 1.0, 1.0, 1, forced=True, tag=NL_TAG)
+
+    def aux_state(self) -> dict:
+        return {"pending": self._pending}
+
+    def restore_aux_state(self, state: dict) -> None:
+        self._pending = state.get("pending")

@@ -77,6 +77,9 @@ class PredictorPolicy(Policy):
             if status in (IssueStatus.REJECTED_COST, IssueStatus.NO_CAPACITY):
                 break
 
+    def model(self):
+        return self.predictor
+
     def snapshot_extra(self, stats: SimulationStats) -> None:
         stats.extra["predictor"] = self.predictor.name
         stats.extra["predictor_memory_items"] = self.predictor.memory_items()

@@ -152,3 +152,32 @@ class TreeFilteredPolicy(TreePolicy):
         super().snapshot_extra(stats)
         stats.extra["filter_suppressed"] = self.suppressed
         stats.extra["filter_tracked_blocks"] = len(self._scores)
+
+    def aux_state(self) -> dict:
+        # _pending may hold expired entries whose block was since
+        # re-prefetched (the dict is authoritative); both structures are
+        # captured verbatim so expiry order replays identically.
+        return {
+            "scores": [
+                [block, score, count]
+                for block, (score, count) in self._scores.items()
+            ],
+            "pending": [[deadline, block] for deadline, block in self._pending],
+            "pending_blocks": [
+                [block, deadline]
+                for block, deadline in self._pending_blocks.items()
+            ],
+            "suppressed": self.suppressed,
+        }
+
+    def restore_aux_state(self, state: dict) -> None:
+        self._scores = {
+            block: (score, count) for block, score, count in state["scores"]
+        }
+        self._pending = deque(
+            (deadline, block) for deadline, block in state["pending"]
+        )
+        self._pending_blocks = {
+            block: deadline for block, deadline in state["pending_blocks"]
+        }
+        self.suppressed = state["suppressed"]

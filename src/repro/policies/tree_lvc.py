@@ -54,3 +54,13 @@ class TreeLvcPolicy(TreePolicy):
         super().snapshot_extra(stats)
         stats.extra["lvc_issued"] = self.lvc_issued
         stats.extra["lvc_already_cached_at_issue"] = self.lvc_already_cached
+
+    def aux_state(self) -> dict:
+        return {
+            "lvc_issued": self.lvc_issued,
+            "lvc_already_cached": self.lvc_already_cached,
+        }
+
+    def restore_aux_state(self, state: dict) -> None:
+        self.lvc_issued = state["lvc_issued"]
+        self.lvc_already_cached = state["lvc_already_cached"]

@@ -135,3 +135,36 @@ class ProbabilityGraphPredictor(Predictor):
 
     def memory_items(self) -> int:
         return sum(len(n.counts) for n in self._nodes.values())
+
+    # ----------------------------------------------------------- snapshots
+
+    snapshot_kind = "prob-graph"
+
+    def snapshot_state(self):
+        items = [
+            [block, node.total, [[b, c] for b, c in node.counts.items()]]
+            for block, node in self._nodes.items()
+        ]
+        meta = {
+            "lookahead": self.lookahead,
+            "max_nodes": self.max_nodes,
+            "max_successors": self.max_successors,
+            "min_probability": self.min_probability,
+            "window": list(self._window),
+            "current": self._current,
+        }
+        return meta, items
+
+    def restore_state(self, meta, items) -> None:
+        self.lookahead = meta["lookahead"]
+        self.max_nodes = meta["max_nodes"]
+        self.max_successors = meta["max_successors"]
+        self.min_probability = meta["min_probability"]
+        self._nodes = OrderedDict()
+        for block, total, counts in items:
+            node = _NodeEdges()
+            node.total = total
+            node.counts = {b: c for b, c in counts}
+            self._nodes[block] = node
+        self._window = deque(meta["window"], maxlen=self.lookahead)
+        self._current = meta["current"]

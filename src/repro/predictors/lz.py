@@ -40,3 +40,14 @@ class LZPredictor(Predictor):
 
     def memory_items(self) -> int:
         return self.tree.node_count
+
+    # ----------------------------------------------------------- snapshots
+
+    snapshot_kind = "lz"
+
+    def snapshot_state(self):
+        meta, items = self.tree.snapshot_state()
+        return {"tree": meta}, items
+
+    def restore_state(self, meta, items) -> None:
+        self.tree.restore_state(meta["tree"], items)

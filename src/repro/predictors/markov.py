@@ -91,6 +91,34 @@ class MarkovPredictor(Predictor):
     def memory_items(self) -> int:
         return sum(len(s) for s in self._counts.values())
 
+    # ----------------------------------------------------------- snapshots
+
+    snapshot_kind = "markov"
+
+    def snapshot_state(self):
+        items = [
+            [block, self._totals[block], [[b, c] for b, c in successors.items()]]
+            for block, successors in self._counts.items()
+        ]
+        meta = {
+            "max_nodes": self.max_nodes,
+            "max_successors": self.max_successors,
+            "min_probability": self.min_probability,
+            "current": self._current,
+        }
+        return meta, items
+
+    def restore_state(self, meta, items) -> None:
+        self.max_nodes = meta["max_nodes"]
+        self.max_successors = meta["max_successors"]
+        self.min_probability = meta["min_probability"]
+        self._counts = OrderedDict()
+        self._totals = {}
+        for block, total, successors in items:
+            self._counts[block] = {b: c for b, c in successors}
+            self._totals[block] = total
+        self._current = meta["current"]
+
 
 class LastSuccessorPredictor(Predictor):
     """Predicts the previously observed successor of the current block."""
@@ -138,3 +166,22 @@ class LastSuccessorPredictor(Predictor):
 
     def memory_items(self) -> int:
         return len(self._last)
+
+    # ----------------------------------------------------------- snapshots
+
+    snapshot_kind = "last-successor"
+
+    def snapshot_state(self):
+        items = [
+            [block, successor, repeats, opportunities]
+            for block, (successor, repeats, opportunities) in self._last.items()
+        ]
+        meta = {"max_nodes": self.max_nodes, "current": self._current}
+        return meta, items
+
+    def restore_state(self, meta, items) -> None:
+        self.max_nodes = meta["max_nodes"]
+        self._last = OrderedDict()
+        for block, successor, repeats, opportunities in items:
+            self._last[block] = (successor, repeats, opportunities)
+        self._current = meta["current"]

@@ -140,3 +140,43 @@ class PPMPredictor(Predictor):
 
     def memory_items(self) -> int:
         return sum(len(t) for t in self._tables)
+
+    # ----------------------------------------------------------- snapshots
+
+    snapshot_kind = "ppm"
+
+    def snapshot_state(self):
+        """Items are ``[order, context, [[successor, count], ...]]`` in
+        each table's LRU order (oldest first), so restore reproduces the
+        exact eviction order of the live model."""
+        items = []
+        for order, table in enumerate(self._tables, start=1):
+            for context, successors in table._table.items():
+                items.append(
+                    [order, list(context), [[b, c] for b, c in successors.items()]]
+                )
+        meta = {
+            "max_order": self.max_order,
+            "min_probability": self.min_probability,
+            "max_contexts_per_order": (
+                self._tables[0].max_contexts if self._tables else None
+            ),
+            "history": list(self._history),
+        }
+        return meta, items
+
+    def restore_state(self, meta, items) -> None:
+        self.max_order = meta["max_order"]
+        self.min_probability = meta["min_probability"]
+        self._tables = [
+            _ContextTable(meta["max_contexts_per_order"])
+            for _ in range(self.max_order)
+        ]
+        for order, context, successors in items:
+            self._tables[order - 1]._table[tuple(context)] = {
+                b: c for b, c in successors
+            }
+        self._history = deque(meta["history"], maxlen=self.max_order)
+        # Recomputing is exact: update() ends with this same call, so the
+        # tables' LRU order already reflects its move_to_ends.
+        self._last_predictions = dict(self.predictions())

@@ -56,10 +56,14 @@ def _expect(reply: Reply, reply_type: Type[R]) -> R:
 
 def _check_hello(reply: Reply) -> HelloReply:
     hello = _expect(reply, HelloReply)
-    if hello.protocol != protocol.PROTOCOL_VERSION:
+    if not (
+        protocol.MIN_PROTOCOL_VERSION
+        <= hello.protocol
+        <= protocol.PROTOCOL_VERSION
+    ):
         raise ProtocolError(
-            f"server speaks protocol v{hello.protocol}, "
-            f"client speaks v{protocol.PROTOCOL_VERSION}",
+            f"server speaks protocol v{hello.protocol}, client speaks "
+            f"v{protocol.MIN_PROTOCOL_VERSION}..v{protocol.PROTOCOL_VERSION}",
             code=protocol.E_BAD_VERSION,
         )
     return hello
@@ -109,12 +113,18 @@ class AsyncServiceClient:
         cache_size: int = 1024,
         params: Optional[Dict[str, float]] = None,
         policy_kwargs: Optional[Dict[str, Any]] = None,
+        model: Optional[str] = None,
     ) -> str:
-        """Create a session; returns its server-assigned id."""
+        """Create a session; returns its server-assigned id.
+
+        ``model`` names a registry snapshot (``NAME`` or ``NAME@VERSION``)
+        to start the session from; the server must be running with a store.
+        """
         reply = await self._rpc(
             OpenRequest(
                 id=self._take_id(), policy=policy, cache_size=cache_size,
                 params=params, policy_kwargs=dict(policy_kwargs or {}),
+                model=model,
             ),
             OpenReply,
         )
@@ -194,11 +204,13 @@ class ServiceClient:
         cache_size: int = 1024,
         params: Optional[Dict[str, float]] = None,
         policy_kwargs: Optional[Dict[str, Any]] = None,
+        model: Optional[str] = None,
     ) -> str:
         reply = self._rpc(
             OpenRequest(
                 id=self._take_id(), policy=policy, cache_size=cache_size,
                 params=params, policy_kwargs=dict(policy_kwargs or {}),
+                model=model,
             ),
             OpenReply,
         )

@@ -108,6 +108,7 @@ class ServiceMetrics:
         self.sessions_rejected = 0
         self.advice_issued = 0
         self.prefetches_recommended = 0
+        self.checkpoints_written = 0
         self.errors = 0
         self.outcomes: Dict[str, int] = {
             "demand_hit": 0, "prefetch_hit": 0, "miss": 0,
@@ -156,6 +157,7 @@ class ServiceMetrics:
             "live_sessions": self.live_sessions,
             "advice_issued": self.advice_issued,
             "prefetches_recommended": self.prefetches_recommended,
+            "checkpoints_written": self.checkpoints_written,
             "errors": self.errors,
             "outcomes": dict(self.outcomes),
             "advice_accuracy": (

@@ -17,6 +17,15 @@ Commands
 The schema is deliberately flat and text-first (cf. redis' RESP or
 memcached's text protocol): a session can be driven from ``nc`` by hand,
 and any language with a JSON library can implement a client in a page.
+
+Versioning
+----------
+Protocol v2 added the optional ``model`` field on OPEN (warm-start a
+session from a registry snapshot, ``NAME`` or ``NAME@VERSION``).  The
+change is additive, so the server accepts any version in
+``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]``: a v1 client simply never
+sends ``model``.  Replies are stamped with the current version; clients
+accept the same range.
 """
 
 from __future__ import annotations
@@ -27,7 +36,9 @@ from typing import Any, Dict, Optional, Type, Union
 
 from repro.service.session import PrefetchAdvice
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+#: Oldest protocol version still accepted (v1 lacks only OPEN's ``model``).
+MIN_PROTOCOL_VERSION = 1
 
 #: Upper bound on one encoded line; guards the server against a client
 #: streaming an unbounded "line" into memory.
@@ -62,6 +73,9 @@ class OpenRequest:
     params: Optional[Dict[str, float]] = None
     """Overrides for :class:`SystemParams` fields (t_cpu, t_disk, ...)."""
     policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    model: Optional[str] = None
+    """Registry spec (``NAME`` or ``NAME@VERSION``) to start the session
+    from; requires the server to be running with a model store (v2)."""
 
     cmd = "open"
 
@@ -74,16 +88,20 @@ class OpenRequest:
             out["params"] = self.params
         if self.policy_kwargs:
             out["policy_kwargs"] = self.policy_kwargs
+        if self.model is not None:
+            out["model"] = self.model
         return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "OpenRequest":
+        model = payload.get("model")
         return cls(
             id=id,
             policy=str(payload.get("policy", "tree")),
             cache_size=int(payload.get("cache_size", 1024)),
             params=payload.get("params"),
             policy_kwargs=dict(payload.get("policy_kwargs", {})),
+            model=str(model) if model is not None else None,
         )
 
 
@@ -303,10 +321,12 @@ _REPLY_TYPES: Dict[str, Type[Any]] = {
 
 def _check_version(obj: Dict[str, Any]) -> None:
     version = obj.get("v")
-    if version != PROTOCOL_VERSION:
+    if not isinstance(version, int) or not (
+        MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION
+    ):
         raise ProtocolError(
             f"protocol version mismatch: got {version!r}, "
-            f"want {PROTOCOL_VERSION}",
+            f"want {MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}",
             code=E_BAD_VERSION,
         )
 

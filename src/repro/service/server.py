@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> session)
+    from repro.store.registry import ModelStore
 
 from repro.params import PAPER_PARAMS, SystemParams
 from repro.service import protocol
@@ -67,12 +71,16 @@ class PrefetchService:
         default_params: Optional[SystemParams] = None,
         limits: Optional[ServiceLimits] = None,
         metrics: Optional[ServiceMetrics] = None,
+        store: Optional["ModelStore"] = None,
+        default_model: Optional[str] = None,
     ) -> None:
         self.default_params = (
             default_params if default_params is not None else PAPER_PARAMS
         )
         self.limits = limits if limits is not None else ServiceLimits()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.store = store
+        self.default_model = default_model
         self.sessions: Dict[str, PrefetchSession] = {}
         self._session_ids = itertools.count(1)
 
@@ -120,14 +128,20 @@ class PrefetchService:
         except (TypeError, ValueError) as exc:
             self.metrics.sessions_rejected += 1
             return ErrorReply(request.id, protocol.E_BAD_REQUEST, str(exc))
+        model_spec = (
+            request.model if request.model is not None else self.default_model
+        )
         try:
-            session = PrefetchSession(
-                policy=request.policy,
-                cache_size=request.cache_size,
-                params=params,
-                policy_kwargs=request.policy_kwargs,
-                max_observations=limits.max_observations_per_session,
-            )
+            if model_spec is not None:
+                session = self._open_from_model(model_spec, request, params)
+            else:
+                session = PrefetchSession(
+                    policy=request.policy,
+                    cache_size=request.cache_size,
+                    params=params,
+                    policy_kwargs=request.policy_kwargs,
+                    max_observations=limits.max_observations_per_session,
+                )
         except SessionError as exc:
             self.metrics.sessions_rejected += 1
             return ErrorReply(request.id, protocol.E_SESSION_ERROR, str(exc))
@@ -140,6 +154,47 @@ class PrefetchService:
             session=session_id,
             policy=session.policy_name,
             cache_size=session.cache_size,
+        )
+
+    def _open_from_model(
+        self,
+        model_spec: str,
+        request: OpenRequest,
+        params: SystemParams,
+    ) -> PrefetchSession:
+        """Build the session for an OPEN that names a stored model.
+
+        A ``session``-kind snapshot resumes decision-identically and its
+        recorded config (policy, cache size, params) wins over the request;
+        a ``model``-kind snapshot warm-starts the requested policy's model
+        while cache and cost state begin cold.
+        """
+        # Imported here, not at module top: repro.store serializes sessions,
+        # so it imports repro.service and would cycle back into this module.
+        from repro.store.codec import KIND_SESSION, SnapshotError
+        from repro.store.session_state import restore_session
+
+        if self.store is None:
+            raise SessionError(
+                f"cannot open from model {model_spec!r}: server has no "
+                "model store (start serve with --store)"
+            )
+        try:
+            snapshot = self.store.load(model_spec)
+            if snapshot.kind == KIND_SESSION:
+                return restore_session(
+                    snapshot,
+                    max_observations=self.limits.max_observations_per_session,
+                )
+        except SnapshotError as exc:
+            raise SessionError(f"model {model_spec!r}: {exc}") from None
+        return PrefetchSession(
+            policy=request.policy,
+            cache_size=request.cache_size,
+            params=params,
+            policy_kwargs=request.policy_kwargs,
+            max_observations=self.limits.max_observations_per_session,
+            warm_start=snapshot,
         )
 
     def _handle_observe(self, request: ObserveRequest) -> Reply:
@@ -185,6 +240,39 @@ class PrefetchService:
             for key, value in overrides.items()
         }
         return replace(self.default_params, **cleaned)
+
+    # --------------------------------------------------------- checkpoints
+
+    def checkpoint_sessions(self, directory: str) -> int:
+        """Write every live session to ``directory/<id>.snap``; returns count.
+
+        Each file is a full ``session``-kind snapshot (atomic write-then-
+        rename), so a crashed server can be resumed decision-identically
+        with ``OPEN model=...`` after importing the checkpoint into a store.
+        """
+        from repro.store.codec import SnapshotError, write_snapshot
+        from repro.store.session_state import snapshot_session
+
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        written = 0
+        for session_id, session in list(self.sessions.items()):
+            try:
+                snapshot = snapshot_session(
+                    session,
+                    provenance={
+                        "session": session_id,
+                        "period": session.observations,
+                    },
+                )
+            except SnapshotError:
+                continue  # closed under us between list() and here
+            write_snapshot(
+                snapshot, os.path.join(directory, f"{session_id}.snap")
+            )
+            written += 1
+        self.metrics.checkpoints_written += written
+        return written
 
     def drop_connection_sessions(self, owned: Set[str]) -> None:
         """Tear down sessions whose connection vanished without CLOSE."""
@@ -269,15 +357,42 @@ async def serve_forever(
     *,
     service: Optional[PrefetchService] = None,
     ready_message: bool = True,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> None:
-    """Run a service until cancelled (the ``python -m repro serve`` core)."""
+    """Run a service until cancelled (the ``python -m repro serve`` core).
+
+    With both ``checkpoint_dir`` and ``checkpoint_every_s`` set, a
+    background task periodically snapshots every live session to disk.
+    """
     service = service if service is not None else PrefetchService()
     server = await service.start(host, port)
     if ready_message:
         print(f"repro.service listening on {host}:{bound_port(server)} "
               f"(protocol v{protocol.PROTOCOL_VERSION})", flush=True)
-    async with server:
-        await server.serve_forever()
+
+    async def _checkpoint_loop() -> None:
+        while True:
+            await asyncio.sleep(checkpoint_every_s)
+            try:
+                count = service.checkpoint_sessions(checkpoint_dir)
+            except OSError as exc:
+                print(f"checkpoint to {checkpoint_dir} failed: {exc}",
+                      flush=True)
+                continue
+            if ready_message and count:
+                print(f"checkpointed {count} session(s) to {checkpoint_dir}",
+                      flush=True)
+
+    checkpointer: Optional[asyncio.Task] = None
+    if checkpoint_dir is not None and checkpoint_every_s is not None:
+        checkpointer = asyncio.ensure_future(_checkpoint_loop())
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        if checkpointer is not None:
+            checkpointer.cancel()
 
 
 class BackgroundServer:

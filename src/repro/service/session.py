@@ -102,8 +102,15 @@ class PrefetchSession:
         params: Optional[SystemParams] = None,
         policy_kwargs: Optional[Dict[str, Any]] = None,
         max_observations: Optional[int] = None,
+        warm_start: Optional[Any] = None,
         **sim_kwargs: Any,
     ) -> None:
+        """``warm_start`` takes a ``model``-kind snapshot
+        (:func:`repro.store.model_snapshot`): the policy's model is loaded
+        from it before the first observation, so prediction quality carries
+        over from a trained model while cache and cost state start cold.
+        To resume a session decision-identically, use
+        :func:`repro.store.restore_session` instead."""
         if policy in OFFLINE_ONLY_POLICIES:
             raise SessionError(
                 f"policy {policy!r} needs the full trace up front and "
@@ -131,6 +138,36 @@ class PrefetchSession:
         self.max_observations = max_observations
         self.closed = False
         self._final_stats: Optional[Dict[str, Any]] = None
+        self._params = params if params is not None else PAPER_PARAMS
+        self._policy_kwargs = dict(policy_kwargs or {})
+        self._sim_kwargs = dict(sim_kwargs)
+        if warm_start is not None:
+            from repro.store.codec import SnapshotError
+            from repro.store.models import restore_model
+
+            model = policy_obj.model()
+            if model is None:
+                raise SessionError(
+                    f"policy {policy!r} has no model to warm-start"
+                )
+            try:
+                restore_model(warm_start, model)
+            except SnapshotError as exc:
+                raise SessionError(f"warm start failed: {exc}") from None
+
+    # ----------------------------------------------------------- config
+
+    @property
+    def params(self) -> SystemParams:
+        return self._params
+
+    @property
+    def policy_kwargs(self) -> Dict[str, Any]:
+        return dict(self._policy_kwargs)
+
+    @property
+    def sim_kwargs(self) -> Dict[str, Any]:
+        return dict(self._sim_kwargs)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -178,6 +215,7 @@ class PrefetchSession:
         snapshot["cache_size"] = self.cache_size
         snapshot["period"] = sim.period
         snapshot["s"] = sim.s
+        snapshot["model_items"] = sim.policy.model_items()
         return snapshot
 
     def close(self) -> Dict[str, Any]:
@@ -192,6 +230,7 @@ class PrefetchSession:
             snapshot["cache_size"] = self.cache_size
             snapshot["period"] = self._sim.period
             snapshot["s"] = self._sim.s
+            snapshot["model_items"] = self._sim.policy.model_items()
             self._final_stats = snapshot
             self.closed = True
         return dict(self._final_stats)

@@ -1,0 +1,303 @@
+"""Whole-session snapshots: everything a live engine needs to resume.
+
+A *model* snapshot (:mod:`repro.store.models`) carries only the predictor;
+that is enough to warm-start prediction quality, but not enough to make a
+resumed session *decision-identical* to one that never stopped — the
+cost-benefit gate also depends on the buffer pool contents, the stack-
+distance profiler, the smoothed prefetch rate ``s``, the clock, and the
+policy's own auxiliary state.  A *session* snapshot captures all of it, so
+
+    decisions(run over A ++ B)
+        == decisions(run over A) ++ decisions(restore(snapshot(A)) over B)
+
+bit for bit, for every online-capable policy.  The parity tests in
+``tests/store/`` pin this through the actual codec bytes.
+
+Serialization rules that parity depends on:
+
+* every dict whose iteration order the engine observes (demand LRU,
+  prefetch entries, tree children) is written and restored in its exact
+  insertion order;
+* floats are carried verbatim (JSON ``repr`` round-trips Python floats
+  exactly); the profiler's lazily scaled decay state in particular is
+  **not** renormalised on restore;
+* derived structures (Fenwick tree, tag counts, the prefetch cache's
+  k-cheapest list) are rebuilt or invalidated — the rebuilt answers are
+  exact, and the invalidation points coincide with a period boundary,
+  where a continuous run would have discarded them anyway.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional
+
+from repro.cache.ghost import _Fenwick
+from repro.cache.prefetch_cache import PrefetchEntry
+from repro.core.estimators import EwmaRate
+from repro.params import SystemParams
+from repro.service.session import PrefetchSession, SessionError
+from repro.sim.disk import QueuedDiskModel
+from repro.sim.stats import SimulationStats
+from repro.store.codec import KIND_SESSION, Snapshot, SnapshotError
+
+
+def snapshot_session(
+    session: PrefetchSession,
+    *,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> Snapshot:
+    """Capture a live (unclosed) session into a ``session``-kind snapshot.
+
+    Must be called between observations — never from inside a step.
+    """
+    if session.closed:
+        raise SnapshotError("cannot snapshot a closed session")
+    sim = session.simulator
+    policy = sim.policy
+    clock = sim.clock
+    cache = sim.cache
+    records: List[Any] = []
+
+    records.append(["clock", {
+        "now": clock.now,
+        "compute_time": clock.compute_time,
+        "hit_time": clock.hit_time,
+        "driver_time": clock.driver_time,
+        "demand_fetch_time": clock.demand_fetch_time,
+        "stall_time": clock.stall_time,
+    }])
+    disk_state: Dict[str, Any] = {
+        "demand_reads": sim.disk.demand_reads,
+        "prefetch_reads": sim.disk.prefetch_reads,
+    }
+    if isinstance(sim.disk, QueuedDiskModel):
+        # The raw heap list round-trips: heap order is a property of the
+        # list layout, which JSON preserves.
+        disk_state["free_at"] = list(sim.disk._free_at)
+        disk_state["queue_delay_total"] = sim.disk.queue_delay_total
+        disk_state["queued_requests"] = sim.disk.queued_requests
+    records.append(["disk", disk_state])
+    est = sim._s_estimator
+    records.append(["s", {
+        "alpha": est._ewma.alpha,
+        "initial": est._ewma.initial,
+        "value": est._ewma.value,
+        "observations": est._ewma.observations,
+        "total_prefetches": est._total_prefetches,
+        "periods": est._periods,
+    }])
+    records.append(["stats", asdict(sim.stats)])
+    records.append(["engine", {"period": sim.period}])
+
+    demand = cache.demand
+    records.append(["demand", {
+        "blocks": list(demand.blocks_lru_to_mru()),
+        "hits": demand.hits,
+        "misses": demand.misses,
+        "evictions": demand.evictions,
+    }])
+    pf = cache.prefetch
+    records.append(["pf", {
+        "hits": pf.hits,
+        "inserted": pf.inserted,
+        "evicted_unreferenced": pf.evicted_unreferenced,
+    }])
+    for entry in pf:
+        records.append(["pentry", [
+            entry.block, entry.probability, entry.depth,
+            entry.issue_period, entry.arrival_time, entry.tag,
+        ]])
+    prof = cache.profiler
+    live = sorted(prof._pos.items(), key=lambda item: item[1])
+    records.append(["profiler", {
+        "live": [[slot, block] for block, slot in live],
+        "next_slot": prof._next_slot,
+        "scan_slot": prof._scan_slot,
+        "hist": list(prof._hist),
+        "recent": list(prof._recent),
+        "recent_weight": prof._recent_weight,
+        "scale": prof._scale,
+        "references": prof.references,
+        "cold_references": prof.cold_references,
+    }])
+    records.append(["cache", {
+        "forced_prefetch_evictions": cache.forced_prefetch_evictions,
+    }])
+    records.append(["policy-aux", policy.aux_state()])
+
+    model = policy.model()
+    model_kind = ""
+    model_items = 0
+    if model is not None:
+        model_kind = model.snapshot_kind
+        meta, items = model.snapshot_state()
+        model_items = len(items)
+        records.append(["model", {"kind": model_kind, "meta": meta}])
+        for item in items:
+            records.append(["model-item", item])
+
+    header = {
+        "config": {
+            "policy": session.policy_name,
+            "cache_size": session.cache_size,
+            "params": session.params.as_dict(),
+            "policy_kwargs": session.policy_kwargs,
+            "sim_kwargs": session.sim_kwargs,
+        },
+        "provenance": dict(provenance or {}),
+        "counts": {
+            "references": sim.period,
+            "model_kind": model_kind,
+            "model_items": model_items,
+            "demand_blocks": len(demand),
+            "prefetch_blocks": len(pf),
+        },
+    }
+    return Snapshot(
+        kind=KIND_SESSION, model=session.policy_name,
+        header=header, records=records,
+    )
+
+
+def restore_session(
+    snapshot: Snapshot,
+    *,
+    max_observations: Optional[int] = None,
+) -> PrefetchSession:
+    """Reconstruct a live session from a ``session``-kind snapshot."""
+    if snapshot.kind != KIND_SESSION:
+        raise SnapshotError(
+            f"expected a session snapshot, got kind {snapshot.kind!r}"
+        )
+    config = snapshot.config
+    try:
+        params = SystemParams(**config["params"])
+        session = PrefetchSession(
+            policy=config["policy"],
+            cache_size=config["cache_size"],
+            params=params,
+            policy_kwargs=dict(config["policy_kwargs"]),
+            max_observations=max_observations,
+            **dict(config["sim_kwargs"]),
+        )
+    except (KeyError, TypeError, ValueError, SessionError) as exc:
+        raise SnapshotError(f"snapshot config cannot be rebuilt: {exc}") from None
+
+    sim = session.simulator
+    by_tag: Dict[str, Any] = {}
+    pentries: List[Any] = []
+    model_items: List[Any] = []
+    for record in snapshot.records:
+        try:
+            tag, payload = record[0], record[1]
+        except (TypeError, IndexError):
+            raise SnapshotError(f"malformed session record: {record!r}") from None
+        if tag == "pentry":
+            pentries.append(payload)
+        elif tag == "model-item":
+            model_items.append(payload)
+        else:
+            by_tag[tag] = payload
+
+    try:
+        _apply(sim, session, by_tag, pentries, model_items)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotError(f"session snapshot is incomplete: {exc}") from None
+    return session
+
+
+def _apply(sim, session, by_tag, pentries, model_items) -> None:
+    clock_state = by_tag["clock"]
+    clock = sim.clock
+    clock.now = clock_state["now"]
+    clock.compute_time = clock_state["compute_time"]
+    clock.hit_time = clock_state["hit_time"]
+    clock.driver_time = clock_state["driver_time"]
+    clock.demand_fetch_time = clock_state["demand_fetch_time"]
+    clock.stall_time = clock_state["stall_time"]
+
+    disk_state = by_tag["disk"]
+    sim.disk.demand_reads = disk_state["demand_reads"]
+    sim.disk.prefetch_reads = disk_state["prefetch_reads"]
+    if isinstance(sim.disk, QueuedDiskModel):
+        sim.disk._free_at = list(disk_state["free_at"])
+        sim.disk.queue_delay_total = disk_state["queue_delay_total"]
+        sim.disk.queued_requests = disk_state["queued_requests"]
+
+    s_state = by_tag["s"]
+    est = sim._s_estimator
+    est._ewma = EwmaRate(alpha=s_state["alpha"], initial=s_state["initial"])
+    est._ewma.value = s_state["value"]
+    est._ewma.observations = s_state["observations"]
+    est._total_prefetches = s_state["total_prefetches"]
+    est._periods = s_state["periods"]
+
+    sim.stats = SimulationStats(**by_tag["stats"])
+    sim.period = by_tag["engine"]["period"]
+
+    demand_state = by_tag["demand"]
+    demand = sim.cache.demand
+    demand._entries = OrderedDict((b, None) for b in demand_state["blocks"])
+    demand.hits = demand_state["hits"]
+    demand.misses = demand_state["misses"]
+    demand.evictions = demand_state["evictions"]
+
+    pf_state = by_tag["pf"]
+    pf = sim.cache.prefetch
+    pf._entries = {}
+    pf._tag_counts = {}
+    for block, probability, depth, issue_period, arrival_time, tag in pentries:
+        entry = PrefetchEntry(
+            block=block, probability=probability, depth=depth,
+            issue_period=issue_period, arrival_time=arrival_time, tag=tag,
+        )
+        pf._entries[block] = entry
+        pf._tag_counts[tag] = pf._tag_counts.get(tag, 0) + 1
+    pf.hits = pf_state["hits"]
+    pf.inserted = pf_state["inserted"]
+    pf.evicted_unreferenced = pf_state["evicted_unreferenced"]
+    pf._cheap = []
+    pf._cheap_key = None
+    pf._cheap_complete = False
+
+    prof_state = by_tag["profiler"]
+    prof = sim.cache.profiler
+    prof._pos = {}
+    prof._order = [None] * prof._slots
+    prof._fenwick = _Fenwick(prof._slots)
+    for slot, block in prof_state["live"]:
+        prof._pos[block] = slot
+        prof._order[slot] = block
+        prof._fenwick.add(slot, 1)
+    prof._next_slot = prof_state["next_slot"]
+    prof._scan_slot = prof_state["scan_slot"]
+    prof._hist = list(prof_state["hist"])
+    prof._recent = list(prof_state["recent"])
+    prof._recent_weight = prof_state["recent_weight"]
+    prof._scale = prof_state["scale"]
+    prof.references = prof_state["references"]
+    prof.cold_references = prof_state["cold_references"]
+
+    sim.cache.forced_prefetch_evictions = (
+        by_tag["cache"]["forced_prefetch_evictions"]
+    )
+
+    sim.policy.restore_aux_state(by_tag.get("policy-aux", {}))
+
+    model = sim.policy.model()
+    model_state = by_tag.get("model")
+    if model_state is not None:
+        if model is None:
+            raise SnapshotError(
+                f"snapshot carries a {model_state['kind']!r} model but policy "
+                f"{session.policy_name!r} has none"
+            )
+        if model.snapshot_kind != model_state["kind"]:
+            raise SnapshotError(
+                f"model kind mismatch: snapshot has {model_state['kind']!r}, "
+                f"policy {session.policy_name!r} expects "
+                f"{model.snapshot_kind!r}"
+            )
+        model.restore_state(model_state["meta"], model_items)

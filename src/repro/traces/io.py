@@ -26,6 +26,15 @@ PathLike = Union[str, "os.PathLike[str]"]
 _HEADER_KEYS = ("name", "description", "l1_cache_blocks", "seed", "params")
 
 
+class TraceFormatError(ValueError):
+    """A trace file that cannot be parsed: ``path:line: what went wrong``.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` call
+    sites (the CLI's workload loader) keep working; the message is a single
+    human-readable line, never a raw traceback from the JSON or int parser.
+    """
+
+
 def save_text(trace: Trace, path: PathLike) -> None:
     """Write a trace in the text format."""
     with open(path, "w", encoding="utf-8") as fh:
@@ -53,7 +62,7 @@ def load_text(path: PathLike) -> Trace:
     }
     blocks = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
@@ -64,11 +73,23 @@ def load_text(path: PathLike) -> Trace:
                 if sep and key in _HEADER_KEYS:
                     value = value.strip()
                     if key in ("l1_cache_blocks", "seed", "params"):
-                        meta[key] = json.loads(value) if value else None
+                        try:
+                            meta[key] = json.loads(value) if value else None
+                        except json.JSONDecodeError:
+                            raise TraceFormatError(
+                                f"{os.fspath(path)}:{lineno}: header "
+                                f"{key!r} is not valid JSON: {value!r}"
+                            ) from None
                     else:
                         meta[key] = value
                 continue
-            blocks.append(int(line))
+            try:
+                blocks.append(int(line))
+            except ValueError:
+                raise TraceFormatError(
+                    f"{os.fspath(path)}:{lineno}: expected one integer "
+                    f"block id per line, got {line!r}"
+                ) from None
     return Trace(
         name=str(meta["name"]),
         blocks=blocks,

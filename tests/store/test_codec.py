@@ -1,0 +1,136 @@
+"""Snapshot codec robustness: corruption, truncation, version skew."""
+
+import os
+
+import pytest
+
+from repro.core.tree import PrefetchTree
+from repro.store.codec import (
+    KIND_MODEL,
+    SCHEMA_VERSION,
+    Snapshot,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotVersionError,
+    decode_snapshot,
+    encode_snapshot,
+    read_header,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.store.models import model_snapshot, restore_model
+
+
+def sample_snapshot():
+    return Snapshot(
+        kind=KIND_MODEL,
+        model="tree",
+        header={"config": {"x": 1}, "provenance": {"trace": "t"},
+                "counts": {"model_items": 2}},
+        records=[["a", 1], ["b", [2, 3]]],
+    )
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        snap = sample_snapshot()
+        back = decode_snapshot(encode_snapshot(snap))
+        assert back == snap
+
+    def test_save_load_save_is_byte_stable(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        first = path.read_bytes()
+        write_snapshot(read_snapshot(path), path)
+        assert path.read_bytes() == first
+
+    def test_write_is_atomic_no_temp_left(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        assert sorted(os.listdir(tmp_path)) == ["s.snap"]
+
+    def test_read_header_is_cheap_and_complete(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        header = read_header(path)
+        assert header["kind"] == KIND_MODEL
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["body_lines"] == 2
+        assert header["counts"] == {"model_items": 2}
+
+    def test_empty_body(self, tmp_path):
+        snap = Snapshot(kind=KIND_MODEL, model="tree", header={}, records=[])
+        path = tmp_path / "empty.snap"
+        write_snapshot(snap, path)
+        assert read_snapshot(path).records == []
+
+    def test_empty_tree_round_trip(self, tmp_path):
+        tree = PrefetchTree(max_nodes=64)
+        path = tmp_path / "tree.snap"
+        write_snapshot(model_snapshot(tree), path)
+        restored = PrefetchTree(max_nodes=64)
+        restore_model(read_snapshot(path), restored)
+        assert restored.memory_items() == 0
+        assert not restored.root.children
+
+
+class TestCorruption:
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(path)
+
+    def test_missing_body_lines(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        header, _, _ = path.read_bytes().partition(b"\n")
+        path.write_bytes(header)  # header survives, body gone entirely
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(path)
+
+    def test_flipped_body_byte(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x01  # inside the last body record
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruptError, match="checksum"):
+            read_snapshot(path)
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "nope.snap"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(SnapshotCorruptError, match="magic"):
+            read_snapshot(path)
+
+    def test_garbage_header(self, tmp_path):
+        path = tmp_path / "garbage.snap"
+        path.write_bytes(b"\x00\x01\x02 not json\nmore garbage\n")
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(path)
+
+    def test_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(sample_snapshot(), path)
+        data = path.read_bytes().replace(
+            b'"schema":%d' % SCHEMA_VERSION,
+            b'"schema":%d' % (SCHEMA_VERSION + 1),
+        )
+        path.write_bytes(data)
+        with pytest.raises(SnapshotVersionError):
+            read_snapshot(path)
+        with pytest.raises(SnapshotVersionError):
+            read_header(path)
+
+    def test_errors_are_snapshot_errors(self):
+        assert issubclass(SnapshotCorruptError, SnapshotError)
+        assert issubclass(SnapshotVersionError, SnapshotError)
+
+    def test_nan_rejected_at_encode(self):
+        snap = Snapshot(kind=KIND_MODEL, model="m", header={},
+                        records=[float("nan")])
+        with pytest.raises(SnapshotError):
+            encode_snapshot(snap)

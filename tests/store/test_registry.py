@@ -1,0 +1,99 @@
+"""ModelStore registry: naming, versioning, resolution, failure modes."""
+
+import pytest
+
+from repro.predictors.markov import MarkovPredictor
+from repro.store.codec import KIND_MODEL, SnapshotError
+from repro.store.models import model_snapshot
+from repro.store.registry import ModelStore, ModelStoreError, parse_spec
+
+
+def trained_snapshot(n=50):
+    predictor = MarkovPredictor()
+    for block in range(n):
+        predictor.update(block % 7)
+    return model_snapshot(predictor, provenance={"trace": "unit"})
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("tree-cad") == ("tree-cad", None)
+
+    def test_versioned(self):
+        assert parse_spec("tree-cad@3") == ("tree-cad", 3)
+
+    @pytest.mark.parametrize("bad", ["", "@3", "a b", "x@", "x@y", ".hidden",
+                                     "a@1@2", "a/b"])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ModelStoreError):
+            parse_spec(bad)
+
+
+class TestStore:
+    def test_versions_increment_and_never_rewrite(self, tmp_path):
+        store = ModelStore(tmp_path / "models")
+        snap = trained_snapshot()
+        assert store.save("markov-unit", snap) == 1
+        assert store.save("markov-unit", snap) == 2
+        assert store.versions("markov-unit") == [1, 2]
+        _, _, path1 = store.resolve("markov-unit@1")
+        _, _, path2 = store.resolve("markov-unit@2")
+        assert path1 != path2
+
+    def test_load_latest_and_pinned(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save("m", trained_snapshot(n=10))
+        store.save("m", trained_snapshot(n=500))
+        latest = store.load("m")
+        pinned = store.load("m@1")
+        assert latest.kind == pinned.kind == KIND_MODEL
+        assert latest.counts["model_items"] >= pinned.counts["model_items"]
+        assert store.resolve("m")[1] == 2
+
+    def test_list_entries_marks_latest(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save("a", trained_snapshot())
+        store.save("a", trained_snapshot())
+        store.save("b", trained_snapshot())
+        rows = store.list_entries()
+        assert [(r["name"], r["version"], r["latest"]) for r in rows] == [
+            ("a", 1, False), ("a", 2, True), ("b", 1, True),
+        ]
+
+    def test_unknown_name_lists_known(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save("exists", trained_snapshot())
+        with pytest.raises(ModelStoreError, match="exists"):
+            store.load("missing")
+
+    def test_unknown_version(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save("m", trained_snapshot())
+        with pytest.raises(ModelStoreError, match="no version 9"):
+            store.load("m@9")
+
+    def test_bad_name_rejected_on_save(self, tmp_path):
+        store = ModelStore(tmp_path)
+        with pytest.raises(ModelStoreError, match="bad model name"):
+            store.save("../escape", trained_snapshot())
+
+    def test_versions_of_unknown_name_is_empty(self, tmp_path):
+        assert ModelStore(tmp_path).versions("nope") == []
+
+    def test_malformed_manifest_is_clean_error(self, tmp_path):
+        store = ModelStore(tmp_path)
+        (tmp_path / "MANIFEST.json").write_text("{broken")
+        with pytest.raises(ModelStoreError, match="manifest"):
+            store.load("anything")
+
+    def test_missing_snapshot_file_is_clean_error(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save("m", trained_snapshot())
+        _, _, path = store.resolve("m@1")
+        import os
+        os.unlink(path)
+        with pytest.raises(ModelStoreError, match="missing"):
+            store.load("m")
+
+    def test_store_errors_are_snapshot_errors(self):
+        assert issubclass(ModelStoreError, SnapshotError)

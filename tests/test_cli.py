@@ -164,3 +164,76 @@ class TestServiceCommands:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "no server" in err
+
+
+class TestStoreCommands:
+    def test_train_to_file_then_inspect(self, tmp_path, capsys):
+        snap = tmp_path / "tree.snap"
+        rc = main(["train", "--trace", "cad", "--refs", "1500",
+                   "--cache", "128", "--out", str(snap)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trained tree on cad" in out
+        assert "counts[references]" in out
+
+        rc = main(["inspect", "--snapshot", str(snap)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "checksum verified" in out
+        assert "provenance[trace]" in out and "cad" in out
+
+    def test_train_into_store_and_list(self, tmp_path, capsys):
+        store = tmp_path / "models"
+        rc = main(["train", "--trace", "cad", "--refs", "1000",
+                   "--cache", "128", "--store", str(store),
+                   "--name", "tree-cad", "--model-only"])
+        assert rc == 0
+        assert "tree-cad@1" in capsys.readouterr().out
+
+        rc = main(["inspect", "--store", str(store)])
+        assert rc == 0
+        assert "tree-cad@1 (latest)" in capsys.readouterr().out
+
+        rc = main(["inspect", "--store", str(store), "--model", "tree-cad"])
+        assert rc == 0
+        assert "model" in capsys.readouterr().out
+
+    def test_train_needs_exactly_one_destination(self, tmp_path, capsys):
+        rc = main(["train", "--trace", "cad", "--refs", "100"])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+        rc = main(["train", "--trace", "cad", "--refs", "100",
+                   "--store", str(tmp_path)])
+        assert rc == 2
+        assert "--name" in capsys.readouterr().err
+
+    def test_train_rejects_offline_only_policy(self, tmp_path, capsys):
+        rc = main(["train", "--trace", "cad", "--refs", "100",
+                   "--policy", "informed", "--out", str(tmp_path / "x.snap")])
+        assert rc == 2
+        assert "online" in capsys.readouterr().err
+
+    def test_inspect_rejects_corrupt_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snap"
+        bad.write_text("definitely not a snapshot\n")
+        rc = main(["inspect", "--snapshot", str(bad)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_serve_flag_validation(self, capsys):
+        rc = main(["serve", "--model", "m"])
+        assert rc == 2
+        assert "--store" in capsys.readouterr().err
+
+        rc = main(["serve", "--checkpoint-dir", "x"])
+        assert rc == 2
+        assert "--checkpoint-every-s" in capsys.readouterr().err
+
+    def test_serve_unknown_default_model_fails_fast(self, tmp_path, capsys):
+        rc = main(["serve", "--store", str(tmp_path / "empty"),
+                   "--model", "ghost"])
+        assert rc == 2
+        assert "no model named" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Malformed trace files fail with one readable line, not a traceback."""
+
+import pytest
+
+from repro.traces.io import TraceFormatError, load_text
+
+
+class TestLoadTextErrors:
+    def test_non_integer_block_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1\n2\nnot-a-block\n4\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_text(path)
+        message = str(excinfo.value)
+        assert message == (
+            f"{path}:3: expected one integer block id per line, "
+            "got 'not-a-block'"
+        )
+
+    def test_float_block_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1\n2.5\n")
+        with pytest.raises(TraceFormatError, match=":2:"):
+            load_text(path)
+
+    def test_malformed_header_json(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# seed: {broken\n1\n2\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_text(path)
+        message = str(excinfo.value)
+        assert f"{path}:1:" in message
+        assert "seed" in message and "JSON" in message
+
+    def test_malformed_params_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# name: ok\n# params: [1,\n1\n")
+        with pytest.raises(TraceFormatError, match=":2:.*params"):
+            load_text(path)
+
+    def test_is_a_value_error(self, tmp_path):
+        # existing call sites catch ValueError; the subclass keeps them working
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_unknown_header_keys_still_ignored(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text("# flavour: {not json but irrelevant\n7\n8\n")
+        assert load_text(path).as_list() == [7, 8]
+
+    def test_blank_lines_still_skipped(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text("1\n\n2\n")
+        assert load_text(path).as_list() == [1, 2]
