@@ -3,14 +3,21 @@
 Configuration via environment:
 
 * ``REPRO_BENCH_REFS``  - references per trace (default 30000).  The paper's
-  traces are 0.15-3.9M references; 30k keeps the full battery to tens of
-  minutes on one core while preserving every qualitative shape.  Raise it
-  for tighter numbers.
+  traces are 0.15-3.9M references; 30k keeps the full battery fast while
+  preserving every qualitative shape.  Raise it for tighter numbers.
 * ``REPRO_BENCH_SEED``  - workload seed (default 1999).
+* ``REPRO_BENCH_JOBS``  - worker processes for independent simulations
+  (default 1 = serial).  Every figure harness declares its full spec grid
+  up front, so with N jobs the battery's wall clock approaches 1/N of the
+  serial run on an N-core box.
+* ``REPRO_BENCH_CACHE`` - persistent result-cache directory.  Results are
+  stored as checksummed snapshots keyed by spec content hash; a second
+  bench run against a warm cache executes zero simulations.
 
-All benches share one memoised :class:`ExperimentContext`, so simulations
-reused across figures (e.g. the tree policy's cache-size sweep feeding
-Figures 7-10) run exactly once per session.
+All benches share one :class:`ExperimentContext` over a single spec-driven
+scheduler (see docs/EXPERIMENTS.md), so simulations reused across figures
+(e.g. the tree policy's cache-size sweep feeding Figures 7-10) run exactly
+once per session — and in parallel within each figure's batch.
 
 Each bench ``record()``s its rendered table/series: the text is written to
 ``benchmarks/results/<exp_id>.txt`` and echoed in the terminal summary, so
@@ -41,8 +48,11 @@ _recorded: List[ExperimentResult] = []
 def ctx() -> ExperimentContext:
     refs = int(os.environ.get("REPRO_BENCH_REFS", "30000"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "1999"))
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
     return ExperimentContext(
-        num_references=refs, seed=seed, cache_sizes=CACHE_SIZES
+        num_references=refs, seed=seed, cache_sizes=CACHE_SIZES,
+        jobs=jobs, cache_dir=cache_dir,
     )
 
 

@@ -2,7 +2,7 @@
 
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.experiments import ALL_EXPERIMENTS, ExperimentResult
-from repro.analysis.parallel import RunSpec, execute, run_batch
+from repro.analysis.parallel import RunSpec, execute, run_batch, spec_hash
 from repro.analysis.metrics import (
     additivity_gap,
     max_miss_reduction,
@@ -10,12 +10,14 @@ from repro.analysis.metrics import (
     reduction_series,
 )
 from repro.analysis.runner import ExperimentContext, default_context
+from repro.analysis.scheduler import ResultStore, Scheduler, SchedulerCounters
 from repro.analysis.sweep import (
     DEFAULT_CACHE_SIZES,
     DEFAULT_TCPU_VALUES,
     SweepResult,
     cache_size_sweep,
     parameter_sweep,
+    spec_grid,
     tcpu_sweep,
     tree_nodes_sweep,
 )
@@ -36,6 +38,9 @@ __all__ = [
     "DEFAULT_TCPU_VALUES",
     "ExperimentContext",
     "ExperimentResult",
+    "ResultStore",
+    "Scheduler",
+    "SchedulerCounters",
     "SweepResult",
     "additivity_gap",
     "cache_size_sweep",
@@ -57,6 +62,8 @@ __all__ = [
     "render_table",
     "sequential_run_lengths",
     "sequentiality",
+    "spec_grid",
+    "spec_hash",
     "tcpu_sweep",
     "tree_nodes_sweep",
     "working_set_curve",

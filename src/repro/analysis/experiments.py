@@ -5,6 +5,12 @@ executes the simulations the paper's artifact needs (memoised), and returns
 an :class:`ExperimentResult` whose ``text`` is the paper's rows/series and
 whose ``data`` is the structured equivalent used by tests and EXPERIMENTS.md.
 
+Every harness is **plan-then-execute**: it first declares its complete
+spec grid with ``ctx.run_all`` — one batch the scheduler can dedupe,
+replay from cache, and fan out over worker processes — then assembles the
+figure from the now-memoised individual reads.  Adding a figure means
+declaring its grid up front, not threading a loop through ``ctx.run``.
+
 Paper-side expectations are recorded verbatim in ``paper_expectation`` so a
 reader can compare shapes without the paper at hand.
 """
@@ -98,6 +104,14 @@ def run_table1(ctx: ExperimentContext) -> ExperimentResult:
 
 def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 6: miss rate vs cache size for the four main policies."""
+    ctx.run_all(
+        [
+            ctx.spec(trace, policy, size)
+            for trace in TRACE_NAMES
+            for policy in FIG6_POLICIES
+            for size in ctx.cache_sizes
+        ]
+    )
     data: Dict[str, Any] = {}
     blocks_of_text: List[str] = []
     for trace in TRACE_NAMES:
@@ -151,6 +165,13 @@ def run_fig6(ctx: ExperimentContext) -> ExperimentResult:
 def _tree_sweep_metric(
     ctx: ExperimentContext, metric: str
 ) -> Dict[str, List[float]]:
+    ctx.run_all(
+        [
+            ctx.spec(trace, "tree", size)
+            for trace in TRACE_NAMES
+            for size in ctx.cache_sizes
+        ]
+    )
     return {
         trace: [
             round(getattr(s, metric), 3) for s in ctx.sweep(trace, "tree")
@@ -244,6 +265,13 @@ TCPU_VALUES = (20.0, 40.0, 50.0, 80.0, 160.0, 320.0, 640.0)
 
 def run_fig11(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
     """Figure 11: s (prefetches per period) vs T_cpu, CAD trace."""
+    ctx.run_all(
+        [
+            ctx.spec(trace, "tree", cache_size, t_cpu=t)
+            for trace in TRACE_NAMES
+            for t in TCPU_VALUES
+        ]
+    )
     series: Dict[str, List[float]] = {}
     for trace in TRACE_NAMES:
         series[trace] = [
@@ -276,6 +304,13 @@ def run_fig11(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResul
 
 def run_fig12(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
     """Figure 12: prefetch cache hit rate vs T_cpu."""
+    ctx.run_all(
+        [
+            ctx.spec(trace, "tree", cache_size, t_cpu=t)
+            for trace in TRACE_NAMES
+            for t in TCPU_VALUES
+        ]
+    )
     series: Dict[str, List[float]] = {}
     for trace in TRACE_NAMES:
         series[trace] = [
@@ -310,6 +345,19 @@ def run_fig13(
 ) -> ExperimentResult:
     """Figure 13: limiting prefetch-tree memory (miss rate vs node budget)."""
     sizes = list(cache_sizes) if cache_sizes is not None else ctx.cache_sizes[:4]
+    ctx.run_all(
+        [ctx.spec(trace, "no-prefetch", size) for size in sizes]
+        + [
+            ctx.spec(
+                trace, "tree", size,
+                policy_kwargs=(
+                    {"max_tree_nodes": budget} if budget is not None else {}
+                ),
+            )
+            for size in sizes
+            for budget in NODE_BUDGETS
+        ]
+    )
     series: Dict[str, List[float]] = {}
     budget_labels = [str(b) if b is not None else "unbounded" for b in NODE_BUDGETS]
     for size in sizes:
@@ -341,6 +389,7 @@ def run_fig13(
 
 def run_table2(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
     """Table 2: prediction accuracy per trace."""
+    ctx.run_all([ctx.spec(trace, "tree", cache_size) for trace in TRACE_NAMES])
     rows = []
     data = {}
     for trace in TRACE_NAMES:
@@ -388,6 +437,14 @@ def run_fig14(ctx: ExperimentContext) -> ExperimentResult:
 
 def run_fig15(ctx: ExperimentContext) -> ExperimentResult:
     """Figure 15: no-prefetch vs tree vs perfect-selector."""
+    ctx.run_all(
+        [
+            ctx.spec(trace, policy, size)
+            for trace in TRACE_NAMES
+            for policy in ("no-prefetch", "tree", "perfect-selector")
+            for size in ctx.cache_sizes
+        ]
+    )
     data: Dict[str, Any] = {}
     blocks_of_text: List[str] = []
     for trace in TRACE_NAMES:
@@ -420,6 +477,7 @@ def run_fig15(ctx: ExperimentContext) -> ExperimentResult:
 
 def run_table3(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
     """Table 3: last-visited-child repeat rate."""
+    ctx.run_all([ctx.spec(trace, "tree", cache_size) for trace in TRACE_NAMES])
     rows = []
     data = {}
     for trace in TRACE_NAMES:
@@ -475,6 +533,14 @@ def run_tree_lvc_comparison(
     ctx: ExperimentContext,
 ) -> ExperimentResult:
     """Section 9.6's negative result: tree-lvc == tree."""
+    ctx.run_all(
+        [
+            ctx.spec(trace, policy, size)
+            for trace in TRACE_NAMES
+            for policy in ("tree", "tree-lvc")
+            for size in ctx.cache_sizes
+        ]
+    )
     data: Dict[str, Any] = {}
     rows = []
     for trace in TRACE_NAMES:
@@ -505,6 +571,16 @@ def run_tree_lvc_comparison(
 
 def run_table4(ctx: ExperimentContext, cache_size: int = 1024) -> ExperimentResult:
     """Table 4: best vs worst tree-threshold over the threshold sweep."""
+    ctx.run_all(
+        [
+            ctx.spec(
+                trace, "tree-threshold", cache_size,
+                policy_kwargs={"threshold": threshold},
+            )
+            for trace in TRACE_NAMES
+            for threshold in THRESHOLD_VALUES
+        ]
+    )
     rows = []
     data: Dict[str, Any] = {}
     for trace in TRACE_NAMES:
@@ -566,6 +642,27 @@ def run_fig17(
     other size of the context's grid.
     """
     sizes = list(cache_sizes) if cache_sizes is not None else ctx.cache_sizes[::2]
+    ctx.run_all(
+        [ctx.spec(trace, "tree", size) for trace in traces for size in sizes]
+        + [
+            ctx.spec(
+                trace, "tree-threshold", size,
+                policy_kwargs={"threshold": t},
+            )
+            for trace in traces
+            for size in sizes
+            for t in THRESHOLD_VALUES
+        ]
+        + [
+            ctx.spec(
+                trace, "tree-children", size,
+                policy_kwargs={"num_children": k},
+            )
+            for trace in traces
+            for size in sizes
+            for k in CHILDREN_VALUES
+        ]
+    )
     data: Dict[str, Any] = {}
     blocks_of_text: List[str] = []
     for trace in traces:

@@ -2,31 +2,35 @@
 
 Most paper figures reuse the same underlying simulations (Figures 7-10 all
 read off the *tree* policy's cache-size sweep; Figure 6's no-prefetch
-baseline reappears in Figures 13 and 15).  :class:`ExperimentContext`
-memoises generated traces and simulation runs by their full configuration
-so a bench session pays for each distinct simulation exactly once.
+baseline reappears in Figures 13 and 15).  :class:`ExperimentContext` is a
+thin, configuration-carrying front end over the spec-driven
+:class:`~repro.analysis.scheduler.Scheduler`: every run is described as a
+:class:`~repro.analysis.parallel.RunSpec` keyed by its content hash, so a
+bench session pays for each distinct simulation exactly once — and, with
+``jobs > 1`` and/or a persistent ``cache_dir``, pays in parallel or not
+at all.
+
+The intended shape is **plan-then-execute**: a figure declares its full
+spec set up front (:meth:`ExperimentContext.run_all`), letting independent
+runs fan out across worker processes, then reads individual results back
+through the memoised :meth:`ExperimentContext.run`.
 """
 
 from __future__ import annotations
 
-import json
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.parallel import RunSpec, resolve_trace
+from repro.analysis.scheduler import Scheduler
 from repro.analysis.sweep import DEFAULT_CACHE_SIZES
 from repro.params import PAPER_PARAMS, SystemParams
-from repro.policies.registry import make_policy
-from repro.sim.engine import Simulator
 from repro.sim.stats import SimulationStats
+from repro.store.codec import PathLike
 from repro.traces.base import Trace
-from repro.traces.synthetic import make_trace
-
-
-def _freeze(kwargs: Optional[Dict[str, Any]]) -> str:
-    return json.dumps(kwargs or {}, sort_keys=True, default=str)
 
 
 class ExperimentContext:
-    """Shared configuration + memo for one benchmark/reproduction session."""
+    """Shared configuration + scheduler for one benchmark/reproduction session."""
 
     def __init__(
         self,
@@ -35,6 +39,8 @@ class ExperimentContext:
         num_references: int = 120_000,
         seed: int = 1999,
         cache_sizes: Sequence[int] = DEFAULT_CACHE_SIZES,
+        jobs: int = 1,
+        cache_dir: Optional[PathLike] = None,
     ) -> None:
         if num_references < 1:
             raise ValueError(
@@ -44,21 +50,63 @@ class ExperimentContext:
         self.num_references = num_references
         self.seed = seed
         self.cache_sizes = list(cache_sizes)
-        self._traces: Dict[str, Trace] = {}
-        self._stats: Dict[Tuple, SimulationStats] = {}
+        self.scheduler = Scheduler(max_workers=jobs, cache_dir=cache_dir)
 
     # ------------------------------------------------------------- traces
 
     def trace(self, name: str) -> Trace:
-        cached = self._traces.get(name)
-        if cached is None:
-            cached = make_trace(
-                name, num_references=self.num_references, seed=self.seed
-            )
-            self._traces[name] = cached
-        return cached
+        """The context's instance of a workload (process-wide cached)."""
+        return resolve_trace(name, self.num_references, self.seed)
 
     # ---------------------------------------------------------------- runs
+
+    def spec(
+        self,
+        trace_name: str,
+        policy_name: str,
+        cache_size: int,
+        *,
+        t_cpu: Optional[float] = None,
+        policy_kwargs: Optional[Dict[str, Any]] = None,
+        sim_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> RunSpec:
+        """A canonical :class:`RunSpec` under this context's configuration.
+
+        The context's :class:`SystemParams` (plus a per-run ``t_cpu``) are
+        expressed as overrides relative to the paper's constants, so the
+        spec — and its content hash — is self-contained.
+        """
+        params = self.params if t_cpu is None else self.params.with_t_cpu(t_cpu)
+        if params.block_size != PAPER_PARAMS.block_size:
+            raise ValueError(
+                "RunSpec cannot express a non-paper block_size "
+                f"({params.block_size!r}); run the Simulator directly"
+            )
+        overrides = {
+            name: getattr(params, name)
+            for name in ("t_cpu", "t_disk", "t_driver", "t_hit")
+            if getattr(params, name) != getattr(PAPER_PARAMS, name)
+        }
+        return RunSpec(
+            trace_name=trace_name,
+            policy_name=policy_name,
+            cache_size=cache_size,
+            num_references=self.num_references,
+            seed=self.seed,
+            policy_kwargs=dict(policy_kwargs or {}),
+            sim_kwargs=dict(sim_kwargs or {}),
+            **overrides,
+        )
+
+    def run_all(self, specs: Sequence[RunSpec]) -> List[SimulationStats]:
+        """Plan-then-execute: satisfy a whole spec set at once.
+
+        Figures call this with their full grid before reading individual
+        results via :meth:`run`, so independent simulations parallelize
+        across ``jobs`` workers instead of serializing one ``run()`` at a
+        time.
+        """
+        return self.scheduler.run_all(specs)
 
     def run(
         self,
@@ -70,35 +118,17 @@ class ExperimentContext:
         policy_kwargs: Optional[Dict[str, Any]] = None,
         sim_kwargs: Optional[Dict[str, Any]] = None,
     ) -> SimulationStats:
-        """One memoised simulation run."""
-        key = (
-            trace_name,
-            policy_name,
-            cache_size,
-            t_cpu,
-            _freeze(policy_kwargs),
-            _freeze(sim_kwargs),
+        """One memoised simulation run (single-spec :meth:`run_all`)."""
+        return self.scheduler.run(
+            self.spec(
+                trace_name,
+                policy_name,
+                cache_size,
+                t_cpu=t_cpu,
+                policy_kwargs=policy_kwargs,
+                sim_kwargs=sim_kwargs,
+            )
         )
-        cached = self._stats.get(key)
-        if cached is not None:
-            return cached
-        params = self.params if t_cpu is None else self.params.with_t_cpu(t_cpu)
-        policy = make_policy(policy_name, **(policy_kwargs or {}))
-        trace = self.trace(trace_name)
-        # File-level policies need the workload's extent map; the synthetic
-        # file workloads publish it in their params.
-        from repro.policies.file_prefetch import FilePrefetchPolicy
-
-        if (
-            isinstance(policy, FilePrefetchPolicy)
-            and policy.extent_map is None
-            and trace.params.get("extents")
-        ):
-            policy.attach_extents(trace.params["extents"])
-        sim = Simulator(params, policy, cache_size, **(sim_kwargs or {}))
-        stats = sim.run(trace.as_list())
-        self._stats[key] = stats
-        return stats
 
     def sweep(
         self,
@@ -109,18 +139,20 @@ class ExperimentContext:
         policy_kwargs: Optional[Dict[str, Any]] = None,
         **run_kwargs,
     ) -> List[SimulationStats]:
-        """One run per cache size (memoised individually)."""
+        """One run per cache size, submitted as a single parallel batch."""
         sizes = self.cache_sizes if cache_sizes is None else list(cache_sizes)
-        return [
-            self.run(
-                trace_name,
-                policy_name,
-                size,
-                policy_kwargs=policy_kwargs,
-                **run_kwargs,
-            )
-            for size in sizes
-        ]
+        return self.run_all(
+            [
+                self.spec(
+                    trace_name,
+                    policy_name,
+                    size,
+                    policy_kwargs=policy_kwargs,
+                    **run_kwargs,
+                )
+                for size in sizes
+            ]
+        )
 
     def metric_series(
         self, runs: Sequence[SimulationStats], metric: str
@@ -146,7 +178,9 @@ def default_context(
     """Process-wide shared context.
 
     The first caller fixes the configuration; later callers must not ask
-    for a different one (that would silently mix configurations).
+    for a different one (that would silently mix configurations).  The
+    seed is checked unconditionally — a caller relying on the default
+    reference count but a different seed is still a conflict.
     """
     global _default_context
     if _default_context is None:
@@ -155,9 +189,9 @@ def default_context(
             seed=seed,
         )
         return _default_context
-    if num_references is not None and (
-        _default_context.num_references != num_references
-        or _default_context.seed != seed
+    if _default_context.seed != seed or (
+        num_references is not None
+        and _default_context.num_references != num_references
     ):
         raise RuntimeError(
             "default_context already initialised with a different configuration"

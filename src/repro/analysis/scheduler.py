@@ -1,0 +1,222 @@
+"""The spec-driven experiment engine: dedup, two-tier cache, process pool.
+
+This is the single execution path behind every sweep-shaped workload in
+the repository.  Callers — figure harnesses, benchmarks' shared
+:class:`~repro.analysis.runner.ExperimentContext`, the CLI, ad-hoc
+scripts — declare *what* to run as a batch of
+:class:`~repro.analysis.parallel.RunSpec` and submit it to a
+:class:`Scheduler`, which decides *how*:
+
+1. **dedup** — specs are keyed by :func:`~repro.analysis.parallel.spec_hash`;
+   identical work submitted twice in one batch (Figures 7-10 all read the
+   tree policy's cache-size sweep) simulates once;
+2. **memo** — results live in an in-process dict for the scheduler's
+   lifetime, so a bench session pays for each distinct simulation once;
+3. **result store** — with a ``cache_dir``, results also persist as
+   checksummed, atomically-written snapshot files
+   (:mod:`repro.store.codec`), so a *re-run* of the battery — another
+   process, another day — replays from disk with zero simulations;
+4. **fan-out** — whatever is left executes on a
+   :class:`~concurrent.futures.ProcessPoolExecutor` (``max_workers > 1``)
+   or in-process (``max_workers == 1``: no pool, no pickling, no
+   multiprocessing complexity for tests and single-core machines).
+
+Results always come back in input order, each carrying its wall time in
+``stats.extra["wall_time_s"]``.  :attr:`Scheduler.counters` records how
+every submitted spec was satisfied, which is what the CLI prints and the
+CI cache-hit assertions grep.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.parallel import RunSpec, execute, spec_hash
+from repro.sim.stats import SimulationStats
+from repro.store.codec import (
+    PathLike,
+    Snapshot,
+    SnapshotCorruptError,
+    read_snapshot,
+    write_snapshot,
+)
+
+#: Snapshot ``kind`` for cached simulation results (the store layer's
+#: ``model``/``session`` kinds hold trained state; this one holds stats).
+KIND_RESULT = "result"
+
+
+class ResultStore:
+    """Persistent spec-hash -> :class:`SimulationStats` store.
+
+    Layout: ``<root>/<hash[:2]>/<hash>.snap``, one snapshot per result,
+    sharded by the first hash byte so a full battery (hundreds of files)
+    does not pile into one directory.  Files are written atomically
+    (temp + fsync + rename) and carry the codec's SHA-256 body checksum;
+    a truncated or bit-flipped entry raises
+    :class:`~repro.store.codec.SnapshotCorruptError` on load instead of
+    silently feeding a wrong result into a figure.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.snap"
+
+    def load(self, key: str) -> Optional[SimulationStats]:
+        """The cached stats for ``key``, or ``None`` when absent.
+
+        Corrupt entries raise; they are never treated as misses.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        snapshot = read_snapshot(path)
+        if snapshot.kind != KIND_RESULT or len(snapshot.records) != 1:
+            raise SnapshotCorruptError(
+                f"{path} is not a result snapshot "
+                f"(kind={snapshot.kind!r}, records={len(snapshot.records)})"
+            )
+        try:
+            return SimulationStats.from_record(snapshot.records[0])
+        except (TypeError, ValueError) as exc:
+            raise SnapshotCorruptError(
+                f"{path} holds an unreadable stats record: {exc}"
+            ) from None
+
+    def save(self, key: str, spec: RunSpec, stats: SimulationStats) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        snapshot = Snapshot(
+            kind=KIND_RESULT,
+            model=spec.policy_name,
+            header={
+                "config": spec.as_dict(),
+                "counts": {"accesses": stats.accesses},
+            },
+            records=[stats.to_record()],
+        )
+        write_snapshot(snapshot, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.snap"))
+
+
+@dataclass
+class SchedulerCounters:
+    """How each submitted spec was satisfied (cumulative per scheduler)."""
+
+    submitted: int = 0
+    executed: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    deduped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "deduped": self.deduped,
+        }
+
+    def summary(self) -> str:
+        """One-line form for CLI output (and CI's cache-hit greps)."""
+        return (
+            f"submitted={self.submitted} executed={self.executed} "
+            f"memo_hits={self.memo_hits} disk_hits={self.disk_hits} "
+            f"deduped={self.deduped}"
+        )
+
+
+class Scheduler:
+    """Dedup + two-tier cache + pool fan-out over :class:`RunSpec` batches."""
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 1,
+        cache_dir: Optional[PathLike] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
+        self.max_workers = max_workers
+        self.store: Optional[ResultStore] = (
+            ResultStore(cache_dir) if cache_dir is not None else None
+        )
+        self.memo: Dict[str, SimulationStats] = {}
+        self.counters = SchedulerCounters()
+
+    # ----------------------------------------------------------- submit
+
+    def run(self, spec: RunSpec) -> SimulationStats:
+        """Run (or recall) a single spec."""
+        return self.run_all([spec])[0]
+
+    def run_all(self, specs: Sequence[RunSpec]) -> List[SimulationStats]:
+        """Satisfy every spec; results in input order.
+
+        Each spec is resolved through the tiers in order — in-memory
+        memo, persistent store (cacheable specs only), then execution —
+        and a batch executes each *distinct* spec exactly once however
+        many times it was submitted.
+        """
+        specs = list(specs)
+        self.counters.submitted += len(specs)
+        results: List[Optional[SimulationStats]] = [None] * len(specs)
+        pending_indices: Dict[str, List[int]] = {}
+        pending_specs: Dict[str, RunSpec] = {}
+        for i, spec in enumerate(specs):
+            key = spec_hash(spec)
+            hit = self.memo.get(key)
+            if hit is not None:
+                self.counters.memo_hits += 1
+                results[i] = hit
+                continue
+            if key in pending_indices:
+                self.counters.deduped += 1
+                pending_indices[key].append(i)
+                continue
+            if self.store is not None and spec.cacheable:
+                loaded = self.store.load(key)
+                if loaded is not None:
+                    self.counters.disk_hits += 1
+                    self.memo[key] = loaded
+                    results[i] = loaded
+                    continue
+            pending_indices[key] = [i]
+            pending_specs[key] = spec
+        order = list(pending_specs)
+        to_run = [pending_specs[key] for key in order]
+        for key, spec, stats in zip(order, to_run, self._execute(to_run)):
+            self.counters.executed += 1
+            self.memo[key] = stats
+            if self.store is not None and spec.cacheable:
+                self.store.save(key, spec, stats)
+            for i in pending_indices[key]:
+                results[i] = stats
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    # ---------------------------------------------------------- execute
+
+    def _execute(self, specs: List[RunSpec]) -> List[SimulationStats]:
+        if not specs:
+            return []
+        if self.max_workers == 1 or len(specs) == 1:
+            return [execute(spec) for spec in specs]
+        workers = min(self.max_workers, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute, specs))
+
+    # ------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        """Distinct results held in the in-memory memo."""
+        return len(self.memo)

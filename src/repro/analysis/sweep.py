@@ -5,13 +5,24 @@ budget, threshold probability, child count) with one simulation run per
 point.  :class:`SweepResult` holds the grid of
 :class:`~repro.sim.stats.SimulationStats` and extracts named metric series
 for rendering or assertion.
+
+Sweeps over *registered* policies and synthetic workloads should be
+declared as :class:`~repro.analysis.parallel.RunSpec` grids
+(:func:`spec_grid`) and submitted to the
+:class:`~repro.analysis.scheduler.Scheduler` — that is the single cached,
+parallel execution path.  The ``*_sweep`` functions below remain as the
+escape hatch for ad-hoc policy objects (custom factories, pre-attached
+extent maps) that cannot be described by name + kwargs; they run
+in-process and uncached.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.analysis.parallel import RunSpec
 from repro.params import SystemParams
 from repro.sim.engine import Simulator
 from repro.sim.stats import SimulationStats
@@ -23,6 +34,45 @@ DEFAULT_CACHE_SIZES = (128, 256, 512, 1024, 2048, 4096)
 DEFAULT_TCPU_VALUES = (20.0, 40.0, 50.0, 80.0, 160.0, 320.0, 640.0)
 
 PolicyFactory = Callable[[], Any]
+
+
+def spec_grid(
+    trace_names: Sequence[str],
+    policy_names: Sequence[str],
+    cache_sizes: Sequence[int],
+    *,
+    num_references: int = 50_000,
+    seed: int = 1999,
+    t_cpu: Optional[float] = None,
+    t_disk: Optional[float] = None,
+    t_driver: Optional[float] = None,
+    t_hit: Optional[float] = None,
+    policy_kwargs: Optional[Dict[str, Any]] = None,
+    sim_kwargs: Optional[Dict[str, Any]] = None,
+) -> List[RunSpec]:
+    """The full trace x policy x cache-size cross product as specs.
+
+    Row-major in argument order (trace outermost, cache size innermost),
+    matching how the CLI and figure harnesses iterate their results.
+    """
+    return [
+        RunSpec(
+            trace_name=trace,
+            policy_name=policy,
+            cache_size=size,
+            num_references=num_references,
+            seed=seed,
+            t_cpu=t_cpu,
+            t_disk=t_disk,
+            t_driver=t_driver,
+            t_hit=t_hit,
+            policy_kwargs=dict(policy_kwargs or {}),
+            sim_kwargs=dict(sim_kwargs or {}),
+        )
+        for trace, policy, size in itertools.product(
+            trace_names, policy_names, cache_sizes
+        )
+    ]
 
 
 @dataclass

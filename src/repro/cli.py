@@ -20,6 +20,7 @@ Examples
 
     python -m repro simulate --trace cad --policy tree --cache 1024
     python -m repro sweep --trace sitar --policies no-prefetch next-limit tree
+    python -m repro sweep --trace cello --jobs 4 --cache-dir .repro-results
     python -m repro trace --name snake --refs 200000 --out snake.npz
     python -m repro report --refs 50000 --out EXPERIMENTS.md
     python -m repro stats --trace cello --refs 100000
@@ -33,14 +34,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 import zipfile
 from dataclasses import replace
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.parallel import RunSpec, resolve_trace
+from repro.analysis.scheduler import Scheduler
+from repro.analysis.sweep import spec_grid
 from repro.analysis.tables import render_dict, render_series
 from repro.params import PAPER_PARAMS, SystemParams
 from repro.policies.registry import make_policy, policy_names
-from repro.sim.engine import Simulator
 from repro.traces import io as trace_io
 from repro.traces.synthetic import TRACE_NAMES, make_trace
 
@@ -73,6 +77,47 @@ def _load_workload(args) -> list:
                 f"cannot read trace file {args.trace!r}: {exc}"
             ) from None
     return trace.as_list()
+
+
+def _check_workload(args) -> None:
+    """Fail fast (one clean line) on an unusable ``--trace`` argument.
+
+    Named synthetic workloads need no check; a file path is loaded once
+    here — into the process-wide trace cache, so the serial execution
+    path does not read it twice — purely to surface I/O and format
+    errors before any simulation starts.
+    """
+    if args.trace in TRACE_NAMES:
+        return
+    try:
+        resolve_trace(args.trace, args.refs, args.seed)
+    except FileNotFoundError:
+        raise CLIError(
+            f"trace file not found: {args.trace!r} "
+            f"(workload names are: {', '.join(TRACE_NAMES)})"
+        ) from None
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CLIError(
+            f"cannot read trace file {args.trace!r}: {exc}"
+        ) from None
+
+
+def _run_specs(args, specs: List[RunSpec]) -> tuple:
+    """Run a spec batch through one scheduler; returns (results, scheduler).
+
+    The single execution path for ``simulate`` and ``sweep``:
+    ``--jobs``-wide process fan-out plus the optional persistent result
+    cache, with worker-side failures surfaced as clean one-line errors.
+    """
+    _check_workload(args)
+    scheduler = Scheduler(
+        max_workers=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    try:
+        return scheduler.run_all(specs), scheduler
+    except trace_io.TraceFormatError as exc:
+        raise CLIError(f"cannot read trace file {args.trace!r}: {exc}") from None
 
 
 def _param_overrides(args) -> Dict[str, float]:
@@ -115,6 +160,25 @@ def _add_param_flags(parser: argparse.ArgumentParser) -> None:
                         help="override T_hit (ms); default 0.243")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Scheduler knobs shared by simulate/sweep/report."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for independent simulations (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="persistent result cache: identical runs replay from disk",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", required=True,
@@ -137,12 +201,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="candidate frontier width per access period")
 
 
+def _timing_overrides(args) -> Dict[str, float]:
+    """Validated ``--t-*`` overrides in :class:`RunSpec` field form."""
+    _params(args)  # reject bad values (e.g. negative t_disk) up front
+    return _param_overrides(args)
+
+
 def cmd_simulate(args) -> int:
-    blocks = _load_workload(args)
-    policy = make_policy(args.policy, **_policy_kwargs(args))
-    sim = Simulator(_params(args), policy, args.cache)
-    stats = sim.run(blocks)
-    d = stats.as_dict()
+    spec = RunSpec(
+        trace_name=args.trace,
+        policy_name=args.policy,
+        cache_size=args.cache,
+        num_references=args.refs,
+        seed=args.seed,
+        policy_kwargs=_policy_kwargs(args),
+        **_timing_overrides(args),
+    )
+    results, _ = _run_specs(args, [spec])
+    d = results[0].as_dict()
     extra = d.pop("extra")
     print(render_dict(d, title=f"{args.policy} on {args.trace} "
                                f"(cache {args.cache} blocks)"))
@@ -152,17 +228,27 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    blocks = _load_workload(args)
-    series = {}
-    for name in args.policies:
-        misses = []
-        for size in args.sizes:
-            policy = make_policy(name, **_policy_kwargs(args))
-            sim = Simulator(_params(args), policy, size)
-            misses.append(round(sim.run(blocks).miss_rate, 2))
-        series[name] = misses
+    start = time.perf_counter()
+    specs = spec_grid(
+        [args.trace],
+        args.policies,
+        args.sizes,
+        num_references=args.refs,
+        seed=args.seed,
+        policy_kwargs=_policy_kwargs(args),
+        **_timing_overrides(args),
+    )
+    results, scheduler = _run_specs(args, specs)
+    by_spec = iter(results)
+    series = {
+        name: [round(next(by_spec).miss_rate, 2) for _ in args.sizes]
+        for name in args.policies
+    }
     print(render_series("cache_blocks", args.sizes, series,
                         title=f"miss rate (%) on {args.trace}"))
+    elapsed = time.perf_counter() - start
+    print(f"simulations: {scheduler.counters.summary()} "
+          f"jobs={args.jobs} elapsed={elapsed:.2f}s")
     return 0
 
 
@@ -382,10 +468,11 @@ def cmd_replay(args) -> int:
 def cmd_report(args) -> int:
     from repro.analysis import report
 
-    return report.main(
-        ["--refs", str(args.refs), "--seed", str(args.seed),
-         "--out", args.out]
-    )
+    argv = ["--refs", str(args.refs), "--seed", str(args.seed),
+            "--out", args.out, "--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    return report.main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -397,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="run one policy on one workload")
     _add_common(p_sim)
+    _add_engine_flags(p_sim)
     p_sim.add_argument("--policy", choices=policy_names(), default="tree")
     p_sim.add_argument("--cache", type=int, default=1024,
                        help="cache size in blocks")
@@ -404,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="miss rate vs cache size")
     _add_common(p_sweep)
+    _add_engine_flags(p_sweep)
     p_sweep.add_argument("--policies", nargs="+", default=["no-prefetch", "tree"],
                          choices=policy_names())
     p_sweep.add_argument("--sizes", type=int, nargs="+",
@@ -428,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--refs", type=int, default=50_000)
     p_rep.add_argument("--seed", type=int, default=1999)
     p_rep.add_argument("--out", default="EXPERIMENTS.md")
+    _add_engine_flags(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     p_train = sub.add_parser(

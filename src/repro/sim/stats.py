@@ -17,8 +17,8 @@ Every metric reported in the paper's Section 9 is accumulated here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping
 
 
 @dataclass
@@ -199,6 +199,36 @@ class SimulationStats:
             "mean_access_time": self.mean_access_time,
             "extra": dict(self.extra),
         }
+
+    def to_record(self) -> Dict[str, Any]:
+        """Lossless plain-dict form: raw counters only, no derived rates.
+
+        Unlike :meth:`as_dict` (a reporting view that mixes in computed
+        properties), this is the serialization format — JSON-encoding the
+        record and feeding it back through :meth:`from_record` must
+        reconstruct an equal instance.
+        """
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "SimulationStats":
+        """Rebuild stats from :meth:`to_record` output.
+
+        Unknown keys fail loudly — a record that does not match this
+        build's fields is stale or corrupt, and silently dropping data
+        would defeat the result cache's integrity story.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(record) - known)
+        if unknown:
+            raise ValueError(
+                f"SimulationStats record has unknown fields: {unknown}"
+            )
+        payload = dict(record)
+        payload["extra"] = dict(payload.get("extra") or {})
+        return cls(**payload)
 
     def check_conservation(self) -> None:
         """Assert the bookkeeping identities the engine must maintain."""

@@ -70,11 +70,14 @@ class TestArtifactShapes:
 
     def test_memoisation_across_experiments(self, ctx):
         """Figures 7-10 reuse the tree sweep: re-running is instant/cached."""
-        before = len(ctx._stats)
+        before = len(ctx.scheduler)
+        executed_before = ctx.scheduler.counters.executed
         ex.run_fig7(ctx)
         ex.run_fig8(ctx)
-        after = len(ctx._stats)
-        assert after == before  # everything already memoised by earlier tests
+        # Everything already memoised by earlier tests: no new results, no
+        # new simulations.
+        assert len(ctx.scheduler) == before
+        assert ctx.scheduler.counters.executed == executed_before
 
 
 class TestJsonExport:

@@ -1,0 +1,136 @@
+"""SimulationStats round-trip through the on-disk result store.
+
+Mirrors ``tests/store/test_codec.py``: the same corruption classes
+(truncation, bit flips, wrong kind) must fail loudly — a damaged cache
+entry is never a cache miss.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.parallel import RunSpec, execute, spec_hash
+from repro.analysis.scheduler import KIND_RESULT, ResultStore
+from repro.sim.stats import SimulationStats
+from repro.store.codec import (
+    Snapshot,
+    SnapshotCorruptError,
+    canonical_json,
+    read_header,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return RunSpec(
+        trace_name="snake", policy_name="tree", cache_size=64,
+        num_references=1200, seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def stats(spec):
+    return execute(spec)
+
+
+class TestRecordRoundTrip:
+    def test_to_from_record(self, stats):
+        back = SimulationStats.from_record(stats.to_record())
+        assert back == stats
+        assert back.extra == stats.extra  # including wall_time_s / spec
+
+    def test_record_survives_canonical_json(self, stats):
+        wire = canonical_json(stats.to_record())
+        back = SimulationStats.from_record(json.loads(wire))
+        assert back.to_record() == stats.to_record()
+
+    def test_unknown_field_rejected(self, stats):
+        record = stats.to_record()
+        record["misses_per_furlong"] = 12
+        with pytest.raises(ValueError, match="unknown"):
+            SimulationStats.from_record(record)
+
+
+class TestStoreRoundTrip:
+    def test_save_load_equality(self, tmp_path, spec, stats):
+        store = ResultStore(tmp_path)
+        key = spec_hash(spec)
+        store.save(key, spec, stats)
+        assert store.load(key) == stats
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).load("ab" * 32) is None
+
+    def test_layout_sharded_by_hash_prefix(self, tmp_path, spec, stats):
+        store = ResultStore(tmp_path)
+        key = spec_hash(spec)
+        path = store.save(key, spec, stats)
+        assert path == tmp_path / key[:2] / f"{key}.snap"
+        assert path.exists()
+        assert len(store) == 1
+
+    def test_header_carries_spec_config(self, tmp_path, spec, stats):
+        store = ResultStore(tmp_path)
+        path = store.save(spec_hash(spec), spec, stats)
+        header = read_header(path)
+        assert header["kind"] == KIND_RESULT
+        assert header["config"] == spec.as_dict()
+        assert header["counts"]["accesses"] == stats.accesses
+
+
+class TestStoreCorruption:
+    def write_entry(self, tmp_path, spec, stats):
+        store = ResultStore(tmp_path)
+        key = spec_hash(spec)
+        return store, key, store.save(key, spec, stats)
+
+    def test_truncated_entry(self, tmp_path, spec, stats):
+        store, key, path = self.write_entry(tmp_path, spec, stats)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        with pytest.raises(SnapshotCorruptError):
+            store.load(key)
+
+    def test_flipped_byte(self, tmp_path, spec, stats):
+        store, key, path = self.write_entry(tmp_path, spec, stats)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruptError, match="checksum"):
+            store.load(key)
+
+    def test_wrong_kind_rejected(self, tmp_path, spec, stats):
+        store, key, path = self.write_entry(tmp_path, spec, stats)
+        snap = read_snapshot(path)
+        write_snapshot(
+            Snapshot(kind="model", model=snap.model, header=snap.header,
+                     records=snap.records),
+            path,
+        )
+        with pytest.raises(SnapshotCorruptError, match="not a result"):
+            store.load(key)
+
+    def test_malformed_record_rejected(self, tmp_path, spec, stats):
+        store, key, path = self.write_entry(tmp_path, spec, stats)
+        record = stats.to_record()
+        record["no_such_counter"] = 1
+        write_snapshot(
+            Snapshot(kind=KIND_RESULT, model=spec.policy_name,
+                     header={}, records=[record]),
+            path,
+        )
+        with pytest.raises(SnapshotCorruptError, match="unreadable"):
+            store.load(key)
+
+    def test_multi_record_body_rejected(self, tmp_path, spec, stats):
+        store, key, path = self.write_entry(tmp_path, spec, stats)
+        record = stats.to_record()
+        write_snapshot(
+            Snapshot(kind=KIND_RESULT, model=spec.policy_name,
+                     header={}, records=[record, record]),
+            path,
+        )
+        with pytest.raises(SnapshotCorruptError, match="not a result"):
+            store.load(key)

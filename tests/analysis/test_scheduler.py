@@ -1,0 +1,160 @@
+"""Tests for the spec-driven scheduler: dedup, two-tier cache, parity."""
+
+import pytest
+
+from repro.analysis.parallel import RunSpec, spec_hash
+from repro.analysis.scheduler import Scheduler
+from repro.store.codec import SnapshotCorruptError
+from repro.traces import io as trace_io
+from repro.traces.synthetic import make_trace
+
+
+def spec(**overrides):
+    base = dict(
+        trace_name="cad",
+        policy_name="no-prefetch",
+        cache_size=64,
+        num_references=1500,
+        seed=3,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def grid():
+    """A small trace x policy x cache-size grid (8 distinct specs)."""
+    return [
+        spec(trace_name=trace, policy_name=policy, cache_size=size)
+        for trace in ("cad", "sitar")
+        for policy in ("no-prefetch", "tree")
+        for size in (32, 64)
+    ]
+
+
+def record_sans_walltime(stats):
+    """to_record() minus the one legitimately nondeterministic field."""
+    record = stats.to_record()
+    record["extra"] = {
+        k: v for k, v in record["extra"].items() if k != "wall_time_s"
+    }
+    return record
+
+
+class TestSerialParallelParity:
+    def test_bit_identical_in_input_order(self):
+        specs = grid()
+        serial = Scheduler(max_workers=1).run_all(specs)
+        parallel = Scheduler(max_workers=2).run_all(specs)
+        assert len(serial) == len(parallel) == len(specs)
+        for sp, a, b in zip(specs, serial, parallel):
+            assert a.extra["spec"] == sp.label()  # input order preserved
+            assert record_sans_walltime(a) == record_sans_walltime(b)
+
+    def test_wall_time_recorded(self):
+        stats = Scheduler().run(spec())
+        assert stats.extra["wall_time_s"] > 0.0
+
+
+class TestDedupAndMemo:
+    def test_duplicate_specs_simulate_once(self):
+        sch = Scheduler()
+        results = sch.run_all([spec(), spec(), spec()])
+        assert sch.counters.executed == 1
+        assert sch.counters.deduped == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_memo_across_batches(self):
+        sch = Scheduler()
+        first = sch.run(spec())
+        again = sch.run(spec())
+        assert again is first
+        assert sch.counters.executed == 1
+        assert sch.counters.memo_hits == 1
+        assert len(sch) == 1
+
+    def test_distinct_specs_all_execute(self):
+        sch = Scheduler()
+        sch.run_all(grid())
+        assert sch.counters.executed == 8
+        assert sch.counters.memo_hits == 0
+
+    def test_empty_batch(self):
+        assert Scheduler().run_all([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scheduler(max_workers=0)
+
+
+class TestResultCache:
+    def test_warm_cache_runs_zero_simulations(self, tmp_path):
+        specs = grid()
+        cold = Scheduler(max_workers=1, cache_dir=tmp_path)
+        cold_results = cold.run_all(specs)
+        assert cold.counters.executed == len(specs)
+        assert len(cold.store) == len(specs)
+
+        warm = Scheduler(max_workers=2, cache_dir=tmp_path)
+        warm_results = warm.run_all(specs)
+        assert warm.counters.executed == 0
+        assert warm.counters.disk_hits == len(specs)
+        # Replayed results are byte-equal records (wall time included: it
+        # was persisted with the original run).
+        for a, b in zip(cold_results, warm_results):
+            assert a.to_record() == b.to_record()
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        sch = Scheduler(max_workers=2, cache_dir=tmp_path)
+        sch.run_all(grid())
+        replay = Scheduler(max_workers=1, cache_dir=tmp_path)
+        replay.run_all(grid())
+        assert replay.counters.executed == 0
+
+    def test_corrupt_entry_fails_loudly(self, tmp_path):
+        sch = Scheduler(cache_dir=tmp_path)
+        sch.run(spec())
+        path = sch.store.path_for(spec_hash(spec()))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 4])  # truncate mid-record
+        fresh = Scheduler(cache_dir=tmp_path)
+        with pytest.raises(SnapshotCorruptError):
+            fresh.run(spec())
+
+    def test_file_backed_specs_bypass_disk_cache(self, tmp_path):
+        trace_file = tmp_path / "t.trace"
+        trace_io.save(make_trace("cad", num_references=800, seed=3), trace_file)
+        cache = tmp_path / "cache"
+        file_spec = spec(trace_name=str(trace_file))
+        assert not file_spec.cacheable
+
+        first = Scheduler(cache_dir=cache)
+        first.run(file_spec)
+        assert first.counters.executed == 1
+        assert len(first.store) == 0  # nothing persisted
+
+        second = Scheduler(cache_dir=cache)
+        second.run(file_spec)
+        assert second.counters.executed == 1  # no disk replay either
+        assert second.counters.disk_hits == 0
+
+    def test_mixed_batch_order_preserved(self, tmp_path):
+        specs = grid()
+        Scheduler(cache_dir=tmp_path).run_all(specs[::2])  # prime half
+        sch = Scheduler(cache_dir=tmp_path)
+        results = sch.run_all(specs)
+        assert sch.counters.disk_hits == len(specs) // 2
+        assert sch.counters.executed == len(specs) - len(specs) // 2
+        assert [r.extra["spec"] for r in results] == [s.label() for s in specs]
+
+
+class TestRunBatchWrapper:
+    def test_run_batch_through_scheduler(self, tmp_path):
+        from repro.analysis.parallel import run_batch
+
+        specs = [spec(cache_size=c) for c in (32, 64, 128)]
+        results = run_batch(specs, cache_dir=tmp_path)
+        assert [r.extra["cache_size"] for r in results] == [32, 64, 128]
+        # The persisted results replay in a fresh batch.
+        replay = Scheduler(cache_dir=tmp_path)
+        replay.run_all(specs)
+        assert replay.counters.executed == 0

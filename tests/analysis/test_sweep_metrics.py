@@ -173,3 +173,22 @@ class TestDefaultContext:
                 runner_mod.default_context(num_references=2000)
         finally:
             runner_mod._default_context = old
+
+    def test_seed_conflict_detected_without_refs(self):
+        """A differing seed raises even when num_references is left unset.
+
+        The old guard only compared seeds inside the ``num_references is
+        not None`` branch, so ``default_context(seed=7)`` silently handed
+        back a context built with another seed.
+        """
+        import repro.analysis.runner as runner_mod
+
+        old = runner_mod._default_context
+        runner_mod._default_context = None
+        try:
+            ctx = runner_mod.default_context(num_references=1000, seed=3)
+            assert runner_mod.default_context(seed=3) is ctx
+            with pytest.raises(RuntimeError):
+                runner_mod.default_context(seed=7)
+        finally:
+            runner_mod._default_context = old

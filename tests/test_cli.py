@@ -68,6 +68,29 @@ class TestCommands:
         assert "no-prefetch" in out and "next-limit" in out
         assert "64" in out and "128" in out
 
+    def test_sweep_with_jobs_and_cache_dir(self, tmp_path, capsys):
+        cache = str(tmp_path / "results")
+        argv = ["sweep", "--trace", "sitar", "--refs", "2000",
+                "--policies", "no-prefetch", "tree", "--sizes", "64", "128",
+                "--jobs", "2", "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "executed=4" in cold
+        # Warm re-run replays every result from the on-disk store.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "executed=0" in warm and "disk_hits=4" in warm
+        assert warm.split("simulations:")[0] == cold.split("simulations:")[0]
+
+    def test_invalid_jobs_is_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--trace", "cad", "--refs", "500",
+                  "--sizes", "64", "--jobs", "0"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "Traceback" not in err
+
     def test_trace_roundtrip(self, tmp_path, capsys):
         out_file = tmp_path / "t.npz"
         rc = main(["trace", "--name", "snake", "--refs", "1500",
