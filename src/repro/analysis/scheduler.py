@@ -29,10 +29,12 @@ CI cache-hit assertions grep.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.parallel import RunSpec, execute, spec_hash
 from repro.sim.stats import SimulationStats
@@ -47,6 +49,15 @@ from repro.store.codec import (
 #: Snapshot ``kind`` for cached simulation results (the store layer's
 #: ``model``/``session`` kinds hold trained state; this one holds stats).
 KIND_RESULT = "result"
+
+
+class SchedulerError(Exception):
+    """A spec could not be satisfied even after its retry.
+
+    Raised (with the original failure chained) when a worker process
+    crashes or exceeds the run timeout twice for the same spec — a
+    persistent problem, not the transient kind the retry exists for.
+    """
 
 
 class ResultStore:
@@ -117,6 +128,7 @@ class SchedulerCounters:
     memo_hits: int = 0
     disk_hits: int = 0
     deduped: int = 0
+    retried: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -125,6 +137,7 @@ class SchedulerCounters:
             "memo_hits": self.memo_hits,
             "disk_hits": self.disk_hits,
             "deduped": self.deduped,
+            "retried": self.retried,
         }
 
     def summary(self) -> str:
@@ -132,7 +145,7 @@ class SchedulerCounters:
         return (
             f"submitted={self.submitted} executed={self.executed} "
             f"memo_hits={self.memo_hits} disk_hits={self.disk_hits} "
-            f"deduped={self.deduped}"
+            f"deduped={self.deduped} retried={self.retried}"
         )
 
 
@@ -144,10 +157,24 @@ class Scheduler:
         *,
         max_workers: int = 1,
         cache_dir: Optional[PathLike] = None,
+        run_timeout_s: Optional[float] = None,
+        task: Callable[[RunSpec], SimulationStats] = execute,
     ) -> None:
+        """``run_timeout_s`` bounds each pooled simulation (a hung worker
+        is terminated and the spec retried once); it only applies when
+        ``max_workers > 1``, because in-process execution cannot be
+        preempted.  ``task`` is the per-spec worker function — the default
+        is the real simulation; tests substitute crashing/hanging stand-ins
+        to exercise the fault handling."""
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers!r}")
+        if run_timeout_s is not None and run_timeout_s <= 0:
+            raise ValueError(
+                f"run_timeout_s must be positive, got {run_timeout_s!r}"
+            )
         self.max_workers = max_workers
+        self.run_timeout_s = run_timeout_s
+        self.task = task
         self.store: Optional[ResultStore] = (
             ResultStore(cache_dir) if cache_dir is not None else None
         )
@@ -210,10 +237,81 @@ class Scheduler:
         if not specs:
             return []
         if self.max_workers == 1 or len(specs) == 1:
-            return [execute(spec) for spec in specs]
+            return [self.task(spec) for spec in specs]
         workers = min(self.max_workers, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute, specs))
+        results, failures = self._pool_round(specs, workers)
+        for index in sorted(failures):
+            # One retry, each spec in its own fresh single-worker pool:
+            # a crashed worker breaks its whole pool, so sharing a retry
+            # pool would let one persistently-bad spec poison the batch's
+            # innocent bystanders a second time.
+            self.counters.retried += 1
+            results[index] = self._retry_one(specs[index], failures[index])
+        return [results[index] for index in range(len(specs))]
+
+    def _pool_round(
+        self, specs: List[RunSpec], workers: int
+    ) -> tuple:
+        """First pass over the pool; returns (results, failures) by index.
+
+        Worker crashes (``BrokenProcessPool``) and per-run timeouts land
+        in ``failures`` for the retry pass; ordinary exceptions raised by
+        the task (bad trace file, invalid parameters) propagate unchanged
+        — retrying those cannot help.
+        """
+        results: Dict[int, SimulationStats] = {}
+        failures: Dict[int, BaseException] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        killed = False
+        try:
+            futures = [pool.submit(self.task, spec) for spec in specs]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result(
+                        timeout=self.run_timeout_s
+                    )
+                except FutureTimeoutError:
+                    failures[index] = TimeoutError(
+                        f"simulation exceeded {self.run_timeout_s}s"
+                    )
+                    # The worker is stuck, not dead; terminate the whole
+                    # pool (remaining futures fail into the retry pass).
+                    self._kill_pool(pool)
+                    killed = True
+                except (BrokenProcessPool, CancelledError) as exc:
+                    failures[index] = exc
+        finally:
+            pool.shutdown(wait=not killed, cancel_futures=True)
+        return results, failures
+
+    def _retry_one(
+        self, spec: RunSpec, first_failure: BaseException
+    ) -> SimulationStats:
+        pool = ProcessPoolExecutor(max_workers=1)
+        killed = False
+        try:
+            return pool.submit(self.task, spec).result(
+                timeout=self.run_timeout_s
+            )
+        except FutureTimeoutError:
+            self._kill_pool(pool)
+            killed = True
+            raise SchedulerError(
+                f"{spec.policy_name} on {spec.trace_name}: timed out twice "
+                f"(run_timeout_s={self.run_timeout_s})"
+            ) from first_failure
+        except BrokenProcessPool as exc:
+            raise SchedulerError(
+                f"{spec.policy_name} on {spec.trace_name}: worker process "
+                "crashed twice"
+            ) from exc
+        finally:
+            pool.shutdown(wait=not killed, cancel_futures=True)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
 
     # ------------------------------------------------------- inspection
 

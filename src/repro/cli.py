@@ -13,6 +13,9 @@ Commands
 ``inspect``   Verify a snapshot and print its header, or list a registry.
 ``serve``     Run the online prefetch advisory daemon (:mod:`repro.service`).
 ``replay``    Replay a workload against a live daemon and report throughput.
+``chaos``     Replay through a fault-injecting proxy (resets, delays,
+              corrupt lines) with retrying clients, and report what the
+              resilience layer absorbed.
 
 Examples
 --------
@@ -28,6 +31,7 @@ Examples
     python -m repro inspect --store models --model tree-cad
     python -m repro serve --port 7199 --store models --model tree-cad
     python -m repro replay --trace cad --clients 4 --port 7199
+    python -m repro chaos --trace cad --port 7199 --reset-every 40
 """
 
 from __future__ import annotations
@@ -40,7 +44,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.parallel import RunSpec, resolve_trace
-from repro.analysis.scheduler import Scheduler
+from repro.analysis.scheduler import Scheduler, SchedulerError
 from repro.analysis.sweep import spec_grid
 from repro.analysis.tables import render_dict, render_series
 from repro.params import PAPER_PARAMS, SystemParams
@@ -110,12 +114,18 @@ def _run_specs(args, specs: List[RunSpec]) -> tuple:
     cache, with worker-side failures surfaced as clean one-line errors.
     """
     _check_workload(args)
-    scheduler = Scheduler(
-        max_workers=getattr(args, "jobs", 1),
-        cache_dir=getattr(args, "cache_dir", None),
-    )
+    try:
+        scheduler = Scheduler(
+            max_workers=getattr(args, "jobs", 1),
+            cache_dir=getattr(args, "cache_dir", None),
+            run_timeout_s=getattr(args, "run_timeout_s", None),
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
     try:
         return scheduler.run_all(specs), scheduler
+    except SchedulerError as exc:
+        raise CLIError(str(exc)) from None
     except trace_io.TraceFormatError as exc:
         raise CLIError(f"cannot read trace file {args.trace!r}: {exc}") from None
 
@@ -176,6 +186,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, dest="cache_dir",
         help="persistent result cache: identical runs replay from disk",
+    )
+    parser.add_argument(
+        "--run-timeout-s", type=float, default=None, dest="run_timeout_s",
+        help="kill and retry a pooled simulation exceeding this "
+             "(needs --jobs > 1)",
     )
 
 
@@ -412,9 +427,12 @@ def cmd_serve(args) -> int:
         limits=ServiceLimits(
             max_sessions=args.max_sessions,
             max_sessions_per_connection=args.max_sessions_per_conn,
+            idle_timeout_s=args.idle_timeout_s,
+            request_timeout_s=args.request_timeout_s,
         ),
         store=store,
         default_model=default_model,
+        checkpoint_dir=args.checkpoint_dir,
     )
     try:
         asyncio.run(serve_forever(
@@ -427,6 +445,75 @@ def cmd_serve(args) -> int:
         metrics.pop("command_latency", None)
         metrics.pop("outcomes", None)
         print(render_dict(metrics, title="service metrics at shutdown"))
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    import asyncio
+
+    from repro.service.client import (
+        ResumeParityError, RetryPolicy, ServiceError,
+    )
+    from repro.service.faults import ChaosProxy, FaultPlan
+    from repro.service.protocol import ProtocolError
+    from repro.service.replay import replay_async
+
+    blocks = _load_workload(args)
+    overrides = _param_overrides(args)
+    try:
+        plan = FaultPlan(
+            reset_every=args.reset_every,
+            delay_every=args.delay_every,
+            delay_s=args.delay_ms / 1000.0,
+            truncate_every=args.truncate_every,
+            garbage_every=args.garbage_every,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    retry = RetryPolicy(max_attempts=args.max_attempts, base_delay_s=0.02,
+                        seed=args.seed)
+
+    async def _run():
+        async with ChaosProxy(args.host, args.port, plan=plan) as proxy:
+            report = await replay_async(
+                blocks,
+                host="127.0.0.1",
+                port=proxy.port,
+                clients=args.clients,
+                policy=args.policy,
+                cache_size=args.cache,
+                params=overrides or None,
+                policy_kwargs=_policy_kwargs(args) or None,
+                disjoint=args.disjoint,
+                retry=retry,
+            )
+            return report, proxy.stats
+
+    try:
+        report, stats = asyncio.run(_run())
+    except ResumeParityError as exc:
+        raise CLIError(f"decision parity violated under chaos: {exc}") from None
+    except ConnectionRefusedError:
+        raise CLIError(
+            f"no server at {args.host}:{args.port} "
+            "(start one with: python -m repro serve)"
+        ) from None
+    except (ServiceError, ProtocolError, ConnectionError,
+            TimeoutError) as exc:
+        raise CLIError(f"chaos replay failed: {exc}") from None
+    flat = report.as_dict()
+    flat.pop("outcomes")
+    flat.pop("per_client_miss_rate")
+    print(render_dict(flat, title=f"chaos replay of {args.trace} "
+                                  f"x{args.clients} clients"))
+    print(render_dict(stats.as_dict(), title="injected faults"))
+    # One greppable line for CI: the replay finished, so every session
+    # reached CLOSE — nothing was lost to the injected faults.
+    print(f"chaos: drops_injected={stats.drops_injected} "
+          f"delays_injected={stats.delays_injected} "
+          f"garbage_injected={stats.garbage_injected} "
+          f"retries={report.retries} resumes={report.resumes} "
+          f"cold_restarts={report.cold_restarts} sessions_lost=0")
     return 0
 
 
@@ -576,6 +663,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--checkpoint-every-s", type=float, default=None,
                          dest="checkpoint_every_s",
                          help="seconds between checkpoint passes")
+    p_serve.add_argument("--idle-timeout-s", type=float, default=300.0,
+                         dest="idle_timeout_s",
+                         help="drop connections silent for this long "
+                              "(default 300)")
+    p_serve.add_argument("--request-timeout-s", type=float, default=60.0,
+                         dest="request_timeout_s",
+                         help="bound on draining one reply to a slow "
+                              "reader (default 60)")
     _add_param_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -593,6 +688,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--disjoint", action="store_true",
                           help="give each client a private block-id range")
     p_replay.set_defaults(func=cmd_replay)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="replay through a fault-injecting proxy with retrying clients",
+    )
+    _add_common(p_chaos)
+    p_chaos.add_argument("--host", default="127.0.0.1",
+                         help="the real server to proxy to")
+    p_chaos.add_argument("--port", type=int, default=7199)
+    p_chaos.add_argument("--clients", type=int, default=2,
+                         help="concurrent resilient replay sessions")
+    p_chaos.add_argument("--policy", choices=policy_names(), default="tree")
+    p_chaos.add_argument("--cache", type=int, default=1024,
+                         help="per-session cache size in blocks")
+    p_chaos.add_argument("--disjoint", action="store_true",
+                         help="give each client a private block-id range")
+    p_chaos.add_argument("--reset-every", type=_positive_int, default=None,
+                         dest="reset_every",
+                         help="drop every Nth reply and reset the connection")
+    p_chaos.add_argument("--delay-every", type=_positive_int, default=None,
+                         dest="delay_every",
+                         help="stall every Nth reply by --delay-ms")
+    p_chaos.add_argument("--delay-ms", type=float, default=10.0,
+                         dest="delay_ms")
+    p_chaos.add_argument("--truncate-every", type=_positive_int, default=None,
+                         dest="truncate_every",
+                         help="cut every Nth reply mid-line, then reset")
+    p_chaos.add_argument("--garbage-every", type=_positive_int, default=None,
+                         dest="garbage_every",
+                         help="prepend a non-JSON line to every Nth reply")
+    p_chaos.add_argument("--max-attempts", type=_positive_int, default=8,
+                         dest="max_attempts",
+                         help="client retry budget per observation")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

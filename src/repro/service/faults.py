@@ -1,0 +1,280 @@
+"""Fault injection for the advisory service: a chaos TCP proxy.
+
+:class:`ChaosProxy` sits between a client and a real server and corrupts
+the server->client reply stream according to a :class:`FaultPlan`:
+dropped replies followed by a connection reset, added latency, truncated
+NDJSON lines, and interleaved garbage lines.  The client->server
+direction is forwarded untouched, so every fault the client sees models
+something the network or a dying server can actually do.
+
+Injection is *deterministic*: faults fire on every Nth forwarded reply
+(one shared counter across all connections through the proxy), so a test
+or CI job that replays a fixed trace sees the exact same fault schedule
+every run.  That turns "survives chaos" from a flaky probabilistic claim
+into a reproducible assertion.
+
+Used by ``tests/service/test_faults.py`` and the ``repro chaos`` CLI
+subcommand, which replays a workload through the proxy with
+:class:`~repro.service.client.ResilientAsyncClient` and asserts nothing
+is lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+#: What a corrupted reply line looks like: definitely not NDJSON.
+_GARBAGE_LINE = b"\x00{{{ chaos garbage, not json }}}\xff\n"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic schedule of injected faults (every Nth reply).
+
+    ``None`` disables a fault class.  Counters are 1-based: with
+    ``reset_every=10`` the 10th, 20th, ... replies are dropped and the
+    connection is reset, which is exactly the lost-reply window the
+    protocol's ``seq`` deduplication exists for.
+    """
+
+    reset_every: Optional[int] = None
+    """Drop the Nth reply entirely, then hard-reset the connection."""
+    delay_every: Optional[int] = None
+    """Stall the Nth reply by ``delay_s`` before forwarding it."""
+    delay_s: float = 0.05
+    truncate_every: Optional[int] = None
+    """Forward only a prefix of the Nth reply line, then reset."""
+    garbage_every: Optional[int] = None
+    """Prepend a non-JSON line to the Nth reply (reply still delivered)."""
+
+    def __post_init__(self) -> None:
+        for name in ("reset_every", "delay_every", "truncate_every",
+                     "garbage_every"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
+
+    @property
+    def injects_anything(self) -> bool:
+        return any(every is not None for every in (
+            self.reset_every, self.delay_every, self.truncate_every,
+            self.garbage_every,
+        ))
+
+
+@dataclass
+class ChaosStats:
+    """What the proxy actually did, for assertions and the CLI summary."""
+
+    connections: int = 0
+    replies_forwarded: int = 0
+    resets_injected: int = 0
+    delays_injected: int = 0
+    truncations_injected: int = 0
+    garbage_injected: int = 0
+
+    @property
+    def drops_injected(self) -> int:
+        """Replies the client never received intact (dropped or cut)."""
+        return self.resets_injected + self.truncations_injected
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "connections": self.connections,
+            "replies_forwarded": self.replies_forwarded,
+            "resets_injected": self.resets_injected,
+            "delays_injected": self.delays_injected,
+            "truncations_injected": self.truncations_injected,
+            "garbage_injected": self.garbage_injected,
+            "drops_injected": self.drops_injected,
+        }
+
+
+def _nth(count: int, every: Optional[int]) -> bool:
+    return every is not None and count % every == 0
+
+
+class _Reset(Exception):
+    """Internal: tear this proxied connection down with an abort."""
+
+
+@dataclass(eq=False)  # identity semantics: pumps live in a Set
+class _Pump:
+    """One proxied connection's tasks, for cleanup on proxy close."""
+
+    client_writer: asyncio.StreamWriter
+    upstream_writer: asyncio.StreamWriter
+    tasks: Set[asyncio.Task] = field(default_factory=set)
+
+
+class ChaosProxy:
+    """A TCP proxy in front of a live server, injecting reply faults.
+
+    ::
+
+        plan = FaultPlan(reset_every=25, delay_every=7, delay_s=0.01)
+        async with ChaosProxy(port=server.port, plan=plan) as proxy:
+            client = ResilientAsyncClient(port=proxy.port, retry=policy)
+            ...
+
+    ``proxy.port`` is the port clients should connect to; faults apply
+    only to the server's replies (requests pass through verbatim).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7199,
+        *,
+        plan: Optional[FaultPlan] = None,
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+    ) -> None:
+        self.upstream_host = host
+        self.upstream_port = port
+        self.listen_host = listen_host
+        self._requested_port = listen_port
+        self.plan = plan if plan is not None else FaultPlan()
+        self.stats = ChaosStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pumps: Set[_Pump] = set()
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("proxy is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ChaosProxy":
+        self._server = await asyncio.start_server(
+            self._handle, self.listen_host, self._requested_port
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = [task for pump in self._pumps for task in pump.tasks]
+        for pump in list(self._pumps):
+            self._abort(pump)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+            await asyncio.sleep(0)  # let the _handle tasks run to completion
+        self._pumps.clear()
+
+    async def __aenter__(self) -> "ChaosProxy":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------- pumping
+
+    def _abort(self, pump: _Pump) -> None:
+        """RST both sides: the client must see a *reset*, not a clean EOF,
+        because that is what a killed server looks like."""
+        for writer in (pump.client_writer, pump.upstream_writer):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def _handle(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        self.stats.connections += 1
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            client_writer.transport.abort()
+            return
+        pump = _Pump(client_writer=client_writer,
+                     upstream_writer=upstream_writer)
+        self._pumps.add(pump)
+
+        async def _requests() -> None:
+            # client -> server: verbatim passthrough
+            while True:
+                chunk = await client_reader.read(65536)
+                if not chunk:
+                    break
+                upstream_writer.write(chunk)
+                await upstream_writer.drain()
+            upstream_writer.write_eof()
+
+        async def _replies() -> None:
+            # server -> client: line-at-a-time, with faults
+            while True:
+                line = await upstream_reader.readline()
+                if not line:
+                    break
+                await self._forward_reply(line, client_writer)
+
+        tasks = {
+            asyncio.ensure_future(_requests()),
+            asyncio.ensure_future(_replies()),
+        }
+        pump.tasks = tasks
+        try:
+            done, pending = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_EXCEPTION
+            )
+            reset = any(
+                isinstance(task.exception(), _Reset)
+                for task in done
+                if not task.cancelled() and task.exception() is not None
+            )
+            for task in pending:
+                task.cancel()
+            if reset:
+                self._abort(pump)
+        except asyncio.CancelledError:
+            # Swallowed, not re-raised: a cancelled proxy must look like a
+            # reset to its peers, and 3.11's streams done-callback calls
+            # task.exception() on cancelled handler tasks, spewing
+            # tracebacks for a perfectly ordinary shutdown.
+            for task in tasks:
+                task.cancel()
+            self._abort(pump)
+        finally:
+            self._pumps.discard(pump)
+            for writer in (client_writer, upstream_writer):
+                try:
+                    writer.close()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
+    async def _forward_reply(
+        self, line: bytes, client_writer: asyncio.StreamWriter
+    ) -> None:
+        plan = self.plan
+        stats = self.stats
+        stats.replies_forwarded += 1
+        count = stats.replies_forwarded
+        if _nth(count, plan.reset_every):
+            stats.resets_injected += 1
+            raise _Reset  # the reply is dropped on the floor
+        if _nth(count, plan.truncate_every):
+            stats.truncations_injected += 1
+            client_writer.write(line[: max(1, len(line) // 2)])
+            await client_writer.drain()
+            raise _Reset  # cut mid-line, then reset
+        if _nth(count, plan.garbage_every):
+            stats.garbage_injected += 1
+            client_writer.write(_GARBAGE_LINE)
+        if _nth(count, plan.delay_every):
+            stats.delays_injected += 1
+            await asyncio.sleep(plan.delay_s)
+        client_writer.write(line)
+        await client_writer.drain()

@@ -110,6 +110,12 @@ class ServiceMetrics:
         self.prefetches_recommended = 0
         self.checkpoints_written = 0
         self.errors = 0
+        self.timeouts = 0
+        self.degraded_sessions = 0
+        self.drained_sessions = 0
+        self.sessions_detached = 0
+        self.sessions_resumed = 0
+        self.duplicates_served = 0
         self.outcomes: Dict[str, int] = {
             "demand_hit": 0, "prefetch_hit": 0, "miss": 0,
         }
@@ -159,6 +165,12 @@ class ServiceMetrics:
             "prefetches_recommended": self.prefetches_recommended,
             "checkpoints_written": self.checkpoints_written,
             "errors": self.errors,
+            "timeouts": self.timeouts,
+            "degraded_sessions": self.degraded_sessions,
+            "drained_sessions": self.drained_sessions,
+            "sessions_detached": self.sessions_detached,
+            "sessions_resumed": self.sessions_resumed,
+            "duplicates_served": self.duplicates_served,
             "outcomes": dict(self.outcomes),
             "advice_accuracy": (
                 None if accuracy is None else round(accuracy, 4)

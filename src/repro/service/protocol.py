@@ -21,11 +21,16 @@ and any language with a JSON library can implement a client in a page.
 Versioning
 ----------
 Protocol v2 added the optional ``model`` field on OPEN (warm-start a
-session from a registry snapshot, ``NAME`` or ``NAME@VERSION``).  The
-change is additive, so the server accepts any version in
+session from a registry snapshot, ``NAME`` or ``NAME@VERSION``).
+Protocol v3 added the resilience fields: ``resume`` on OPEN (re-open a
+detached or checkpointed session decision-identically), ``seq`` on
+OBSERVE (exactly-once retry semantics: a duplicate of the last
+observation returns the cached advice instead of re-folding it), and
+``period`` / ``resumed`` / ``degraded`` on the OPEN reply.  Both changes
+are additive, so the server accepts any version in
 ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]``: a v1 client simply never
-sends ``model``.  Replies are stamped with the current version; clients
-accept the same range.
+sends the newer fields.  Replies are stamped with the current version;
+clients accept the same range.
 """
 
 from __future__ import annotations
@@ -36,8 +41,9 @@ from typing import Any, Dict, Optional, Type, Union
 
 from repro.service.session import PrefetchAdvice
 
-PROTOCOL_VERSION = 2
-#: Oldest protocol version still accepted (v1 lacks only OPEN's ``model``).
+PROTOCOL_VERSION = 3
+#: Oldest protocol version still accepted (v1 lacks only the additive
+#: OPEN ``model`` field from v2 and the v3 resilience fields).
 MIN_PROTOCOL_VERSION = 1
 
 #: Upper bound on one encoded line; guards the server against a client
@@ -50,6 +56,7 @@ E_BAD_VERSION = "bad_version"
 E_UNKNOWN_SESSION = "unknown_session"
 E_SESSION_ERROR = "session_error"
 E_LIMIT = "limit_exceeded"
+E_SEQ = "seq_mismatch"
 
 
 class ProtocolError(Exception):
@@ -76,6 +83,9 @@ class OpenRequest:
     model: Optional[str] = None
     """Registry spec (``NAME`` or ``NAME@VERSION``) to start the session
     from; requires the server to be running with a model store (v2)."""
+    resume: Optional[str] = None
+    """Session id to resume from the server's detached-session table or
+    checkpoint directory, decision-identically (v3)."""
 
     cmd = "open"
 
@@ -90,11 +100,14 @@ class OpenRequest:
             out["policy_kwargs"] = self.policy_kwargs
         if self.model is not None:
             out["model"] = self.model
+        if self.resume is not None:
+            out["resume"] = self.resume
         return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "OpenRequest":
         model = payload.get("model")
+        resume = payload.get("resume")
         return cls(
             id=id,
             policy=str(payload.get("policy", "tree")),
@@ -102,6 +115,7 @@ class OpenRequest:
             params=payload.get("params"),
             policy_kwargs=dict(payload.get("policy_kwargs", {})),
             model=str(model) if model is not None else None,
+            resume=str(resume) if resume is not None else None,
         )
 
 
@@ -112,18 +126,27 @@ class ObserveRequest:
     id: int
     session: str
     block: int
+    seq: Optional[int] = None
+    """Expected observation index (0-based; the session's current period).
+    When set, a retried duplicate of the last observation is answered from
+    the session's cached advice instead of being folded twice (v3)."""
 
     cmd = "observe"
 
     def payload(self) -> Dict[str, Any]:
-        return {"session": self.session, "block": self.block}
+        out: Dict[str, Any] = {"session": self.session, "block": self.block}
+        if self.seq is not None:
+            out["seq"] = self.seq
+        return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "ObserveRequest":
         if "session" not in payload or "block" not in payload:
             raise ProtocolError("observe requires 'session' and 'block'")
+        seq = payload.get("seq")
         return cls(id=id, session=str(payload["session"]),
-                   block=int(payload["block"]))
+                   block=int(payload["block"]),
+                   seq=int(seq) if seq is not None else None)
 
 
 @dataclass(frozen=True)
@@ -210,6 +233,13 @@ class OpenReply:
     session: str
     policy: str
     cache_size: int
+    period: int = 0
+    """Observation count of the (possibly resumed) session: the seq the
+    next OBSERVE should carry (v3)."""
+    resumed: bool = False
+    degraded: bool = False
+    """True when a failed model restore fell back to no-prefetch advice
+    instead of rejecting the session (v3)."""
 
     cmd = "open"
     ok = True
@@ -219,6 +249,9 @@ class OpenReply:
             "session": self.session,
             "policy": self.policy,
             "cache_size": self.cache_size,
+            "period": self.period,
+            "resumed": self.resumed,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -228,6 +261,9 @@ class OpenReply:
             session=str(payload["session"]),
             policy=str(payload["policy"]),
             cache_size=int(payload["cache_size"]),
+            period=int(payload.get("period", 0)),
+            resumed=bool(payload.get("resumed", False)),
+            degraded=bool(payload.get("degraded", False)),
         )
 
 

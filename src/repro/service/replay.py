@@ -20,7 +20,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.service.client import AsyncServiceClient
+from repro.service.client import (
+    AsyncServiceClient,
+    ResilientAsyncClient,
+    RetryPolicy,
+)
 from repro.service.metrics import percentiles_from_samples
 
 
@@ -37,6 +41,11 @@ class ReplayReport:
     latency: Dict[str, float]
     outcomes: Dict[str, int]
     per_client_miss_rate: List[float] = field(default_factory=list)
+    # resilience telemetry; all zero for a fault-free plain replay
+    retries: int = 0
+    resumes: int = 0
+    cold_restarts: int = 0
+    degraded_clients: int = 0
 
     @property
     def advice_per_second(self) -> float:
@@ -60,6 +69,10 @@ class ReplayReport:
             "per_client_miss_rate": [
                 round(rate, 2) for rate in self.per_client_miss_rate
             ],
+            "retries": self.retries,
+            "resumes": self.resumes,
+            "cold_restarts": self.cold_restarts,
+            "degraded_clients": self.degraded_clients,
         }
 
 
@@ -69,6 +82,10 @@ class _ClientResult:
     outcomes: Dict[str, int]
     prefetches: int
     miss_rate: float
+    retries: int = 0
+    resumes: int = 0
+    cold_restarts: int = 0
+    degraded: bool = False
 
 
 async def _replay_one(
@@ -81,10 +98,37 @@ async def _replay_one(
     params: Optional[Dict[str, float]],
     policy_kwargs: Optional[Dict[str, Any]],
     offset: int,
+    retry: Optional[RetryPolicy] = None,
 ) -> _ClientResult:
     samples: List[float] = []
     outcomes = {"demand_hit": 0, "prefetch_hit": 0, "miss": 0}
     prefetches = 0
+    if retry is not None:
+        # Resilient path: the client journals every reference and
+        # transparently reconnects/resumes across injected faults, so the
+        # advice stream is identical to the fault-free run.
+        async with ResilientAsyncClient(host, port, retry=retry) as client:
+            await client.open(
+                policy=policy, cache_size=cache_size, params=params,
+                policy_kwargs=policy_kwargs,
+            )
+            for block in blocks:
+                started = time.perf_counter()
+                advice = await client.observe(int(block) + offset)
+                samples.append(time.perf_counter() - started)
+                outcomes[advice.outcome] += 1
+                prefetches += len(advice.prefetch)
+            final = await client.close_session()
+            return _ClientResult(
+                samples=samples,
+                outcomes=outcomes,
+                prefetches=prefetches,
+                miss_rate=float(final.get("miss_rate", 0.0)),
+                retries=client.retries,
+                resumes=client.resumes,
+                cold_restarts=client.cold_restarts,
+                degraded=client.degraded,
+            )
     async with await AsyncServiceClient.connect(host, port) as client:
         session = await client.open(
             policy=policy, cache_size=cache_size, params=params,
@@ -116,8 +160,15 @@ async def replay_async(
     params: Optional[Dict[str, float]] = None,
     policy_kwargs: Optional[Dict[str, Any]] = None,
     disjoint: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> ReplayReport:
-    """Replay ``blocks`` from ``clients`` concurrent sessions."""
+    """Replay ``blocks`` from ``clients`` concurrent sessions.
+
+    With ``retry`` set, every client is a
+    :class:`~repro.service.client.ResilientAsyncClient`, so the replay
+    survives connection resets, timeouts, and server restarts (given a
+    checkpoint directory) — the chaos-testing configuration.
+    """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients!r}")
     if not blocks:
@@ -131,6 +182,7 @@ async def replay_async(
             policy=policy, cache_size=cache_size, params=params,
             policy_kwargs=policy_kwargs,
             offset=index * span,
+            retry=retry,
         )
         for index in range(clients)
     ))
@@ -154,6 +206,10 @@ async def replay_async(
         latency=percentiles_from_samples(samples),
         outcomes=outcomes,
         per_client_miss_rate=[result.miss_rate for result in results],
+        retries=sum(result.retries for result in results),
+        resumes=sum(result.resumes for result in results),
+        cold_restarts=sum(result.cold_restarts for result in results),
+        degraded_clients=sum(1 for result in results if result.degraded),
     )
 
 

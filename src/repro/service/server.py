@@ -19,12 +19,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
+import signal
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any, Dict, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> session)
+    from repro.store.codec import Snapshot
     from repro.store.registry import ModelStore
 
 from repro.params import PAPER_PARAMS, SystemParams
@@ -45,7 +48,11 @@ from repro.service.protocol import (
     StatsReply,
     StatsRequest,
 )
-from repro.service.session import PrefetchSession, SessionError
+from repro.service.session import (
+    ModelRestoreError,
+    PrefetchSession,
+    SessionError,
+)
 
 #: SystemParams fields an OPEN request may override.
 _PARAM_FIELDS = frozenset({"t_hit", "t_driver", "t_disk", "t_cpu", "block_size"})
@@ -60,6 +67,14 @@ class ServiceLimits:
     max_sessions_per_connection: int = 64
     max_observations_per_session: Optional[int] = 10_000_000
     max_line_bytes: int = protocol.MAX_LINE_BYTES
+    idle_timeout_s: Optional[float] = 300.0
+    """Close a connection that sends nothing for this long (None = never),
+    so a stalled client cannot wedge its server-side handler forever."""
+    request_timeout_s: Optional[float] = 60.0
+    """Bound on draining one reply to a slow reader (None = forever)."""
+    max_detached_sessions: int = 64
+    """Snapshots kept in memory for sessions whose connection vanished
+    without CLOSE, resumable via OPEN ``resume=<id>`` (LRU-evicted)."""
 
 
 class PrefetchService:
@@ -73,6 +88,7 @@ class PrefetchService:
         metrics: Optional[ServiceMetrics] = None,
         store: Optional["ModelStore"] = None,
         default_model: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         self.default_params = (
             default_params if default_params is not None else PAPER_PARAMS
@@ -81,8 +97,11 @@ class PrefetchService:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.store = store
         self.default_model = default_model
+        self.checkpoint_dir = checkpoint_dir
         self.sessions: Dict[str, PrefetchSession] = {}
+        self.detached: "OrderedDict[str, Snapshot]" = OrderedDict()
         self._session_ids = itertools.count(1)
+        self._writers: Set[asyncio.StreamWriter] = set()
 
     # ----------------------------------------------------------- dispatch
 
@@ -123,6 +142,8 @@ class PrefetchService:
                 "connection session limit reached "
                 f"({limits.max_sessions_per_connection})",
             )
+        if request.resume is not None:
+            return self._handle_resume(request, owned)
         try:
             params = self._resolve_params(request.params)
         except (TypeError, ValueError) as exc:
@@ -142,9 +163,37 @@ class PrefetchService:
                     policy_kwargs=request.policy_kwargs,
                     max_observations=limits.max_observations_per_session,
                 )
+        except ModelRestoreError as exc:
+            # Degraded mode: a broken stored model must not kill serving.
+            # The session runs, but with no-prefetch advice and a flag the
+            # client (and the metrics) can see.
+            try:
+                session = PrefetchSession(
+                    policy="no-prefetch",
+                    cache_size=request.cache_size,
+                    params=params,
+                    max_observations=limits.max_observations_per_session,
+                )
+            except SessionError:
+                self.metrics.sessions_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_SESSION_ERROR, str(exc)
+                )
+            session.degraded = True
+            self.metrics.degraded_sessions += 1
         except SessionError as exc:
             self.metrics.sessions_rejected += 1
             return ErrorReply(request.id, protocol.E_SESSION_ERROR, str(exc))
+        return self._install_session(request, session, owned)
+
+    def _install_session(
+        self,
+        request: OpenRequest,
+        session: PrefetchSession,
+        owned: Set[str],
+        *,
+        resumed: bool = False,
+    ) -> OpenReply:
         session_id = f"s{next(self._session_ids)}"
         self.sessions[session_id] = session
         owned.add(session_id)
@@ -154,7 +203,54 @@ class PrefetchService:
             session=session_id,
             policy=session.policy_name,
             cache_size=session.cache_size,
+            period=session.observations,
+            resumed=resumed,
+            degraded=session.degraded,
         )
+
+    def _handle_resume(self, request: OpenRequest, owned: Set[str]) -> Reply:
+        """Re-open a detached or checkpointed session decision-identically.
+
+        Lookup order: the in-memory detached table (sessions whose
+        connection vanished without CLOSE), then
+        ``<checkpoint_dir>/<id>.snap`` (periodic checkpoints surviving a
+        server restart).  The reply's ``period`` tells the client which
+        observation the restored state is at, so it can replay the tail of
+        its journal before continuing.
+        """
+        from repro.store.codec import SnapshotError, read_snapshot
+
+        resume_id = request.resume
+        snapshot = self.detached.pop(resume_id, None)
+        if snapshot is None and self.checkpoint_dir is not None:
+            path = os.path.join(self.checkpoint_dir, f"{resume_id}.snap")
+            if os.path.exists(path):
+                try:
+                    snapshot = read_snapshot(path)
+                except SnapshotError as exc:
+                    return ErrorReply(
+                        request.id, protocol.E_SESSION_ERROR,
+                        f"checkpoint for {resume_id!r} is unreadable: {exc}",
+                    )
+        if snapshot is None:
+            return ErrorReply(
+                request.id, protocol.E_UNKNOWN_SESSION,
+                f"no detached session or checkpoint for {resume_id!r}",
+            )
+        from repro.store.session_state import restore_session
+
+        try:
+            session = restore_session(
+                snapshot,
+                max_observations=self.limits.max_observations_per_session,
+            )
+        except SnapshotError as exc:
+            return ErrorReply(
+                request.id, protocol.E_SESSION_ERROR,
+                f"cannot restore {resume_id!r}: {exc}",
+            )
+        self.metrics.sessions_resumed += 1
+        return self._install_session(request, session, owned, resumed=True)
 
     def _open_from_model(
         self,
@@ -181,13 +277,20 @@ class PrefetchService:
             )
         try:
             snapshot = self.store.load(model_spec)
-            if snapshot.kind == KIND_SESSION:
+        except SnapshotError as exc:
+            # A model that does not exist is a client mistake -> reject.
+            raise SessionError(f"model {model_spec!r}: {exc}") from None
+        if snapshot.kind == KIND_SESSION:
+            try:
                 return restore_session(
                     snapshot,
                     max_observations=self.limits.max_observations_per_session,
                 )
-        except SnapshotError as exc:
-            raise SessionError(f"model {model_spec!r}: {exc}") from None
+            except SnapshotError as exc:
+                # The model exists but its bytes are bad -> degrade.
+                raise ModelRestoreError(
+                    f"model {model_spec!r}: {exc}"
+                ) from None
         return PrefetchSession(
             policy=request.policy,
             cache_size=request.cache_size,
@@ -202,6 +305,29 @@ class PrefetchService:
         if session is None:
             return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
                               f"unknown session {request.session!r}")
+        if request.seq is not None:
+            # Exactly-once folding under retries: ``seq`` is the 0-based
+            # observation index the client believes it is sending.  A
+            # duplicate of the last folded reference (a reply lost in a
+            # connection reset) gets the cached advice back without
+            # advancing the session; any other gap is unrecoverable here
+            # and the client must cold-restart from its journal.
+            expected = session.observations
+            last = session.last_advice
+            if (
+                request.seq == expected - 1
+                and last is not None
+                and last.block == request.block
+            ):
+                self.metrics.duplicates_served += 1
+                return ObserveReply(id=request.id, session=request.session,
+                                    advice=last)
+            if request.seq != expected:
+                return ErrorReply(
+                    request.id, protocol.E_SEQ,
+                    f"seq {request.seq} does not match session period "
+                    f"{expected}",
+                )
         advice = session.observe(request.block)
         self.metrics.record_advice(advice.outcome, len(advice.prefetch))
         return ObserveReply(id=request.id, session=request.session,
@@ -243,19 +369,17 @@ class PrefetchService:
 
     # --------------------------------------------------------- checkpoints
 
-    def checkpoint_sessions(self, directory: str) -> int:
-        """Write every live session to ``directory/<id>.snap``; returns count.
+    def snapshot_live_sessions(self) -> List[Tuple[str, "Snapshot"]]:
+        """Snapshot every live session *in memory* (no disk I/O).
 
-        Each file is a full ``session``-kind snapshot (atomic write-then-
-        rename), so a crashed server can be resumed decision-identically
-        with ``OPEN model=...`` after importing the checkpoint into a store.
+        Runs on the event loop thread so each snapshot is internally
+        consistent; the returned list can then be written out off-loop via
+        :meth:`write_checkpoints` without blocking request handling.
         """
-        from repro.store.codec import SnapshotError, write_snapshot
+        from repro.store.codec import SnapshotError
         from repro.store.session_state import snapshot_session
 
-        directory = os.fspath(directory)
-        os.makedirs(directory, exist_ok=True)
-        written = 0
+        snaps: List[Tuple[str, "Snapshot"]] = []
         for session_id, session in list(self.sessions.items()):
             try:
                 snapshot = snapshot_session(
@@ -267,6 +391,27 @@ class PrefetchService:
                 )
             except SnapshotError:
                 continue  # closed under us between list() and here
+            snaps.append((session_id, snapshot))
+        return snaps
+
+    def write_checkpoints(
+        self, snaps: List[Tuple[str, "Snapshot"]], directory: str
+    ) -> int:
+        """Write pre-taken snapshots to ``directory/<id>.snap``; returns count.
+
+        Each file is a full ``session``-kind snapshot (atomic write-then-
+        rename), so a crashed server can be resumed decision-identically
+        with ``OPEN resume=<id>`` against the same checkpoint directory, or
+        with ``OPEN model=...`` after importing the file into a store.
+        Safe to call from a worker thread: it touches only its arguments
+        and the metrics counter.
+        """
+        from repro.store.codec import write_snapshot
+
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        written = 0
+        for session_id, snapshot in snaps:
             write_snapshot(
                 snapshot, os.path.join(directory, f"{session_id}.snap")
             )
@@ -274,13 +419,48 @@ class PrefetchService:
         self.metrics.checkpoints_written += written
         return written
 
+    def checkpoint_sessions(self, directory: str) -> int:
+        """Snapshot and write every live session synchronously.
+
+        Convenience composition of :meth:`snapshot_live_sessions` +
+        :meth:`write_checkpoints` for callers outside the event loop
+        (tests, the CLI on shutdown).  Inside the loop, split the two so
+        the disk writes happen in a worker thread.
+        """
+        return self.write_checkpoints(self.snapshot_live_sessions(), directory)
+
     def drop_connection_sessions(self, owned: Set[str]) -> None:
-        """Tear down sessions whose connection vanished without CLOSE."""
+        """Tear down sessions whose connection vanished without CLOSE.
+
+        Sessions that already folded observations are first snapshotted
+        into the LRU-bounded detached table, so the client can reconnect
+        and ``OPEN resume=<id>`` decision-identically instead of replaying
+        its whole journal.
+        """
+        from repro.store.codec import SnapshotError
+        from repro.store.session_state import snapshot_session
+
         for session_id in owned:
             session = self.sessions.pop(session_id, None)
-            if session is not None:
-                session.close()
-                self.metrics.sessions_closed += 1
+            if session is None:
+                continue
+            if not session.closed and session.observations > 0:
+                try:
+                    self.detached[session_id] = snapshot_session(
+                        session,
+                        provenance={
+                            "session": session_id,
+                            "period": session.observations,
+                            "detached": True,
+                        },
+                    )
+                    self.metrics.sessions_detached += 1
+                    while len(self.detached) > self.limits.max_detached_sessions:
+                        self.detached.popitem(last=False)
+                except SnapshotError:  # pragma: no cover - closed raced us
+                    pass
+            session.close()
+            self.metrics.sessions_closed += 1
         owned.clear()
 
     # --------------------------------------------------------- connection
@@ -292,19 +472,32 @@ class PrefetchService:
     ) -> None:
         self.metrics.connections_opened += 1
         owned: Set[str] = set()
+        self._writers.add(writer)
+        limits = self.limits
+
+        async def _drain() -> None:
+            # A reader that stops consuming must not wedge this handler:
+            # bound every drain by the request timeout.
+            await asyncio.wait_for(writer.drain(), limits.request_timeout_s)
+
         try:
             writer.write(protocol.encode_reply(
                 HelloReply(id=0, max_sessions=self.limits.max_sessions)
             ))
-            await writer.drain()
+            await _drain()
             while True:
                 try:
-                    line = await reader.readline()
+                    line = await asyncio.wait_for(
+                        reader.readline(), limits.idle_timeout_s
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    self.metrics.timeouts += 1
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
                     writer.write(protocol.encode_reply(ErrorReply(
                         0, protocol.E_BAD_REQUEST, "request line too long",
                     )))
-                    await writer.drain()
+                    await _drain()
                     self.metrics.errors += 1
                     break
                 if not line:
@@ -319,21 +512,40 @@ class PrefetchService:
                     writer.write(protocol.encode_reply(
                         ErrorReply(0, exc.code, str(exc))
                     ))
-                    await writer.drain()
+                    await _drain()
                     continue
                 writer.write(protocol.encode_reply(
                     self.handle(request, owned)
                 ))
-                await writer.drain()
+                await _drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except (asyncio.TimeoutError, TimeoutError):
+            self.metrics.timeouts += 1
+        except asyncio.CancelledError:
+            # Swallowed, not re-raised: handlers are only cancelled at
+            # loop teardown (drain/shutdown), and 3.11's streams
+            # done-callback calls task.exception() on cancelled handler
+            # tasks, printing tracebacks for an orderly exit.  The
+            # finally block below still detaches this connection's
+            # sessions, which is exactly what shutdown wants.
+            pass
         finally:
+            self._writers.discard(writer)
             self.drop_connection_sessions(owned)
             self.metrics.connections_closed += 1
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def close_connections(self) -> None:
+        """Close every tracked client connection (used by drain)."""
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
     async def start(
@@ -351,6 +563,39 @@ def bound_port(server: asyncio.AbstractServer) -> int:
     return server.sockets[0].getsockname()[1]
 
 
+async def drain_service(
+    service: PrefetchService,
+    server: Optional[asyncio.AbstractServer] = None,
+    *,
+    checkpoint_dir: Optional[str] = None,
+) -> int:
+    """Gracefully wind a service down; returns sessions checkpointed.
+
+    Drain order matters: stop accepting first (close the listener), then
+    snapshot every live session *on the loop* so each snapshot is
+    consistent, then write the snapshots to disk in a worker thread, and
+    only then sever the remaining client connections.  In-flight replies
+    already queued on a transport still flush as the connections close.
+    With no checkpoint directory the sessions cannot be persisted, but the
+    listener and connections are still shut down cleanly.
+    """
+    if server is not None:
+        server.close()
+        await server.wait_closed()
+    directory = (
+        checkpoint_dir if checkpoint_dir is not None else service.checkpoint_dir
+    )
+    drained = 0
+    snaps = service.snapshot_live_sessions()
+    if snaps and directory is not None:
+        drained = await asyncio.to_thread(
+            service.write_checkpoints, snaps, directory
+        )
+    service.metrics.drained_sessions += len(snaps)
+    service.close_connections()
+    return drained
+
+
 async def serve_forever(
     host: str = "127.0.0.1",
     port: int = 7199,
@@ -366,6 +611,8 @@ async def serve_forever(
     background task periodically snapshots every live session to disk.
     """
     service = service if service is not None else PrefetchService()
+    if checkpoint_dir is not None and service.checkpoint_dir is None:
+        service.checkpoint_dir = checkpoint_dir
     server = await service.start(host, port)
     if ready_message:
         print(f"repro.service listening on {host}:{bound_port(server)} "
@@ -374,8 +621,13 @@ async def serve_forever(
     async def _checkpoint_loop() -> None:
         while True:
             await asyncio.sleep(checkpoint_every_s)
+            snaps = service.snapshot_live_sessions()
+            if not snaps:
+                continue
             try:
-                count = service.checkpoint_sessions(checkpoint_dir)
+                count = await asyncio.to_thread(
+                    service.write_checkpoints, snaps, checkpoint_dir
+                )
             except OSError as exc:
                 print(f"checkpoint to {checkpoint_dir} failed: {exc}",
                       flush=True)
@@ -387,12 +639,44 @@ async def serve_forever(
     checkpointer: Optional[asyncio.Task] = None
     if checkpoint_dir is not None and checkpoint_every_s is not None:
         checkpointer = asyncio.ensure_future(_checkpoint_loop())
+
+    drain_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    sigterm_installed = False
+    try:
+        loop.add_signal_handler(signal.SIGTERM, drain_requested.set)
+        sigterm_installed = True
+    except (NotImplementedError, RuntimeError):
+        pass  # non-main thread or platform without signal support
+
+    serve_task: Optional[asyncio.Task] = None
+    drain_task: Optional[asyncio.Task] = None
     try:
         async with server:
-            await server.serve_forever()
+            serve_task = asyncio.ensure_future(server.serve_forever())
+            drain_task = asyncio.ensure_future(drain_requested.wait())
+            done, _ = await asyncio.wait(
+                {serve_task, drain_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if drain_task in done:
+                serve_task.cancel()
+                count = await drain_service(
+                    service, server, checkpoint_dir=checkpoint_dir
+                )
+                if ready_message:
+                    print(
+                        f"SIGTERM: drained {count} session(s); exiting",
+                        flush=True,
+                    )
+            else:
+                await serve_task  # propagate cancellation / errors
     finally:
-        if checkpointer is not None:
-            checkpointer.cancel()
+        for task in (serve_task, drain_task, checkpointer):
+            if task is not None and not task.done():
+                task.cancel()
+        if sigterm_installed:
+            loop.remove_signal_handler(signal.SIGTERM)
 
 
 class BackgroundServer:
@@ -459,8 +743,16 @@ class BackgroundServer:
     def stop(self) -> None:
         if self._loop is not None and self._loop.is_running():
             self._loop.call_soon_threadsafe(self._loop.stop)
-        if self._thread is not None:
-            self._thread.join(timeout=10.0)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+            if thread.is_alive():
+                # A silently leaked daemon thread keeps the port bound and
+                # hides the hang from the caller; fail loudly instead.
+                raise RuntimeError(
+                    "repro-service thread did not stop within 10 s; "
+                    "the event loop is wedged (port still bound)"
+                )
         self._thread = None
         self._loop = None
 

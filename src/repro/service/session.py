@@ -37,6 +37,16 @@ class SessionError(Exception):
     """Misuse of a session: unknown policy, observe-after-close, ..."""
 
 
+class ModelRestoreError(SessionError):
+    """A stored model or session snapshot could not be restored.
+
+    Distinguished from plain :class:`SessionError` (a client mistake —
+    unknown policy, bad parameters) so the server can *degrade* instead of
+    reject: a session that asked for a trained model whose snapshot turns
+    out to be corrupt still gets served, just with no-prefetch advice.
+    """
+
+
 @dataclass(frozen=True)
 class PrefetchAdvice:
     """The service's answer to one observed reference.
@@ -137,7 +147,9 @@ class PrefetchSession:
         self.cache_size = cache_size
         self.max_observations = max_observations
         self.closed = False
+        self.degraded = False
         self._final_stats: Optional[Dict[str, Any]] = None
+        self._last_advice: Optional[PrefetchAdvice] = None
         self._params = params if params is not None else PAPER_PARAMS
         self._policy_kwargs = dict(policy_kwargs or {})
         self._sim_kwargs = dict(sim_kwargs)
@@ -153,7 +165,9 @@ class PrefetchSession:
             try:
                 restore_model(warm_start, model)
             except SnapshotError as exc:
-                raise SessionError(f"warm start failed: {exc}") from None
+                raise ModelRestoreError(
+                    f"warm start failed: {exc}"
+                ) from None
 
     # ----------------------------------------------------------- config
 
@@ -180,6 +194,14 @@ class PrefetchSession:
     def observations(self) -> int:
         return self._sim.period
 
+    @property
+    def last_advice(self) -> Optional[PrefetchAdvice]:
+        """The most recent :meth:`observe` result (``None`` before the
+        first observation).  The server uses it to answer a retried
+        duplicate of the last OBSERVE without folding the reference twice
+        (exactly-once semantics under reconnect-and-resume)."""
+        return self._last_advice
+
     def observe(self, block: Block) -> PrefetchAdvice:
         """Fold one reference into the session and return prefetch advice."""
         if self.closed:
@@ -192,7 +214,7 @@ class PrefetchSession:
                 f"session observation limit reached ({self.max_observations})"
             )
         result = self._sim.step(block)
-        return PrefetchAdvice(
+        advice = PrefetchAdvice(
             block=result.block,
             period=result.period,
             outcome=result.outcome,
@@ -200,6 +222,8 @@ class PrefetchSession:
             prefetch=result.decisions,
             s=self._sim.s,
         )
+        self._last_advice = advice
+        return advice
 
     def stats_snapshot(self) -> Dict[str, Any]:
         """Live counters without sealing the run (the STATS reply payload)."""
@@ -216,6 +240,7 @@ class PrefetchSession:
         snapshot["period"] = sim.period
         snapshot["s"] = sim.s
         snapshot["model_items"] = sim.policy.model_items()
+        snapshot["degraded"] = self.degraded
         return snapshot
 
     def close(self) -> Dict[str, Any]:
@@ -231,6 +256,7 @@ class PrefetchSession:
             snapshot["period"] = self._sim.period
             snapshot["s"] = self._sim.s
             snapshot["model_items"] = self._sim.policy.model_items()
+            snapshot["degraded"] = self.degraded
             self._final_stats = snapshot
             self.closed = True
         return dict(self._final_stats)

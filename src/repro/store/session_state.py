@@ -37,7 +37,7 @@ from repro.cache.ghost import _Fenwick
 from repro.cache.prefetch_cache import PrefetchEntry
 from repro.core.estimators import EwmaRate
 from repro.params import SystemParams
-from repro.service.session import PrefetchSession, SessionError
+from repro.service.session import PrefetchAdvice, PrefetchSession, SessionError
 from repro.sim.disk import QueuedDiskModel
 from repro.sim.stats import SimulationStats
 from repro.store.codec import KIND_SESSION, Snapshot, SnapshotError
@@ -126,6 +126,11 @@ def snapshot_session(
         "forced_prefetch_evictions": cache.forced_prefetch_evictions,
     }])
     records.append(["policy-aux", policy.aux_state()])
+    # The last advice answers a retried duplicate OBSERVE after a resume
+    # (exactly-once semantics even when the checkpoint landed between an
+    # observation being folded and its reply reaching the client).
+    if session.last_advice is not None:
+        records.append(["last-advice", session.last_advice.as_dict()])
 
     model = policy.model()
     model_kind = ""
@@ -285,6 +290,10 @@ def _apply(sim, session, by_tag, pentries, model_items) -> None:
     )
 
     sim.policy.restore_aux_state(by_tag.get("policy-aux", {}))
+
+    advice_state = by_tag.get("last-advice")
+    if advice_state is not None:
+        session._last_advice = PrefetchAdvice.from_dict(advice_state)
 
     model = sim.policy.model()
     model_state = by_tag.get("model")

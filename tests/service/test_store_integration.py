@@ -150,7 +150,7 @@ class TestProtocolV2:
         line = protocol.encode_request(protocol.OpenRequest(id=1))
         assert b'"model"' not in line
 
-    @pytest.mark.parametrize("version", [0, 3, None, "two"])
+    @pytest.mark.parametrize("version", [0, 4, None, "two"])
     def test_out_of_range_versions_rejected(self, version):
         import json
 
@@ -161,4 +161,4 @@ class TestProtocolV2:
 
     def test_version_constants(self):
         assert protocol.MIN_PROTOCOL_VERSION == 1
-        assert protocol.PROTOCOL_VERSION == 2
+        assert protocol.PROTOCOL_VERSION == 3
