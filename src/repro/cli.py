@@ -30,6 +30,8 @@ Examples
     python -m repro train --trace cad --policy tree --store models --name tree-cad
     python -m repro inspect --store models --model tree-cad
     python -m repro serve --port 7199 --store models --model tree-cad
+    python -m repro fleet --workers 3 --port 7199 --checkpoint-dir ckpt \
+        --checkpoint-every-s 1
     python -m repro replay --trace cad --clients 4 --port 7199
     python -m repro chaos --trace cad --port 7199 --reset-every 40
 """
@@ -433,6 +435,7 @@ def cmd_serve(args) -> int:
         store=store,
         default_model=default_model,
         checkpoint_dir=args.checkpoint_dir,
+        identity=args.worker_id,
     )
     try:
         asyncio.run(serve_forever(
@@ -445,6 +448,37 @@ def cmd_serve(args) -> int:
         metrics.pop("command_latency", None)
         metrics.pop("outcomes", None)
         print(render_dict(metrics, title="service metrics at shutdown"))
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    import asyncio
+
+    from repro.cluster.fleet import serve_fleet
+
+    if args.model is not None and args.store is None:
+        raise CLIError("--model needs --store DIR")
+    if (args.checkpoint_dir is None) != (args.checkpoint_every_s is None):
+        raise CLIError(
+            "checkpointing needs both --checkpoint-dir and "
+            "--checkpoint-every-s"
+        )
+    if args.checkpoint_every_s is not None and args.checkpoint_every_s <= 0:
+        raise CLIError("--checkpoint-every-s must be positive")
+    try:
+        asyncio.run(serve_fleet(
+            args.host, args.port,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_s=args.checkpoint_every_s,
+            store=args.store,
+            model=args.model,
+            max_sessions=args.max_sessions,
+            vnodes=args.vnodes,
+            probe_interval_s=args.probe_interval_s,
+        ))
+    except KeyboardInterrupt:
+        pass  # serve_fleet's finally already printed the summary
     return 0
 
 
@@ -671,8 +705,44 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="request_timeout_s",
                          help="bound on draining one reply to a slow "
                               "reader (default 60)")
+    p_serve.add_argument("--worker-id", default=None, dest="worker_id",
+                         help="fleet identity (e.g. w2): reported by "
+                              "server-level STATS and prefixed onto "
+                              "generated session ids")
     _add_param_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded advisory fleet: gateway + N supervised workers",
+    )
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument("--port", type=int, default=7199,
+                         help="gateway port clients connect to")
+    p_fleet.add_argument("--workers", type=_positive_int, default=2,
+                         help="advisory worker subprocesses to supervise")
+    p_fleet.add_argument("--checkpoint-dir", default=None,
+                         dest="checkpoint_dir",
+                         help="shared checkpoint directory; enables "
+                              "resume-based failover when a worker dies")
+    p_fleet.add_argument("--checkpoint-every-s", type=float, default=None,
+                         dest="checkpoint_every_s",
+                         help="seconds between worker checkpoint passes")
+    p_fleet.add_argument("--store", default=None,
+                         help="model registry directory handed to every "
+                              "worker")
+    p_fleet.add_argument("--model", default=None,
+                         help="default registry spec for every worker "
+                              "(needs --store)")
+    p_fleet.add_argument("--max-sessions", type=int, default=1024,
+                         dest="max_sessions",
+                         help="per-worker live-session ceiling")
+    p_fleet.add_argument("--vnodes", type=_positive_int, default=64,
+                         help="virtual nodes per worker on the hash ring")
+    p_fleet.add_argument("--probe-interval-s", type=float, default=1.0,
+                         dest="probe_interval_s",
+                         help="seconds between worker liveness probes")
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_replay = sub.add_parser(
         "replay", help="replay a workload against a live daemon"

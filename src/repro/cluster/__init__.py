@@ -1,0 +1,48 @@
+"""Horizontal scale-out for the advisory service: the fleet layer.
+
+One advisory server is one core and one failure domain; production
+prefetching systems (MITHRIL at CDN scale, the PPE engine tier) shard
+prediction across a fleet.  This package is that layer, built on PR 4's
+resilience substrate (checkpoints, ``OPEN resume``, seq-tagged folds):
+
+* :mod:`~repro.cluster.ring`    — consistent-hash ring with virtual
+  nodes; stable session-id -> worker placement with automatic
+  succession when a node is removed;
+* :mod:`~repro.cluster.worker`  — :class:`WorkerSupervisor` (spawn N
+  ``repro serve`` subprocesses, probe with server-level STATS, restart
+  with bounded backoff, SIGTERM fan-out drain) and
+  :class:`StaticWorkerDirectory` for in-process wiring in tests;
+* :mod:`~repro.cluster.gateway` — :class:`AdvisoryGateway`, a protocol-
+  v3 server that proxies sessions to their ring owner, relays worker
+  reply bytes verbatim (exact advice parity with a bare server), and on
+  worker death resumes sessions on the ring successor from the shared
+  checkpoint directory, replaying its per-session journal tail;
+* :mod:`~repro.cluster.fleet`   — :func:`serve_fleet`, the
+  ``python -m repro fleet`` core wiring all three together.
+
+Clients need no changes: a replay or chaos run pointed at the gateway's
+port behaves exactly as against a single server.
+"""
+
+from repro.cluster.fleet import serve_fleet
+from repro.cluster.gateway import AdvisoryGateway, GatewayStats, SessionLost
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.worker import (
+    StaticWorkerDirectory,
+    WorkerDirectory,
+    WorkerStartupError,
+    WorkerSupervisor,
+)
+
+__all__ = [
+    "AdvisoryGateway",
+    "DEFAULT_VNODES",
+    "GatewayStats",
+    "HashRing",
+    "SessionLost",
+    "StaticWorkerDirectory",
+    "WorkerDirectory",
+    "WorkerStartupError",
+    "WorkerSupervisor",
+    "serve_fleet",
+]

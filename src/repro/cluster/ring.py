@@ -1,0 +1,125 @@
+"""Consistent-hash ring: stable session-id -> worker placement.
+
+The gateway pins every session to one worker so the worker's in-memory
+model state (prefetch tree, cost-benefit estimator) stays hot for that
+session's whole life.  A consistent-hash ring gives that pinning two
+properties a modulo hash cannot:
+
+* **stability** — adding or removing one worker moves only ~1/N of the
+  keyspace, so a restarted fleet re-routes almost nothing;
+* **automatic succession** — removing a dead node makes ``owner(key)``
+  yield the next node clockwise, which is exactly the worker the gateway
+  should resume the dead worker's sessions on.
+
+Virtual nodes smooth the distribution: each worker owns ``vnodes``
+pseudo-random points on the ring, so two workers split the keyspace
+nearly evenly instead of at the mercy of two hash values.  Hashing is
+``blake2b`` (stdlib, seeded by content only), so placement is identical
+across processes and Python runs — no ``PYTHONHASHSEED`` dependence.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Set, Tuple
+
+#: Points per node.  64 keeps the max/min keyspace share within ~2x for
+#: small fleets while the ring stays tiny (N*64 ints).
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """Position of ``label`` on the ring: first 8 bytes of blake2b."""
+    digest = hashlib.blake2b(label.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to member node names."""
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        *,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes!r}")
+        self.vnodes = vnodes
+        self._nodes: Set[str] = set()
+        #: Sorted (point, node) pairs; bisect on the point finds the
+        #: first vnode clockwise of a key's hash.
+        self._ring: List[Tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    # ----------------------------------------------------------- membership
+
+    @property
+    def nodes(self) -> frozenset:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._ring, (_point(f"{node}#{i}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    # -------------------------------------------------------------- routing
+
+    def owner(
+        self, key: str, *, exclude: Iterable[str] = ()
+    ) -> Optional[str]:
+        """The node owning ``key``: first vnode clockwise of its hash.
+
+        ``exclude`` skips nodes known-dead before the ring has been told;
+        the walk continues clockwise, which is the same succession order
+        ``remove`` would produce.  ``None`` when no eligible node exists.
+        """
+        preference = self.preference(key, exclude=exclude)
+        return preference[0] if preference else None
+
+    def preference(
+        self, key: str, *, exclude: Iterable[str] = ()
+    ) -> List[str]:
+        """All eligible nodes in succession (clockwise-first) order.
+
+        The failover walk: ``preference(sid)[0]`` is the owner, ``[1]``
+        the successor to resume on if the owner is down, and so on.
+        """
+        excluded = set(exclude)
+        if not self._ring:
+            return []
+        start = bisect.bisect_left(self._ring, (_point(key), ""))
+        ordered: List[str] = []
+        seen: Set[str] = set()
+        for offset in range(len(self._ring)):
+            _, node = self._ring[(start + offset) % len(self._ring)]
+            if node in seen or node in excluded:
+                continue
+            seen.add(node)
+            ordered.append(node)
+        return ordered
+
+    def spread(self, keys: Iterable[str]) -> dict:
+        """Key count per node for ``keys`` — balance introspection."""
+        counts: dict = {node: 0 for node in self._nodes}
+        for key in keys:
+            node = self.owner(key)
+            if node is not None:
+                counts[node] += 1
+        return counts

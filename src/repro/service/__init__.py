@@ -43,6 +43,7 @@ from repro.service.server import (
     PrefetchService,
     ServiceLimits,
     drain_service,
+    wait_port_ready,
 )
 from repro.service.session import (
     ModelRestoreError,
@@ -75,4 +76,5 @@ __all__ = [
     "drain_service",
     "replay",
     "replay_async",
+    "wait_port_ready",
 ]

@@ -186,6 +186,17 @@ class AsyncServiceClient:
         )
         return reply.stats
 
+    async def server_stats(self) -> Dict[str, Any]:
+        """Server-level snapshot: worker identity plus full metrics.
+
+        Against a fleet gateway the same call returns fleet totals with a
+        ``per_worker`` breakdown.
+        """
+        reply = await self._rpc(
+            StatsRequest(id=self._take_id(), session=None), StatsReply
+        )
+        return reply.stats
+
     async def close_session(self, session: str) -> Dict[str, Any]:
         reply = await self._rpc(
             CloseRequest(id=self._take_id(), session=session), CloseReply
@@ -280,6 +291,13 @@ class ServiceClient:
     def stats(self, session: str) -> Dict[str, Any]:
         reply = self._rpc(
             StatsRequest(id=self._take_id(), session=session), StatsReply
+        )
+        return reply.stats
+
+    def server_stats(self) -> Dict[str, Any]:
+        """Server-level snapshot (see ``AsyncServiceClient.server_stats``)."""
+        reply = self._rpc(
+            StatsRequest(id=self._take_id(), session=None), StatsReply
         )
         return reply.stats
 

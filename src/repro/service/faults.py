@@ -123,6 +123,11 @@ class ChaosProxy:
 
     ``proxy.port`` is the port clients should connect to; faults apply
     only to the server's replies (requests pass through verbatim).
+
+    The proxy is position-independent: pointed at a worker and registered
+    in a fleet's worker directory it sits *between the gateway and that
+    worker*, exercising the gateway's failover path instead of the
+    client's retry path (see ``tests/cluster/test_gateway.py``).
     """
 
     def __init__(

@@ -80,6 +80,38 @@ class LatencyHistogram:
         if other.max_s > self.max_s:
             self.max_s = other.max_s
 
+    def to_state(self) -> Dict[str, Any]:
+        """Full, lossless form (buckets included) for wire transport.
+
+        ``as_dict`` is a human summary — percentiles only — so a gateway
+        aggregating many workers' histograms would lose the buckets it
+        needs to merge.  ``to_state``/``from_state`` round-trip the whole
+        histogram through JSON; buckets are sparse (index -> count) since
+        most of the 160 are empty.
+        """
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+            "buckets": {
+                str(index): bucket_count
+                for index, bucket_count in enumerate(self._counts)
+                if bucket_count
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "LatencyHistogram":
+        histogram = cls()
+        histogram.count = int(state.get("count", 0))
+        histogram.total_s = float(state.get("total_s", 0.0))
+        histogram.max_s = float(state.get("max_s", 0.0))
+        for index, bucket_count in dict(state.get("buckets", {})).items():
+            index = int(index)
+            if 0 <= index < _NUM_BUCKETS:
+                histogram._counts[index] = int(bucket_count)
+        return histogram
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -91,6 +123,28 @@ class LatencyHistogram:
         }
 
 
+#: Integer counters a :class:`ServiceMetrics` carries; the single source
+#: of truth for ``merge``/``to_state``/``from_state``, so adding a counter
+#: in ``__init__`` plus here keeps fleet aggregation complete.
+_COUNTER_FIELDS = (
+    "connections_opened",
+    "connections_closed",
+    "sessions_opened",
+    "sessions_closed",
+    "sessions_rejected",
+    "advice_issued",
+    "prefetches_recommended",
+    "checkpoints_written",
+    "errors",
+    "timeouts",
+    "degraded_sessions",
+    "drained_sessions",
+    "sessions_detached",
+    "sessions_resumed",
+    "duplicates_served",
+)
+
+
 class ServiceMetrics:
     """Counters for one server instance.
 
@@ -98,24 +152,16 @@ class ServiceMetrics:
     reply reports how the reference resolved against the session's modelled
     cache, so ``prefetch_hit / (prefetch_hit + miss)`` measures how often
     the advice put the right block in place before demand arrived.
+
+    A fleet gateway aggregates its workers with :meth:`merge` (counters
+    summed, histograms bucket-merged); :meth:`to_state` /
+    :meth:`from_state` carry the full state — buckets included — across
+    the wire in the server-level STATS reply.
     """
 
     def __init__(self) -> None:
-        self.connections_opened = 0
-        self.connections_closed = 0
-        self.sessions_opened = 0
-        self.sessions_closed = 0
-        self.sessions_rejected = 0
-        self.advice_issued = 0
-        self.prefetches_recommended = 0
-        self.checkpoints_written = 0
-        self.errors = 0
-        self.timeouts = 0
-        self.degraded_sessions = 0
-        self.drained_sessions = 0
-        self.sessions_detached = 0
-        self.sessions_resumed = 0
-        self.duplicates_served = 0
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, 0)
         self.outcomes: Dict[str, int] = {
             "demand_hit": 0, "prefetch_hit": 0, "miss": 0,
         }
@@ -138,6 +184,58 @@ class ServiceMetrics:
         self.prefetches_recommended += prefetches
         if outcome in self.outcomes:
             self.outcomes[outcome] += 1
+
+    # --------------------------------------------------------- aggregation
+
+    def merge(self, other: "ServiceMetrics") -> "ServiceMetrics":
+        """Fold ``other`` into this instance (fleet totals); returns self.
+
+        Counters and outcomes are summed; latency histograms are merged
+        bucket-by-bucket via :meth:`LatencyHistogram.merge`, so percentiles
+        of the merged histogram reflect every worker's samples rather than
+        an average of averages.  Merging is associative and commutative,
+        which is what lets a gateway fold workers in any order.
+        """
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for outcome, count in other.outcomes.items():
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + count
+        for command, histogram in other.command_latency.items():
+            mine = self.command_latency.get(command)
+            if mine is None:
+                mine = self.command_latency[command] = LatencyHistogram()
+            mine.merge(histogram)
+        return self
+
+    def to_state(self) -> Dict[str, Any]:
+        """Lossless JSON-ready form (cf. :meth:`LatencyHistogram.to_state`)."""
+        return {
+            "counters": {
+                name: getattr(self, name) for name in _COUNTER_FIELDS
+            },
+            "outcomes": dict(self.outcomes),
+            "command_latency": {
+                command: histogram.to_state()
+                for command, histogram in sorted(self.command_latency.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ServiceMetrics":
+        metrics = cls()
+        counters = dict(state.get("counters", {}))
+        for name in _COUNTER_FIELDS:
+            if name in counters:
+                setattr(metrics, name, int(counters[name]))
+        for outcome, count in dict(state.get("outcomes", {})).items():
+            metrics.outcomes[str(outcome)] = int(count)
+        for command, hist_state in dict(
+            state.get("command_latency", {})
+        ).items():
+            metrics.command_latency[str(command)] = (
+                LatencyHistogram.from_state(hist_state)
+            )
+        return metrics
 
     # ------------------------------------------------------------- reading
 

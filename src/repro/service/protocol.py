@@ -31,11 +31,27 @@ are additive, so the server accepts any version in
 ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]``: a v1 client simply never
 sends the newer fields.  Replies are stamped with the current version;
 clients accept the same range.
+
+Two further additive fields serve the fleet layer (:mod:`repro.cluster`)
+and stay within v3:
+
+* ``session_id`` on OPEN lets the caller *choose* the session id instead
+  of receiving a server-generated one.  The gateway uses it to pin a
+  session's identity across workers, so the consistent-hash placement,
+  the shared checkpoint file, and the client-visible id are all the same
+  string.  Ordinary clients never send it; ids are validated against
+  :data:`SAFE_ID` (they become checkpoint filenames).
+* ``session`` on STATS became optional: STATS *without* a session returns
+  server-level stats — worker identity, live counters, and the full
+  :meth:`~repro.service.metrics.ServiceMetrics.to_state` — which is both
+  the supervisor's liveness probe and the gateway's fleet-aggregation
+  feed.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Type, Union
 
@@ -49,6 +65,17 @@ MIN_PROTOCOL_VERSION = 1
 #: Upper bound on one encoded line; guards the server against a client
 #: streaming an unbounded "line" into memory.
 MAX_LINE_BYTES = 1 << 20
+
+#: Shape of a caller-supplied session id (OPEN ``session_id`` / ``resume``).
+#: Ids become ``<checkpoint-dir>/<id>.snap`` filenames, so anything that
+#: could traverse a path ("../", separators, leading dots) is rejected
+#: before it reaches the filesystem.
+SAFE_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def is_safe_id(session_id: str) -> bool:
+    """True when ``session_id`` is usable as a session/checkpoint name."""
+    return bool(SAFE_ID.match(session_id)) and ".." not in session_id
 
 # Error codes carried by ErrorReply.error.
 E_BAD_REQUEST = "bad_request"
@@ -86,6 +113,11 @@ class OpenRequest:
     resume: Optional[str] = None
     """Session id to resume from the server's detached-session table or
     checkpoint directory, decision-identically (v3)."""
+    session_id: Optional[str] = None
+    """Caller-chosen id for the new session (v3, fleet-internal): the
+    gateway pins a session's identity — ring placement, checkpoint file,
+    client-visible id — to one string across workers.  Must satisfy
+    :func:`is_safe_id`; collisions with a live session are rejected."""
 
     cmd = "open"
 
@@ -102,12 +134,15 @@ class OpenRequest:
             out["model"] = self.model
         if self.resume is not None:
             out["resume"] = self.resume
+        if self.session_id is not None:
+            out["session_id"] = self.session_id
         return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "OpenRequest":
         model = payload.get("model")
         resume = payload.get("resume")
+        session_id = payload.get("session_id")
         return cls(
             id=id,
             policy=str(payload.get("policy", "tree")),
@@ -116,6 +151,7 @@ class OpenRequest:
             policy_kwargs=dict(payload.get("policy_kwargs", {})),
             model=str(model) if model is not None else None,
             resume=str(resume) if resume is not None else None,
+            session_id=str(session_id) if session_id is not None else None,
         )
 
 
@@ -151,21 +187,29 @@ class ObserveRequest:
 
 @dataclass(frozen=True)
 class StatsRequest:
-    """Request a non-destructive counter snapshot for a session."""
+    """Request a non-destructive counter snapshot.
+
+    With ``session`` set, a per-session snapshot; without it (v3,
+    additive), a server-level snapshot carrying the worker's identity
+    and full :class:`~repro.service.metrics.ServiceMetrics` state — the
+    probe a fleet supervisor uses for liveness and a gateway folds into
+    fleet totals.
+    """
 
     id: int
-    session: str
+    session: Optional[str] = None
 
     cmd = "stats"
 
     def payload(self) -> Dict[str, Any]:
+        if self.session is None:
+            return {}
         return {"session": self.session}
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "StatsRequest":
-        if "session" not in payload:
-            raise ProtocolError("stats requires 'session'")
-        return cls(id=id, session=str(payload["session"]))
+        session = payload.get("session")
+        return cls(id=id, session=str(session) if session is not None else None)
 
 
 @dataclass(frozen=True)

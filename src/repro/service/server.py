@@ -20,6 +20,7 @@ import asyncio
 import itertools
 import os
 import signal
+import socket
 import threading
 import time
 from collections import OrderedDict
@@ -89,6 +90,7 @@ class PrefetchService:
         store: Optional["ModelStore"] = None,
         default_model: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
+        identity: Optional[str] = None,
     ) -> None:
         self.default_params = (
             default_params if default_params is not None else PAPER_PARAMS
@@ -98,6 +100,10 @@ class PrefetchService:
         self.store = store
         self.default_model = default_model
         self.checkpoint_dir = checkpoint_dir
+        self.identity = identity
+        """Worker name in a fleet (e.g. ``w2``): reported by server-level
+        STATS and prefixed onto generated session ids so checkpoints from
+        different workers sharing one ``--checkpoint-dir`` cannot collide."""
         self.sessions: Dict[str, PrefetchSession] = {}
         self.detached: "OrderedDict[str, Snapshot]" = OrderedDict()
         self._session_ids = itertools.count(1)
@@ -142,6 +148,19 @@ class PrefetchService:
                 "connection session limit reached "
                 f"({limits.max_sessions_per_connection})",
             )
+        if request.session_id is not None:
+            if not protocol.is_safe_id(request.session_id):
+                self.metrics.sessions_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_BAD_REQUEST,
+                    f"unusable session_id {request.session_id!r}",
+                )
+            if request.session_id in self.sessions:
+                self.metrics.sessions_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_SESSION_ERROR,
+                    f"session {request.session_id!r} already exists",
+                )
         if request.resume is not None:
             return self._handle_resume(request, owned)
         try:
@@ -194,7 +213,11 @@ class PrefetchService:
         *,
         resumed: bool = False,
     ) -> OpenReply:
-        session_id = f"s{next(self._session_ids)}"
+        if request.session_id is not None:
+            session_id = request.session_id
+        else:
+            prefix = f"{self.identity}-" if self.identity else ""
+            session_id = f"{prefix}s{next(self._session_ids)}"
         self.sessions[session_id] = session
         owned.add(session_id)
         self.metrics.sessions_opened += 1
@@ -221,6 +244,13 @@ class PrefetchService:
         from repro.store.codec import SnapshotError, read_snapshot
 
         resume_id = request.resume
+        if not protocol.is_safe_id(resume_id):
+            # The id becomes a checkpoint-dir path component below; reject
+            # anything that could traverse out of the directory.
+            return ErrorReply(
+                request.id, protocol.E_BAD_REQUEST,
+                f"unusable resume id {resume_id!r}",
+            )
         snapshot = self.detached.pop(resume_id, None)
         if snapshot is None and self.checkpoint_dir is not None:
             path = os.path.join(self.checkpoint_dir, f"{resume_id}.snap")
@@ -334,6 +364,22 @@ class PrefetchService:
                             advice=advice)
 
     def _handle_stats(self, request: StatsRequest) -> Reply:
+        if request.session is None:
+            # Server-level snapshot: identity + full metrics state.  This
+            # doubles as a supervisor liveness probe and as the feed a
+            # fleet gateway merges into fleet totals (``metrics_state`` is
+            # the lossless form; ``metrics`` the human summary).
+            return StatsReply(
+                id=request.id, session="",
+                stats={
+                    "server": "repro.service",
+                    "worker": self.identity,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "live_sessions": self.metrics.live_sessions,
+                    "metrics": self.metrics.as_dict(),
+                    "metrics_state": self.metrics.to_state(),
+                },
+            )
         session = self.sessions.get(request.session)
         if session is None:
             return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
@@ -563,6 +609,34 @@ def bound_port(server: asyncio.AbstractServer) -> int:
     return server.sockets[0].getsockname()[1]
 
 
+def wait_port_ready(
+    host: str, port: int, *, timeout: float = 10.0, interval: float = 0.02
+) -> None:
+    """Block until ``host:port`` accepts a TCP connection.
+
+    Polls with bounded ECONNREFUSED retries, closing each probe
+    connection immediately — the server sees a zero-length connection,
+    which the NDJSON handler treats as a clean EOF.  Raises
+    ``TimeoutError`` if the port never opens.  This is the startup-race
+    fix: anything that starts a server out-of-process (worker spawn) or
+    on another thread must call this (or ``BackgroundServer.wait_ready``)
+    before connecting, instead of sleeping and hoping.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Optional[OSError] = None
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=interval + 1.0):
+                return
+        except OSError as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(
+        f"{host}:{port} not accepting connections after {timeout}s "
+        f"(last error: {last_error})"
+    )
+
+
 async def drain_service(
     service: PrefetchService,
     server: Optional[asyncio.AbstractServer] = None,
@@ -755,6 +829,20 @@ class BackgroundServer:
                 )
         self._thread = None
         self._loop = None
+
+    def wait_ready(self, timeout: float = 10.0) -> "BackgroundServer":
+        """Block until the server accepts connections; returns self.
+
+        ``start()`` already waits for the bind, but the accept loop runs
+        on the daemon thread's event loop — a test that connects in the
+        same instant can still race it (and a server freshly restarted on
+        a fixed port can race the old socket's teardown).  Polling the
+        port with :func:`wait_port_ready` closes that window.
+        """
+        if self.port is None:
+            raise RuntimeError("server is not started")
+        wait_port_ready(self.host, self.port, timeout=timeout)
+        return self
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         return self.service.metrics.as_dict()

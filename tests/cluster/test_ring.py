@@ -1,0 +1,100 @@
+"""Consistent-hash ring: determinism, balance, succession."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+
+KEYS = [f"g{i}" for i in range(1000)]
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order is irrelevant
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_deterministic_across_processes(self):
+        """Placement must not depend on PYTHONHASHSEED."""
+        script = (
+            "from repro.cluster.ring import HashRing\n"
+            "r = HashRing(['w0', 'w1', 'w2'])\n"
+            "print(''.join(r.owner(f'g{i}')[-1] for i in range(64)))\n"
+        )
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        runs = set()
+        for seed in ("1", "2"):
+            env = dict(os.environ, PYTHONPATH=src, PYTHONHASHSEED=seed)
+            runs.add(subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout)
+        assert len(runs) == 1
+
+    def test_balance_within_factor_two(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        spread = ring.spread(KEYS)
+        assert set(spread) == {"w0", "w1", "w2", "w3"}
+        assert min(spread.values()) > 0
+        assert max(spread.values()) <= 2 * min(spread.values())
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["w0"])
+        assert all(ring.owner(k) == "w0" for k in KEYS[:50])
+
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.owner("g1") is None
+        assert ring.preference("g1") == []
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+
+class TestSuccession:
+    def test_removal_moves_only_the_dead_nodes_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove("w1")
+        after = {k: ring.owner(k) for k in KEYS}
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert moved  # something was on w1
+        assert all(before[k] == "w1" for k in moved)
+        assert "w1" not in set(after.values())
+
+    def test_exclude_matches_removal(self):
+        """exclude= must route exactly like remove() would — it is the
+        failover path before the ring has been told about the death."""
+        ring = HashRing(["w0", "w1", "w2"])
+        excluded = [ring.owner(k, exclude={"w1"}) for k in KEYS]
+        ring.remove("w1")
+        removed = [ring.owner(k) for k in KEYS]
+        assert excluded == removed
+
+    def test_preference_starts_with_owner_and_covers_all(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in KEYS[:50]:
+            preference = ring.preference(key)
+            assert preference[0] == ring.owner(key)
+            assert sorted(preference) == ["w0", "w1", "w2"]
+
+    def test_readd_restores_placement(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove("w2")
+        ring.add("w2")
+        assert {k: ring.owner(k) for k in KEYS} == before
+
+    def test_membership_helpers(self):
+        ring = HashRing(["w0"], vnodes=DEFAULT_VNODES)
+        assert "w0" in ring and len(ring) == 1
+        ring.add("w0")  # idempotent
+        assert len(ring) == 1
+        ring.remove("missing")  # no-op
+        assert ring.nodes == frozenset({"w0"})

@@ -178,7 +178,7 @@ class TestServerKillResume:
         ckpt = str(tmp_path / "ckpts")
 
         service1 = PrefetchService(checkpoint_dir=ckpt)
-        server1 = BackgroundServer(service=service1).start()
+        server1 = BackgroundServer(service=service1).start().wait_ready()
         port = server1.port
 
         async def scenario():
@@ -195,10 +195,13 @@ class TestServerKillResume:
                     got.append((await client.observe(block)).as_dict())
                 await asyncio.to_thread(server1.stop)
                 service2 = PrefetchService(checkpoint_dir=ckpt)
+                # wait_ready closes the restart race: the rebind on a
+                # fixed port can lag the old socket's teardown, and the
+                # client reconnects the instant start() returns.
                 server2 = await asyncio.to_thread(
                     lambda: BackgroundServer(
                         service=service2, port=port
-                    ).start()
+                    ).start().wait_ready()
                 )
                 try:
                     for block in blocks[350:]:

@@ -1,0 +1,152 @@
+"""ServiceMetrics aggregation: merge algebra and histogram fidelity.
+
+The gateway folds workers' metrics in arbitrary order as they answer, so
+``merge`` must be associative and commutative, and the histogram state
+shipped over STATS must preserve buckets — otherwise fleet percentiles
+would be an average of averages instead of the real distribution.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+def _sample_metrics(seed, *, commands=("open", "observe")):
+    rng = random.Random(seed)
+    metrics = ServiceMetrics()
+    metrics.connections_opened = rng.randrange(100)
+    metrics.connections_closed = rng.randrange(100)
+    metrics.sessions_opened = rng.randrange(100)
+    metrics.sessions_closed = rng.randrange(100)
+    metrics.errors = rng.randrange(10)
+    for _ in range(rng.randrange(200)):
+        metrics.record_advice(
+            rng.choice(["demand_hit", "prefetch_hit", "miss"]),
+            rng.randrange(3),
+        )
+    for command in commands:
+        for _ in range(rng.randrange(300)):
+            metrics.record_latency(command, rng.expovariate(1000.0))
+    return metrics
+
+
+def _canon(metrics):
+    """Order-independent comparable form, full fidelity."""
+    return json.dumps(metrics.to_state(), sort_keys=True)
+
+
+class TestMerge:
+    def test_counters_and_outcomes_sum(self):
+        a, b = _sample_metrics(1), _sample_metrics(2)
+        opened = a.sessions_opened + b.sessions_opened
+        advice = a.advice_issued + b.advice_issued
+        misses = a.outcomes["miss"] + b.outcomes["miss"]
+        a.merge(b)
+        assert a.sessions_opened == opened
+        assert a.advice_issued == advice
+        assert a.outcomes["miss"] == misses
+
+    def test_merge_returns_self(self):
+        a = _sample_metrics(1)
+        assert a.merge(_sample_metrics(2)) is a
+
+    def test_commutative(self):
+        ab = _sample_metrics(1).merge(_sample_metrics(2))
+        ba = _sample_metrics(2).merge(_sample_metrics(1))
+        assert _canon(ab) == _canon(ba)
+
+    def test_associative(self):
+        left = _sample_metrics(1).merge(
+            _sample_metrics(2).merge(_sample_metrics(3))
+        )
+        right = _sample_metrics(1).merge(_sample_metrics(2)).merge(
+            _sample_metrics(3)
+        )
+        assert _canon(left) == _canon(right)
+
+    def test_identity_element(self):
+        a = _sample_metrics(4)
+        assert _canon(ServiceMetrics().merge(a)) == _canon(_sample_metrics(4))
+        assert _canon(a.merge(ServiceMetrics())) == _canon(_sample_metrics(4))
+
+    def test_disjoint_commands_union(self):
+        a = _sample_metrics(5, commands=("open",))
+        b = _sample_metrics(6, commands=("close",))
+        a.merge(b)
+        assert set(a.command_latency) == {"open", "close"}
+
+    def test_merge_equals_combined_recording(self):
+        """Merging two halves == recording everything in one instance."""
+        rng = random.Random(7)
+        events = [
+            (rng.choice(["demand_hit", "prefetch_hit", "miss"]),
+             rng.expovariate(1000.0))
+            for _ in range(400)
+        ]
+        whole = ServiceMetrics()
+        first, second = ServiceMetrics(), ServiceMetrics()
+        for i, (outcome, latency) in enumerate(events):
+            whole.record_advice(outcome, 1)
+            whole.record_latency("observe", latency)
+            part = first if i < 200 else second
+            part.record_advice(outcome, 1)
+            part.record_latency("observe", latency)
+        merged = first.merge(second)
+        assert merged.outcomes == whole.outcomes
+        assert merged.advice_issued == whole.advice_issued
+        merged_hist = merged.command_latency["observe"]
+        whole_hist = whole.command_latency["observe"]
+        assert merged_hist._counts == whole_hist._counts
+        assert merged_hist.count == whole_hist.count
+        assert merged_hist.max_s == whole_hist.max_s
+        # float sums in a different order agree only to rounding error
+        assert merged_hist.total_s == pytest.approx(whole_hist.total_s)
+
+
+class TestHistogramState:
+    def test_round_trip_is_lossless(self):
+        histogram = LatencyHistogram()
+        rng = random.Random(8)
+        for _ in range(1000):
+            histogram.record(rng.expovariate(500.0))
+        # through JSON, like the STATS wire hop
+        state = json.loads(json.dumps(histogram.to_state()))
+        restored = LatencyHistogram.from_state(state)
+        assert restored.count == histogram.count
+        assert restored.total_s == histogram.total_s
+        assert restored.max_s == histogram.max_s
+        assert restored._counts == histogram._counts
+        for p in (50, 95, 99):
+            assert restored.percentile_ms(p) == histogram.percentile_ms(p)
+
+    def test_state_buckets_are_sparse(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001)
+        histogram.record(0.001)
+        state = histogram.to_state()
+        assert len(state["buckets"]) == 1
+        assert sum(state["buckets"].values()) == 2
+
+    def test_empty_round_trip(self):
+        restored = LatencyHistogram.from_state(LatencyHistogram().to_state())
+        assert restored.count == 0
+        assert restored.percentile_ms(99) == 0.0
+
+    def test_merged_percentiles_match_combined_recording(self):
+        """The whole point of shipping buckets: a merge of two shards has
+        the same percentiles as one histogram that saw every sample."""
+        rng = random.Random(9)
+        samples = [rng.expovariate(200.0) for _ in range(2000)]
+        whole = LatencyHistogram()
+        shard_a, shard_b = LatencyHistogram(), LatencyHistogram()
+        for i, sample in enumerate(samples):
+            whole.record(sample)
+            (shard_a if i % 2 else shard_b).record(sample)
+        shard_a.merge(shard_b)
+        for p in (50, 90, 95, 99, 100):
+            assert shard_a.percentile_ms(p) == whole.percentile_ms(p)
+        assert shard_a.count == whole.count
+        assert shard_a.max_ms == whole.max_ms

@@ -110,10 +110,12 @@ class TestRejects:
         with pytest.raises(ProtocolError, match="observe requires"):
             decode_request(line)
 
-    def test_stats_requires_session(self):
+    def test_stats_without_session_is_server_level(self):
+        # v3 additive change: a session-less STATS is the server-level
+        # probe a fleet supervisor/gateway uses, not a protocol error.
         line = json.dumps({"v": 1, "cmd": "stats", "id": 1})
-        with pytest.raises(ProtocolError, match="stats requires"):
-            decode_request(line)
+        request = decode_request(line)
+        assert request.session is None
 
     def test_close_requires_session(self):
         line = json.dumps({"v": 1, "cmd": "close", "id": 1})
