@@ -25,6 +25,7 @@ from repro.analysis.tables import render_series
 from repro.cluster import AdvisoryGateway, WorkerSupervisor
 from repro.service.replay import replay, replay_async
 from repro.service.server import BackgroundServer
+from repro.tenancy.memory import rss_bytes
 from repro.traces.synthetic import make_trace
 
 WORKER_COUNTS = (1, 2, 4)
@@ -37,10 +38,19 @@ async def _replay_through_fleet(blocks, workers):
         gateway = AdvisoryGateway(supervisor)
         await gateway.start(port=0)
         try:
-            return await replay_async(
+            report = await replay_async(
                 blocks, port=gateway.port, clients=CLIENTS,
                 policy="tree", cache_size=1024,
             )
+            # Probe each worker subprocess while it is still serving: the
+            # per-worker resident set is the capacity number operators
+            # size fleets with (advice/sec tells only half the story).
+            rss = {
+                worker.worker_id: rss_bytes(worker.proc.pid)
+                for worker in supervisor.workers.values()
+                if worker.proc is not None
+            }
+            return report, rss
         finally:
             await gateway.aclose()
 
@@ -50,20 +60,25 @@ def _run_battery():
     seed = int(os.environ.get("REPRO_BENCH_SEED", "1999"))
     blocks = make_trace("cad", num_references=refs, seed=seed).as_list()
     reports = {}
+    worker_rss = {}
     with BackgroundServer() as server:
         reports["bare"] = replay(
             blocks, port=server.port, clients=CLIENTS,
             policy="tree", cache_size=1024,
         )
+        # The bare server shares this process, so "its" RSS is ours.
+        worker_rss["bare"] = {"self": rss_bytes()}
     for workers in WORKER_COUNTS:
-        reports[workers] = asyncio.run(
+        reports[workers], worker_rss[workers] = asyncio.run(
             _replay_through_fleet(blocks, workers)
         )
-    return refs, reports
+    return refs, reports, worker_rss
 
 
 def test_fleet_scaling(benchmark, record):
-    refs, reports = benchmark.pedantic(_run_battery, rounds=1, iterations=1)
+    refs, reports, worker_rss = benchmark.pedantic(
+        _run_battery, rounds=1, iterations=1
+    )
 
     configs = ["bare"] + list(WORKER_COUNTS)
     series = {
@@ -73,6 +88,11 @@ def test_fleet_scaling(benchmark, record):
         "p50_ms": [reports[c].latency["p50_ms"] for c in configs],
         "p95_ms": [reports[c].latency["p95_ms"] for c in configs],
         "p99_ms": [reports[c].latency["p99_ms"] for c in configs],
+        "max_worker_rss_mb": [
+            round(max(worker_rss[c].values()) / (1 << 20), 1)
+            if worker_rss.get(c) else 0.0
+            for c in configs
+        ],
     }
     result = ExperimentResult(
         exp_id="fleet_scaling",
@@ -93,6 +113,9 @@ def test_fleet_scaling(benchmark, record):
             "clients": CLIENTS,
             "reports": {
                 str(c): reports[c].as_dict() for c in configs
+            },
+            "worker_rss_bytes": {
+                str(c): dict(worker_rss.get(c, {})) for c in configs
             },
         },
     )

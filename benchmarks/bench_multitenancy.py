@@ -1,0 +1,286 @@
+"""Multi-tenant density: 10k concurrent sessions on one worker.
+
+The tenancy pitch is density: a worker serving thousands of sessions
+holds ONE copy of each tenant's base model and charges every session
+only its private delta, with a memory budget evicting idle sessions to
+checkpoints.  This bench drives a single in-process
+:class:`PrefetchService` (no sockets — the wire costs are
+``bench_service_throughput``'s story) through three phases:
+
+* **density** — open ``REPRO_BENCH_TENANCY_SESSIONS`` (default 10000)
+  sessions across 4 tenants under a budget sized for roughly half their
+  deltas, stream every session, and check the accounted model bytes
+  stay inside budget + the amortised sweep slack while evictions and
+  resurrections actually happen.
+* **cold-open latency** — shared-base opens must not be slower than the
+  private-copy path they replace (each private OPEN restores a full
+  model copy; an overlay open just wraps the shared base).
+* **parity** — sessions served under eviction pressure (including
+  evict→resurrect round trips) must emit advice bit-identical to
+  private-model sessions warm-started from the same snapshot.
+
+``REPRO_BENCH_TENANCY_REFS`` (default 12) sets references per density
+session.
+"""
+
+import os
+import time
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.tables import render_series
+from repro.core.tree import PAPER_NODE_BYTES
+from repro.service import server as server_mod
+from repro.service.metrics import percentiles_from_samples
+from repro.service.protocol import (
+    CloseRequest,
+    ErrorReply,
+    ObserveRequest,
+    OpenRequest,
+    StatsRequest,
+)
+from repro.service.server import PrefetchService, ServiceLimits
+
+#: One in-process "connection" holds every session; lift the wire-era
+#: per-connection and per-server caps out of the way.
+LIMITS = ServiceLimits(max_sessions=100_000,
+                       max_sessions_per_connection=100_000)
+from repro.store import ModelStore
+from repro.store.models import model_snapshot
+from repro.tenancy.config import parse_tenancy_config
+from repro.tenancy.manager import TenancyManager
+from repro.tenancy.memory import rss_bytes
+from repro.traces.synthetic import make_trace
+
+TENANTS = ("t0", "t1", "t2", "t3")
+
+
+def _lcg_blocks(n, seed, universe=64):
+    x = seed or 1
+    out = []
+    for _ in range(n):
+        x = (x * 1103515245 + 12345) % (2 ** 31)
+        out.append(x % universe)
+    return out
+
+
+def _store_with_base(tmp_path, seed):
+    from repro.core.tree import PrefetchTree
+
+    base = PrefetchTree()
+    base.record_all(
+        make_trace("cello", num_references=20_000, seed=seed).as_list()
+    )
+    store = ModelStore(str(tmp_path / "store"))
+    store.save("base", model_snapshot(base, base=True))
+    return store, base.memory_items() * PAPER_NODE_BYTES
+
+
+def _tenant_service(store, ckpt_dir, budget):
+    config = parse_tenancy_config({
+        "tenants": {name: {"model": "base"} for name in TENANTS},
+    })
+    return PrefetchService(
+        store=store,
+        tenancy=TenancyManager(store, config),
+        memory_budget_bytes=budget,
+        checkpoint_dir=str(ckpt_dir),
+        limits=LIMITS,
+    )
+
+
+def _observe(service, owned, sid, block, seq, request_id=0):
+    reply = service.handle(
+        ObserveRequest(id=request_id, session=sid, block=block, seq=seq),
+        owned,
+    )
+    assert not isinstance(reply, ErrorReply), reply
+    return reply.advice
+
+
+def _density_phase(store, tmp_path, base_bytes, sessions, refs):
+    per_session = refs * PAPER_NODE_BYTES  # worst case: 1 node per access
+    # Each tenant loads its own shared base (bases are keyed per tenant,
+    # not per registry entry); the budget must clear all of them, then
+    # leave delta headroom for roughly half the sessions.
+    budget = base_bytes * len(TENANTS) + (sessions // 2) * per_session
+    service = _tenant_service(store, tmp_path / "density-ckpt", budget)
+    owned = set()
+    open_samples = []
+    sids = []
+    for index in range(sessions):
+        started = time.perf_counter()
+        reply = service.handle(
+            OpenRequest(id=index, tenant=TENANTS[index % len(TENANTS)],
+                        cache_size=64),
+            owned,
+        )
+        open_samples.append(time.perf_counter() - started)
+        assert not isinstance(reply, ErrorReply), reply
+        sids.append(reply.session)
+    for index, sid in enumerate(sids):
+        for seq, block in enumerate(_lcg_blocks(refs, seed=index + 1)):
+            _observe(service, owned, sid, block, seq)
+
+    metrics = service.metrics
+    accounted = service.accounted_model_bytes()
+    # Between amortised sweeps each observe can add at most one node, so
+    # the instantaneous total may overshoot by exactly that slack.
+    slack = server_mod._BUDGET_CHECK_INTERVAL * PAPER_NODE_BYTES
+    assert accounted <= budget + slack, (
+        f"accounted {accounted} exceeds budget {budget} + slack {slack}"
+    )
+    assert metrics.sessions_evicted > 0, "budget never forced an eviction"
+    # Every session is still logically open; the evicted ones just live
+    # on disk instead of in the table.
+    assert metrics.live_sessions == sessions
+    assert len(service.sessions) + len(service.evicted) == sessions
+    # Spot-check a sample spread across the id space: every session —
+    # live or evicted — must still answer with its full history.
+    step = max(1, sessions // 100)
+    for sid in sids[::step]:
+        stats = service.handle(StatsRequest(id=1, session=sid), owned).stats
+        assert stats["period"] == refs, (sid, stats["period"])
+    return service, {
+        "budget_mb": budget / (1 << 20),
+        "accounted_mb": accounted / (1 << 20),
+        "base_mb": base_bytes / (1 << 20),
+        "rss_mb": rss_bytes() / (1 << 20),
+        "sessions": sessions,
+        "evicted": metrics.sessions_evicted,
+        "resurrected": metrics.sessions_resurrected,
+        "open_latency": percentiles_from_samples(open_samples),
+    }
+
+
+def _cold_open_phase(store, tmp_path, opens=300):
+    """Shared-base OPEN latency vs the private-copy OPEN it replaces."""
+    def timed_opens(service, request):
+        owned = set()
+        samples = []
+        for index in range(opens):
+            started = time.perf_counter()
+            reply = service.handle(request(index), owned)
+            samples.append(time.perf_counter() - started)
+            assert not isinstance(reply, ErrorReply), reply
+        return percentiles_from_samples(samples)
+
+    private = timed_opens(
+        PrefetchService(store=store, default_model="base", limits=LIMITS),
+        lambda i: OpenRequest(id=i, cache_size=64),
+    )
+    shared = timed_opens(
+        _tenant_service(store, tmp_path / "open-ckpt", budget=None),
+        lambda i: OpenRequest(id=i, tenant=TENANTS[i % len(TENANTS)],
+                              cache_size=64),
+    )
+    return {"private": private, "shared": shared}
+
+
+def _parity_phase(store, tmp_path, base_bytes, streams=6, refs=240):
+    """Advice under eviction pressure == private warm-started advice."""
+    interval = server_mod._BUDGET_CHECK_INTERVAL
+    server_mod._BUDGET_CHECK_INTERVAL = 1
+    try:
+        budget = base_bytes * len(TENANTS) + 12 * PAPER_NODE_BYTES
+        pressured = _tenant_service(
+            store, tmp_path / "parity-ckpt", budget
+        )
+        baseline = PrefetchService(store=store, default_model="base",
+                                   limits=LIMITS)
+        traces = [
+            _lcg_blocks(refs, seed=900 + index) for index in range(streams)
+        ]
+
+        def run(service, request):
+            owned = set()
+            sids = [
+                service.handle(request(index), owned).session
+                for index in range(streams)
+            ]
+            advice = [[] for _ in range(streams)]
+            for seq in range(refs):  # interleave: worst case for LRU
+                for index, sid in enumerate(sids):
+                    advice[index].append(_observe(
+                        service, owned, sid, traces[index][seq], seq
+                    ).as_dict())
+            finals = [
+                service.handle(CloseRequest(id=1, session=sid), owned).stats
+                for sid in sids
+            ]
+            return advice, finals
+
+        want = run(
+            baseline, lambda i: OpenRequest(id=i, cache_size=64)
+        )
+        got = run(
+            pressured,
+            lambda i: OpenRequest(id=i, tenant=TENANTS[i % len(TENANTS)],
+                                  cache_size=64),
+        )
+        assert pressured.metrics.sessions_evicted > 0
+        assert got == want, "shared/evicted serving diverged from private"
+        return {
+            "streams": streams,
+            "refs": refs,
+            "evict_resume_cycles": pressured.metrics.sessions_resurrected,
+        }
+    finally:
+        server_mod._BUDGET_CHECK_INTERVAL = interval
+
+
+def test_multitenancy(benchmark, record, tmp_path):
+    sessions = int(os.environ.get("REPRO_BENCH_TENANCY_SESSIONS", "10000"))
+    refs = int(os.environ.get("REPRO_BENCH_TENANCY_REFS", "12"))
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "1999"))
+
+    def battery():
+        store, base_bytes = _store_with_base(tmp_path, seed)
+        density = _density_phase(
+            store, tmp_path, base_bytes, sessions, refs
+        )[1]
+        opens = _cold_open_phase(store, tmp_path)
+        parity = _parity_phase(store, tmp_path, base_bytes)
+        return density, opens, parity
+
+    density, opens, parity = benchmark.pedantic(
+        battery, rounds=1, iterations=1
+    )
+
+    axis = ["sessions", "evicted", "resurrected", "budget_mb",
+            "accounted_mb", "rss_mb"]
+    series = {
+        "value": [
+            density["sessions"], density["evicted"],
+            density["resurrected"], round(density["budget_mb"], 2),
+            round(density["accounted_mb"], 2), round(density["rss_mb"], 1),
+        ],
+    }
+    open_line = (
+        f"cold-open p99 ms: shared={opens['shared']['p99_ms']} "
+        f"private={opens['private']['p99_ms']} "
+        f"(p50 {opens['shared']['p50_ms']} vs {opens['private']['p50_ms']})"
+    )
+    result = ExperimentResult(
+        exp_id="multitenancy",
+        title="multi-tenant density: shared bases, budget, eviction",
+        paper_expectation=(
+            "beyond the paper: one worker holds 10k+ tenant sessions at "
+            "bounded model memory; eviction/resume is decision-invisible"
+        ),
+        text=render_series(
+            "metric", axis, series,
+            title=(
+                f"{density['sessions']} sessions x {refs} refs across "
+                f"{len(TENANTS)} tenants, one in-process worker"
+            ),
+        ) + f"\n{open_line}\nparity: {parity['streams']} streams x "
+            f"{parity['refs']} refs bit-identical under "
+            f"{parity['evict_resume_cycles']} evict/resume cycles",
+        data={"density": density, "cold_open": opens, "parity": parity},
+    )
+    record(result)
+
+    # Shared opens skip the per-session model copy; they must not regress
+    # past the private path they replace (loose: CI boxes are noisy).
+    assert (opens["shared"]["p99_ms"]
+            <= max(opens["private"]["p99_ms"] * 1.5, 1.0))

@@ -10,7 +10,7 @@ each seed, reporting the spread.
 import statistics
 
 from repro.analysis.experiments import ExperimentResult
-from repro.analysis.parallel import RunSpec, run_batch
+from repro.analysis.scheduler import RunSpec, run_batch
 from repro.analysis.tables import render_table
 
 SEEDS = (7, 1999, 424242)

@@ -2,7 +2,6 @@
 
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.experiments import ALL_EXPERIMENTS, ExperimentResult
-from repro.analysis.parallel import RunSpec, execute, run_batch, spec_hash
 from repro.analysis.metrics import (
     additivity_gap,
     max_miss_reduction,
@@ -10,7 +9,15 @@ from repro.analysis.metrics import (
     reduction_series,
 )
 from repro.analysis.runner import ExperimentContext, default_context
-from repro.analysis.scheduler import ResultStore, Scheduler, SchedulerCounters
+from repro.analysis.scheduler import (
+    ResultStore,
+    RunSpec,
+    Scheduler,
+    SchedulerCounters,
+    execute,
+    run_batch,
+    spec_hash,
+)
 from repro.analysis.sweep import (
     DEFAULT_CACHE_SIZES,
     DEFAULT_TCPU_VALUES,

@@ -5,7 +5,7 @@ read off the *tree* policy's cache-size sweep; Figure 6's no-prefetch
 baseline reappears in Figures 13 and 15).  :class:`ExperimentContext` is a
 thin, configuration-carrying front end over the spec-driven
 :class:`~repro.analysis.scheduler.Scheduler`: every run is described as a
-:class:`~repro.analysis.parallel.RunSpec` keyed by its content hash, so a
+:class:`~repro.analysis.scheduler.RunSpec` keyed by its content hash, so a
 bench session pays for each distinct simulation exactly once — and, with
 ``jobs > 1`` and/or a persistent ``cache_dir``, pays in parallel or not
 at all.
@@ -20,8 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.analysis.parallel import RunSpec, resolve_trace
-from repro.analysis.scheduler import Scheduler
+from repro.analysis.scheduler import RunSpec, Scheduler, resolve_trace
 from repro.analysis.sweep import DEFAULT_CACHE_SIZES
 from repro.params import PAPER_PARAMS, SystemParams
 from repro.sim.stats import SimulationStats

@@ -1,15 +1,29 @@
-"""The spec-driven experiment engine: dedup, two-tier cache, process pool.
+"""The spec-driven experiment engine: specs, execution, and scheduling.
 
-This is the single execution path behind every sweep-shaped workload in
-the repository.  Callers — figure harnesses, benchmarks' shared
-:class:`~repro.analysis.runner.ExperimentContext`, the CLI, ad-hoc
-scripts — declare *what* to run as a batch of
-:class:`~repro.analysis.parallel.RunSpec` and submit it to a
-:class:`Scheduler`, which decides *how*:
+Every execution path in the repository — the memoised
+:class:`~repro.analysis.runner.ExperimentContext` behind the benchmarks,
+the figure harnesses in :mod:`repro.analysis.experiments`, the CLI's
+``simulate``/``sweep``/``report`` commands, and ad-hoc batch fan-outs —
+describes a simulation as one :class:`RunSpec`: workload, policy, cache
+size, reference count, seed, timing overrides, and the policy/simulator
+keyword arguments.  Specs are:
 
-1. **dedup** — specs are keyed by :func:`~repro.analysis.parallel.spec_hash`;
-   identical work submitted twice in one batch (Figures 7-10 all read the
-   tree policy's cache-size sweep) simulates once;
+* **content-hashable** — :func:`spec_hash` derives a stable SHA-256 from
+  the spec's canonical-JSON form (sorted keys, compact, no NaN; the same
+  deterministic encoding :mod:`repro.store.codec` uses for snapshots), so
+  identical work is identified across processes, sessions, and machines;
+* **cheap to ship** — workers regenerate traces from ``(name, refs,
+  seed)`` rather than unpickling megabytes of block ids;
+* **executable anywhere** — :func:`execute` is the single function that
+  turns a spec into :class:`~repro.sim.stats.SimulationStats`, both
+  in-process and inside pool workers.
+
+Batches of specs are submitted to a :class:`Scheduler`, which decides
+*how* they run:
+
+1. **dedup** — specs are keyed by :func:`spec_hash`; identical work
+   submitted twice in one batch (Figures 7-10 all read the tree policy's
+   cache-size sweep) simulates once;
 2. **memo** — results live in an in-process dict for the scheduler's
    lifetime, so a bench session pays for each distinct simulation once;
 3. **result store** — with a ``cache_dir``, results also persist as
@@ -25,30 +39,201 @@ Results always come back in input order, each carrying its wall time in
 ``stats.extra["wall_time_s"]``.  :attr:`Scheduler.counters` records how
 every submitted spec was satisfied, which is what the CLI prints and the
 CI cache-hit assertions grep.
+
+The spec/executor layer used to live in ``repro.analysis.parallel``; that
+module is now a thin deprecation shim re-exporting from here.
 """
 
 from __future__ import annotations
 
+import hashlib
+import time
+from collections import OrderedDict
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.parallel import RunSpec, execute, spec_hash
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
 from repro.sim.stats import SimulationStats
 from repro.store.codec import (
     PathLike,
     Snapshot,
     SnapshotCorruptError,
+    canonical_json,
     read_snapshot,
     write_snapshot,
 )
+from repro.traces import io as trace_io
+from repro.traces.base import Trace
+from repro.traces.synthetic import TRACE_NAMES, make_trace
+
+#: Hash-schema marker baked into every spec hash.  Bump when the meaning
+#: of a field changes incompatibly; old on-disk result caches then miss
+#: cleanly instead of returning stale stats.
+SPEC_SCHEMA = 1
+
+#: SystemParams fields a spec may override (None = paper constant).
+TIMING_FIELDS = ("t_cpu", "t_disk", "t_driver", "t_hit")
 
 #: Snapshot ``kind`` for cached simulation results (the store layer's
 #: ``model``/``session`` kinds hold trained state; this one holds stats).
 KIND_RESULT = "result"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation: workload x policy x cache size (+ knobs).
+
+    ``trace_name`` is either a synthetic workload name (regenerated from
+    ``(num_references, seed)`` wherever the spec runs) or a path to a
+    trace file.  File-backed specs execute normally but are excluded from
+    the persistent result cache — file contents are not part of the hash,
+    so caching them would be unsound (see :attr:`cacheable`).
+    """
+
+    trace_name: str
+    policy_name: str
+    cache_size: int
+    num_references: int = 50_000
+    seed: int = 1999
+    t_cpu: Optional[float] = None
+    t_disk: Optional[float] = None
+    t_driver: Optional[float] = None
+    t_hit: Optional[float] = None
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        return (
+            f"{self.trace_name}/{self.policy_name}"
+            f"@{self.cache_size}x{self.num_references}"
+        )
+
+    @property
+    def cacheable(self) -> bool:
+        """True when the spec is safe to cache on disk by its hash alone.
+
+        Synthetic workloads are pure functions of ``(name, refs, seed)``;
+        a trace *file* can change under the same path, so file-backed
+        specs only ever hit the in-memory memo.
+        """
+        return self.trace_name in TRACE_NAMES
+
+    def params(self) -> SystemParams:
+        """The paper's constants with this spec's timing overrides applied."""
+        overrides = {
+            name: getattr(self, name)
+            for name in TIMING_FIELDS
+            if getattr(self, name) is not None
+        }
+        return replace(PAPER_PARAMS, **overrides) if overrides else PAPER_PARAMS
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form; the input to :func:`spec_hash`."""
+        out: Dict[str, Any] = {"spec_schema": SPEC_SCHEMA}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+def spec_hash(spec: RunSpec) -> str:
+    """Stable content hash of a spec (hex SHA-256 of its canonical JSON).
+
+    Raises :class:`TypeError` when a policy/sim kwarg is not canonically
+    JSON-encodable.  This is deliberate: the old memo keys fell back to
+    ``str()`` for unknown objects, which silently collided distinct
+    configurations whose reprs matched; refusing to hash is the loud
+    alternative.
+    """
+    try:
+        payload = canonical_json(spec.as_dict())
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"run spec for {spec.label()} is not canonically hashable "
+            f"(policy_kwargs/sim_kwargs must be JSON values): {exc}"
+        ) from None
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------- traces
+
+#: Per-process trace cache: a scheduler batch (or a pool worker handed
+#: many specs of one workload) regenerates each distinct trace once, not
+#: once per run.  Bounded so long multi-configuration sessions cannot
+#: hold every workload ever generated.
+_TRACE_CACHE: "OrderedDict[Tuple[str, int, int], Trace]" = OrderedDict()
+_TRACE_CACHE_MAX = 8
+
+
+def resolve_trace(name: str, num_references: int, seed: int) -> Trace:
+    """Materialise a spec's workload (synthetic name or file path), cached."""
+    key = (str(name), num_references, seed)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        _TRACE_CACHE.move_to_end(key)
+        return cached
+    if name in TRACE_NAMES:
+        trace = make_trace(name, num_references=num_references, seed=seed)
+    else:
+        trace = trace_io.load(name)
+    _TRACE_CACHE[key] = trace
+    while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+        _TRACE_CACHE.popitem(last=False)
+    return trace
+
+
+# ---------------------------------------------------------------- execute
+
+
+def execute(spec: RunSpec) -> SimulationStats:
+    """Run one spec to completion (used directly and by pool workers).
+
+    The per-run wall time lands in ``stats.extra["wall_time_s"]`` and the
+    spec label in ``stats.extra["spec"]``; parity comparisons should
+    ignore the former (it is the one nondeterministic field).
+    """
+    start = time.perf_counter()
+    trace = resolve_trace(spec.trace_name, spec.num_references, spec.seed)
+    policy = make_policy(spec.policy_name, **spec.policy_kwargs)
+    # File-level policies need the workload's extent map; the synthetic
+    # file workloads publish it in their params.
+    from repro.policies.file_prefetch import FilePrefetchPolicy
+
+    if (
+        isinstance(policy, FilePrefetchPolicy)
+        and policy.extent_map is None
+        and trace.params.get("extents")
+    ):
+        policy.attach_extents(trace.params["extents"])
+    sim = Simulator(spec.params(), policy, spec.cache_size, **spec.sim_kwargs)
+    stats = sim.run(trace.as_list())
+    stats.extra["spec"] = spec.label()
+    stats.extra["wall_time_s"] = round(time.perf_counter() - start, 6)
+    return stats
+
+
+def run_batch(
+    specs: Sequence[RunSpec],
+    *,
+    max_workers: int = 1,
+    cache_dir: Optional[str] = None,
+) -> List[SimulationStats]:
+    """Execute all specs through a one-shot scheduler; results in input order.
+
+    Thin wrapper over :class:`Scheduler` for callers that do not need to
+    keep the memo between batches.
+    """
+    return Scheduler(max_workers=max_workers, cache_dir=cache_dir).run_all(
+        list(specs)
+    )
+
+
+# --------------------------------------------------------------- scheduling
 
 
 class SchedulerError(Exception):

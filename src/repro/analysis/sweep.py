@@ -7,7 +7,7 @@ point.  :class:`SweepResult` holds the grid of
 for rendering or assertion.
 
 Sweeps over *registered* policies and synthetic workloads should be
-declared as :class:`~repro.analysis.parallel.RunSpec` grids
+declared as :class:`~repro.analysis.scheduler.RunSpec` grids
 (:func:`spec_grid`) and submitted to the
 :class:`~repro.analysis.scheduler.Scheduler` — that is the single cached,
 parallel execution path.  The ``*_sweep`` functions below remain as the
@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.parallel import RunSpec
+from repro.analysis.scheduler import RunSpec
 from repro.params import SystemParams
 from repro.sim.engine import Simulator
 from repro.sim.stats import SimulationStats

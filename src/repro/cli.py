@@ -45,8 +45,12 @@ import zipfile
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.parallel import RunSpec, resolve_trace
-from repro.analysis.scheduler import Scheduler, SchedulerError
+from repro.analysis.scheduler import (
+    RunSpec,
+    Scheduler,
+    SchedulerError,
+    resolve_trace,
+)
 from repro.analysis.sweep import spec_grid
 from repro.analysis.tables import render_dict, render_series
 from repro.params import PAPER_PARAMS, SystemParams
@@ -424,6 +428,34 @@ def cmd_serve(args) -> int:
             except SnapshotError as exc:
                 raise CLIError(str(exc)) from None
             default_model = args.model
+    tenancy = None
+    memory_budget_bytes = None
+    if args.tenant_config is not None:
+        if store is None:
+            raise CLIError(
+                "--tenant-config needs --store DIR "
+                "(tenant base models live in the registry)"
+            )
+        from repro.tenancy.config import (
+            TenancyConfigError,
+            load_tenancy_config,
+        )
+        from repro.tenancy.manager import TenancyManager
+
+        try:
+            tenant_config = load_tenancy_config(args.tenant_config)
+        except TenancyConfigError as exc:
+            raise CLIError(str(exc)) from None
+        tenancy = TenancyManager(store, tenant_config)
+        memory_budget_bytes = tenant_config.memory_budget_bytes
+    if args.memory_budget_mb is not None:
+        # The flag wins over the config file's memory_budget_bytes.
+        memory_budget_bytes = args.memory_budget_mb * 1024 * 1024
+    if memory_budget_bytes is not None and args.checkpoint_dir is None:
+        raise CLIError(
+            "a memory budget needs --checkpoint-dir "
+            "(evicted sessions are checkpointed to disk)"
+        )
     service = PrefetchService(
         default_params=_params(args),
         limits=ServiceLimits(
@@ -436,6 +468,8 @@ def cmd_serve(args) -> int:
         default_model=default_model,
         checkpoint_dir=args.checkpoint_dir,
         identity=args.worker_id,
+        tenancy=tenancy,
+        memory_budget_bytes=memory_budget_bytes,
     )
     try:
         asyncio.run(serve_forever(
@@ -448,6 +482,13 @@ def cmd_serve(args) -> int:
         metrics.pop("command_latency", None)
         metrics.pop("outcomes", None)
         print(render_dict(metrics, title="service metrics at shutdown"))
+    # One greppable line mirroring the fleet summary's tenancy pair, on
+    # both the SIGTERM and the Ctrl-C shutdown paths.
+    print(
+        f"serve: sessions_evicted={service.metrics.sessions_evicted} "
+        f"tenants_rejected={service.metrics.tenants_rejected}",
+        flush=True,
+    )
     return 0
 
 
@@ -458,6 +499,8 @@ def cmd_fleet(args) -> int:
 
     if args.model is not None and args.store is None:
         raise CLIError("--model needs --store DIR")
+    if args.tenant_config is not None and args.store is None:
+        raise CLIError("--tenant-config needs --store DIR")
     if (args.checkpoint_dir is None) != (args.checkpoint_every_s is None):
         raise CLIError(
             "checkpointing needs both --checkpoint-dir and "
@@ -473,6 +516,8 @@ def cmd_fleet(args) -> int:
             checkpoint_every_s=args.checkpoint_every_s,
             store=args.store,
             model=args.model,
+            tenant_config=args.tenant_config,
+            memory_budget_mb=args.memory_budget_mb,
             max_sessions=args.max_sessions,
             vnodes=args.vnodes,
             probe_interval_s=args.probe_interval_s,
@@ -569,6 +614,9 @@ def cmd_replay(args) -> int:
             params=overrides or None,
             policy_kwargs=_policy_kwargs(args) or None,
             disjoint=args.disjoint,
+            tenant=args.tenant,
+            sessions_per_client=args.sessions_per_client,
+            tolerate_quota=args.tolerate_quota,
         )
     except ConnectionRefusedError:
         raise CLIError(
@@ -583,6 +631,10 @@ def cmd_replay(args) -> int:
     print(render_dict(flat, title=f"replay of {args.trace} "
                                   f"x{args.clients} clients"))
     print(render_dict(outcomes, title="reference outcomes"))
+    if args.tenant is not None:
+        # Greppable for the tenancy smoke, mirroring the serve/fleet pair.
+        print(f"replay: tenant={args.tenant} sessions={report.sessions} "
+              f"quota_rejected={report.quota_rejected}", flush=True)
     return 0
 
 
@@ -709,6 +761,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fleet identity (e.g. w2): reported by "
                               "server-level STATS and prefixed onto "
                               "generated session ids")
+    p_serve.add_argument("--tenant-config", default=None,
+                         dest="tenant_config",
+                         help="JSON tenancy config: shared base models and "
+                              "per-tenant quotas (needs --store)")
+    p_serve.add_argument("--memory-budget-mb", type=_positive_int,
+                         default=None, dest="memory_budget_mb",
+                         help="cap accounted model bytes; idle sessions "
+                              "are evicted to --checkpoint-dir (overrides "
+                              "the config file's memory_budget_bytes)")
     _add_param_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -734,6 +795,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--model", default=None,
                          help="default registry spec for every worker "
                               "(needs --store)")
+    p_fleet.add_argument("--tenant-config", default=None,
+                         dest="tenant_config",
+                         help="JSON tenancy config handed to every worker; "
+                              "the gateway admits against the same quotas "
+                              "fleet-wide (needs --store)")
+    p_fleet.add_argument("--memory-budget-mb", type=_positive_int,
+                         default=None, dest="memory_budget_mb",
+                         help="per-worker cap on accounted model bytes")
     p_fleet.add_argument("--max-sessions", type=int, default=1024,
                          dest="max_sessions",
                          help="per-worker live-session ceiling")
@@ -757,6 +826,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-session cache size in blocks")
     p_replay.add_argument("--disjoint", action="store_true",
                           help="give each client a private block-id range")
+    p_replay.add_argument("--tenant", default=None,
+                          help="open every session under this tenant "
+                               "(server must run with --tenant-config)")
+    p_replay.add_argument("--sessions-per-client", type=_positive_int,
+                          default=1, dest="sessions_per_client",
+                          help="sessions each client opens back to back "
+                               "(session-churn load)")
+    p_replay.add_argument("--tolerate-quota", action="store_true",
+                          dest="tolerate_quota",
+                          help="count quota_exceeded rejections instead "
+                               "of failing the replay")
     p_replay.set_defaults(func=cmd_replay)
 
     p_chaos = sub.add_parser(

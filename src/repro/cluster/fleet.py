@@ -7,10 +7,14 @@ SIGTERM fan-out to the workers so each checkpoints its live sessions to
 the shared ``--checkpoint-dir`` — and print one greppable summary line::
 
     fleet: workers=3 workers_restarted=1 sessions_opened=12 \
-sessions_closed=12 failovers_resumed=4 failovers_degraded=0 sessions_lost=0
+sessions_closed=12 failovers_resumed=4 failovers_degraded=0 \
+sessions_lost=0 sessions_evicted=7 tenants_rejected=0
 
 CI's smoke job greps that line for ``sessions_lost=0`` and
-``workers_restarted=1`` after SIGKILLing a worker mid-replay.
+``workers_restarted=1`` after SIGKILLing a worker mid-replay; the
+tenancy smoke greps ``tenants_rejected`` and ``sessions_evicted``
+(fleet-wide totals: worker evictions plus gateway + worker quota
+rejections).
 """
 
 from __future__ import annotations
@@ -26,12 +30,23 @@ from repro.service import protocol
 
 
 def _fleet_summary(
-    gateway: AdvisoryGateway, supervisor: WorkerSupervisor
+    gateway: AdvisoryGateway,
+    supervisor: WorkerSupervisor,
+    *,
+    sessions_evicted: int = 0,
+    worker_tenants_rejected: int = 0,
 ) -> str:
+    stats = gateway.stats
     return (
         f"fleet: workers={len(supervisor.workers)} "
         f"workers_restarted={supervisor.workers_restarted} "
-        f"{gateway.summary()}"
+        f"sessions_opened={stats.sessions_opened} "
+        f"sessions_closed={stats.sessions_closed} "
+        f"failovers_resumed={stats.failovers_resumed} "
+        f"failovers_degraded={stats.failovers_degraded} "
+        f"sessions_lost={stats.sessions_lost} "
+        f"sessions_evicted={sessions_evicted} "
+        f"tenants_rejected={stats.tenants_rejected + worker_tenants_rejected}"
     )
 
 
@@ -44,6 +59,8 @@ async def serve_fleet(
     checkpoint_every_s: Optional[float] = None,
     store: Optional[str] = None,
     model: Optional[str] = None,
+    tenant_config: Optional[str] = None,
+    memory_budget_mb: Optional[int] = None,
     max_sessions: int = 1024,
     vnodes: int = DEFAULT_VNODES,
     probe_interval_s: float = 1.0,
@@ -55,6 +72,13 @@ async def serve_fleet(
         if ready_message:
             print(message, flush=True)
 
+    quotas = None
+    if tenant_config is not None:
+        # Parse once up front: the gateway admits against the same config
+        # the workers load from the file path.
+        from repro.tenancy.config import load_tenancy_config
+
+        quotas = load_tenancy_config(tenant_config)
     supervisor = WorkerSupervisor(
         workers,
         host=host,
@@ -62,6 +86,8 @@ async def serve_fleet(
         checkpoint_every_s=checkpoint_every_s,
         store=store,
         model=model,
+        tenant_config=tenant_config,
+        memory_budget_mb=memory_budget_mb,
         max_sessions=max_sessions,
         probe_interval_s=probe_interval_s,
         echo=_say if ready_message else None,
@@ -71,6 +97,7 @@ async def serve_fleet(
         supervisor,
         vnodes=vnodes,
         on_route=lambda sid, wid: _say(f"fleet: session {sid} on {wid}"),
+        tenant_config=quotas,
     )
     try:
         await gateway.start(host, port)
@@ -93,6 +120,20 @@ async def serve_fleet(
             for signum in installed:
                 loop.remove_signal_handler(signum)
     finally:
+        # Collect worker counters (evictions, worker-side rejections) for
+        # the summary while the workers are still up.
+        sessions_evicted = 0
+        worker_tenants_rejected = 0
+        try:
+            totals, _ = await gateway.fleet_metrics()
+            sessions_evicted = totals.sessions_evicted
+            worker_tenants_rejected = totals.tenants_rejected
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
         await gateway.aclose()
         await supervisor.stop()
-        _say(_fleet_summary(gateway, supervisor))
+        _say(_fleet_summary(
+            gateway, supervisor,
+            sessions_evicted=sessions_evicted,
+            worker_tenants_rejected=worker_tenants_rejected,
+        ))

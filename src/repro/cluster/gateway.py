@@ -37,9 +37,13 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tenancy.config import TenancyConfig
 
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.worker import WorkerDirectory
@@ -79,6 +83,7 @@ class GatewayStats:
     failovers_resumed: int = 0
     failovers_degraded: int = 0
     sessions_lost: int = 0
+    tenants_rejected: int = 0
     errors: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
@@ -93,6 +98,7 @@ class GatewayStats:
             "failovers_resumed": self.failovers_resumed,
             "failovers_degraded": self.failovers_degraded,
             "sessions_lost": self.sessions_lost,
+            "tenants_rejected": self.tenants_rejected,
             "errors": self.errors,
         }
 
@@ -237,7 +243,7 @@ class _GatewaySession:
     __slots__ = (
         "sid", "worker_id", "open_request", "policy_name", "cache_size",
         "journal", "journal_offset", "degraded", "orphaned", "closed",
-        "lock",
+        "lock", "tenant",
     )
 
     def __init__(
@@ -254,6 +260,7 @@ class _GatewaySession:
         self.open_request = open_request
         self.policy_name = policy_name
         self.cache_size = cache_size
+        self.tenant = open_request.tenant
         #: ``journal[i]`` is the block folded at seq ``journal_offset+i``.
         #: ``journal_offset`` is the session period when the gateway
         #: first saw it (0 unless resumed from an earlier life).
@@ -292,10 +299,22 @@ class AdvisoryGateway:
         max_line_bytes: int = protocol.MAX_LINE_BYTES,
         max_orphaned: int = 64,
         on_route=None,
+        tenant_config: Optional["TenancyConfig"] = None,
+        tenant_poll_interval_s: float = 5.0,
     ) -> None:
         self.directory = directory
         self.ring = HashRing(directory.endpoints(), vnodes=vnodes)
         self.stats = GatewayStats()
+        self.tenant_config = tenant_config
+        """Fleet-wide tenant quotas; the same config's per-tenant limits are
+        also enforced per worker, but the gateway sees the whole fleet and
+        rejects before placement (see :meth:`_admit_tenant`)."""
+        self.tenant_poll_interval_s = tenant_poll_interval_s
+        #: TTL cache of summed per-tenant model-byte gauges from worker
+        #: STATS, so byte quotas don't cost a fleet poll per OPEN.
+        self._tenant_bytes_cache: Tuple[float, Dict[str, int]] = (
+            float("-inf"), {},
+        )
         self.request_timeout_s = request_timeout_s
         self.idle_timeout_s = idle_timeout_s
         self.max_line_bytes = max_line_bytes
@@ -558,9 +577,82 @@ class AdvisoryGateway:
 
     # ------------------------------------------------------------- handlers
 
+    async def _admit_tenant(
+        self, request: OpenRequest
+    ) -> Optional[ErrorReply]:
+        """Fleet-wide tenant admission; ``None`` means admitted.
+
+        Session quotas count this gateway's live sessions per tenant;
+        byte quotas sum the per-tenant model-byte gauges from worker
+        STATS (TTL-cached, see :meth:`_tenant_bytes`).  Workers enforce
+        the same limits per worker, so a client talking straight to a
+        worker is still bounded — the gateway check is the one that sees
+        the whole fleet.
+        """
+        spec = self.tenant_config.spec(request.tenant)
+        if spec is None:
+            known = ", ".join(sorted(self.tenant_config.tenants)) or "(none)"
+            return ErrorReply(
+                request.id, protocol.E_BAD_REQUEST,
+                f"unknown tenant {request.tenant!r} (configured: {known})",
+            )
+        if spec.max_sessions is not None:
+            live = sum(
+                1 for s in self.sessions.values()
+                if s.tenant == request.tenant and not s.closed
+            )
+            if live >= spec.max_sessions:
+                self.stats.tenants_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_QUOTA,
+                    f"tenant {request.tenant!r}: fleet session quota "
+                    f"reached ({spec.max_sessions})",
+                    retry_after_s=spec.retry_after_s,
+                )
+        if spec.max_model_bytes is not None:
+            used = (await self._tenant_bytes()).get(request.tenant, 0)
+            if used >= spec.max_model_bytes:
+                self.stats.tenants_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_QUOTA,
+                    f"tenant {request.tenant!r}: model-byte quota reached "
+                    f"({used} >= {spec.max_model_bytes})",
+                    retry_after_s=spec.retry_after_s,
+                )
+        return None
+
+    async def _tenant_bytes(self) -> Dict[str, int]:
+        """Fleet-summed per-tenant model bytes, ``tenant_poll_interval_s``
+        stale at worst — quota enforcement tolerates that lag in exchange
+        for not polling every worker on every OPEN."""
+        now = time.monotonic()
+        stamp, cached = self._tenant_bytes_cache
+        if now - stamp < self.tenant_poll_interval_s:
+            return cached
+        totals: Dict[str, int] = {}
+        for worker_id in sorted(self.directory.endpoints()):
+            try:
+                reply = await self._rpc(
+                    self._link(worker_id), StatsRequest(id=0, session=None)
+                )
+            except (ConnectionError, OSError):
+                continue
+            if not isinstance(reply, StatsReply):
+                continue
+            for name, gauge in dict(reply.stats.get("tenants") or {}).items():
+                totals[name] = (
+                    totals.get(name, 0) + int(gauge.get("model_bytes", 0))
+                )
+        self._tenant_bytes_cache = (now, totals)
+        return totals
+
     async def _handle_open(
         self, request: OpenRequest, owned: Set[str]
     ) -> Tuple[Optional[bytes], Reply]:
+        if request.tenant is not None and self.tenant_config is not None:
+            rejection = await self._admit_tenant(request)
+            if rejection is not None:
+                return None, rejection
         if request.resume is not None:
             return await self._handle_resume(request, owned)
         if request.session_id is not None:
@@ -709,8 +801,15 @@ class AdvisoryGateway:
                 raw = None
             return raw, reply
 
-    async def _fleet_stats(self, request: StatsRequest) -> Reply:
-        """Aggregate every worker's metrics into fleet totals."""
+    async def fleet_metrics(
+        self,
+    ) -> Tuple[ServiceMetrics, Dict[str, Any]]:
+        """Merge every worker's metrics: ``(fleet totals, per-worker)``.
+
+        Unreachable workers appear with ``None`` in the per-worker map.
+        Public so the fleet runner can fold worker counters (evictions,
+        tenant rejections) into its shutdown summary.
+        """
         fleet = ServiceMetrics()
         per_worker: Dict[str, Any] = {}
         for worker_id in sorted(self.directory.endpoints()):
@@ -728,6 +827,11 @@ class AdvisoryGateway:
             state = reply.stats.get("metrics_state")
             if state:
                 fleet.merge(ServiceMetrics.from_state(state))
+        return fleet, per_worker
+
+    async def _fleet_stats(self, request: StatsRequest) -> Reply:
+        """Aggregate every worker's metrics into fleet totals."""
+        fleet, per_worker = await self.fleet_metrics()
         return StatsReply(
             id=request.id, session="",
             stats={
@@ -903,5 +1007,6 @@ class AdvisoryGateway:
             f"sessions_closed={stats.sessions_closed} "
             f"failovers_resumed={stats.failovers_resumed} "
             f"failovers_degraded={stats.failovers_degraded} "
-            f"sessions_lost={stats.sessions_lost}"
+            f"sessions_lost={stats.sessions_lost} "
+            f"tenants_rejected={stats.tenants_rejected}"
         )

@@ -118,6 +118,8 @@ class WorkerSupervisor(WorkerDirectory):
         checkpoint_every_s: Optional[float] = None,
         store: Optional[str] = None,
         model: Optional[str] = None,
+        tenant_config: Optional[str] = None,
+        memory_budget_mb: Optional[int] = None,
         max_sessions: int = 1024,
         probe_interval_s: float = 1.0,
         probe_timeout_s: float = 5.0,
@@ -135,6 +137,8 @@ class WorkerSupervisor(WorkerDirectory):
         self.checkpoint_every_s = checkpoint_every_s
         self.store = store
         self.model = model
+        self.tenant_config = tenant_config
+        self.memory_budget_mb = memory_budget_mb
         self.max_sessions = max_sessions
         self.probe_interval_s = probe_interval_s
         self.probe_timeout_s = probe_timeout_s
@@ -179,6 +183,10 @@ class WorkerSupervisor(WorkerDirectory):
             argv += ["--store", self.store]
         if self.model is not None:
             argv += ["--model", self.model]
+        if self.tenant_config is not None:
+            argv += ["--tenant-config", self.tenant_config]
+        if self.memory_budget_mb is not None:
+            argv += ["--memory-budget-mb", str(self.memory_budget_mb)]
         return argv
 
     async def _spawn(self, worker: _Worker) -> None:

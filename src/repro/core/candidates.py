@@ -87,7 +87,7 @@ def iter_candidates(
         raise ValueError(f"min_probability must be > 0, got {min_probability!r}")
 
     origin = tree.current if start is None else start
-    if origin.weight <= 0 or not origin.children:
+    if origin.weight <= 0 or not origin.has_children():
         return
 
     counter = itertools.count()  # tie-breaker: FIFO among equal probabilities
@@ -108,7 +108,7 @@ def iter_candidates(
             parent_probability=parent_prob,
             parent_block=parent_block,
         )
-        if depth < max_depth and node.children and node.weight > 0:
+        if depth < max_depth and node.weight > 0 and node.has_children():
             for block, child in tree.iter_relevant_children(node):
                 cp = p * (child.weight / node.weight)
                 if cp >= min_probability:

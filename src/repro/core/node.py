@@ -35,6 +35,7 @@ class TreeNode:
         "lru_next",
         "heavy",
         "heavy_rebuild_at",
+        "base",
     )
 
     def __init__(self, block: Optional[int], parent: Optional["TreeNode"]) -> None:
@@ -49,6 +50,9 @@ class TreeNode:
         # PrefetchTree.iter_relevant_children.  None = scan children directly.
         self.heavy: Optional[Dict[int, "TreeNode"]] = None
         self.heavy_rebuild_at: int = 0
+        # Multi-tenant overlays (repro.tenancy.overlay): the read-only base
+        # node this node shadows, or None for private/base/overlay-new nodes.
+        self.base: Optional["TreeNode"] = None
 
     @property
     def is_root(self) -> bool:
@@ -56,14 +60,29 @@ class TreeNode:
 
     @property
     def is_leaf(self) -> bool:
-        return not self.children
+        return not self.has_children()
+
+    def has_children(self) -> bool:
+        """True when the node has outgoing edges, base edges included.
+
+        Overlay nodes (``base`` set) own only the copy-on-write children
+        they have materialised; the unmodified rest live on the shadowed
+        base node, so emptiness checks must consult both maps.
+        """
+        if self.children:
+            return True
+        return self.base is not None and bool(self.base.children)
 
     def child_probability(self, block: int) -> float:
         """Probability that ``block`` is accessed next from this node.
 
         ``weight(child) / weight(self)`` per Section 2; 0.0 if no such edge.
+        Falls through to the shadowed base node for children an overlay has
+        not materialised.
         """
         child = self.children.get(block)
+        if child is None and self.base is not None:
+            child = self.base.children.get(block)
         if child is None:
             return 0.0
         return child.weight / self.weight

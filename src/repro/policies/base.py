@@ -93,6 +93,18 @@ class Policy(abc.ABC):
         m = self.model()
         return m.memory_items() if m is not None else 0
 
+    def replace_model(self, model) -> None:
+        """Swap in a different model object before state is restored.
+
+        Used by the tenancy layer to rebind a session to a shared-base
+        overlay on resume.  The replacement must be behaviourally
+        compatible with what :meth:`model` returns; policies without a
+        swappable model refuse.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} does not support model replacement"
+        )
+
     def aux_state(self) -> dict:
         """Policy-local mutable state beyond the model, JSON-able.
 
@@ -165,6 +177,15 @@ class TreeBackedPolicy(Policy):
 
     def model(self):
         return self.tree
+
+    def replace_model(self, model) -> None:
+        """Adopt ``model`` (a tree or overlay) as this policy's tree."""
+        if not isinstance(model, PrefetchTree):
+            raise TypeError(
+                f"tree-backed policies require a PrefetchTree, "
+                f"got {type(model).__name__}"
+            )
+        self.tree = model
 
     def snapshot_extra(self, stats: SimulationStats) -> None:
         stats.extra["tree_nodes"] = self.tree.node_count

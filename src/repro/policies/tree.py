@@ -76,7 +76,7 @@ class TreePolicy(TreeBackedPolicy):
         """Fast path: only the current node's children can be profitable."""
         cur = self.tree.current
         weight = cur.weight
-        if weight <= 0 or not cur.children:
+        if weight <= 0 or not cur.has_children():
             return []
         params = ctx.params
         s = ctx.s

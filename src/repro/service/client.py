@@ -141,20 +141,24 @@ class AsyncServiceClient:
         policy_kwargs: Optional[Dict[str, Any]] = None,
         model: Optional[str] = None,
         resume: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> OpenReply:
         """Create (or resume) a session; returns the full OPEN reply.
 
         ``model`` names a registry snapshot (``NAME`` or ``NAME@VERSION``)
         to start the session from; ``resume`` names a previous session id
         to re-open from the server's detached table or checkpoint
-        directory.  The reply carries ``period`` (how many observations the
-        session already holds), ``resumed``, and ``degraded``.
+        directory.  ``tenant`` opens the session under a configured tenant
+        (shared base model, per-tenant quotas); quota rejections surface
+        as :class:`ServiceError` with code ``quota_exceeded``.  The reply
+        carries ``period`` (how many observations the session already
+        holds), ``resumed``, and ``degraded``.
         """
         return await self._rpc(
             OpenRequest(
                 id=self._take_id(), policy=policy, cache_size=cache_size,
                 params=params, policy_kwargs=dict(policy_kwargs or {}),
-                model=model, resume=resume,
+                model=model, resume=resume, tenant=tenant,
             ),
             OpenReply,
         )
@@ -270,12 +274,13 @@ class ServiceClient:
         params: Optional[Dict[str, float]] = None,
         policy_kwargs: Optional[Dict[str, Any]] = None,
         model: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> str:
         reply = self._rpc(
             OpenRequest(
                 id=self._take_id(), policy=policy, cache_size=cache_size,
                 params=params, policy_kwargs=dict(policy_kwargs or {}),
-                model=model,
+                model=model, tenant=tenant,
             ),
             OpenReply,
         )
@@ -452,8 +457,15 @@ class ResilientAsyncClient:
         reply: Optional[OpenReply] = None
         if self._session_id is not None and not self._force_cold:
             try:
+                # Carry the tenant on the resume so a fresh worker (whose
+                # evicted-session table is empty) can rebind the restored
+                # session to its shared base and quota accounting.
                 reply = await asyncio.wait_for(
-                    client.open_session(resume=self._session_id), timeout
+                    client.open_session(
+                        resume=self._session_id,
+                        tenant=(self._open_kwargs or {}).get("tenant"),
+                    ),
+                    timeout,
                 )
                 self.resumes += 1
             except ServiceError:

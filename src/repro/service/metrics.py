@@ -142,6 +142,9 @@ _COUNTER_FIELDS = (
     "sessions_detached",
     "sessions_resumed",
     "duplicates_served",
+    "sessions_evicted",
+    "sessions_resurrected",
+    "tenants_rejected",
 )
 
 
@@ -166,6 +169,9 @@ class ServiceMetrics:
             "demand_hit": 0, "prefetch_hit": 0, "miss": 0,
         }
         self.command_latency: Dict[str, LatencyHistogram] = {}
+        #: Per-tenant counter maps (tenant -> counter name -> int); summed
+        #: across workers on merge like the top-level counters.
+        self.per_tenant: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------- feeding
 
@@ -184,6 +190,13 @@ class ServiceMetrics:
         self.prefetches_recommended += prefetches
         if outcome in self.outcomes:
             self.outcomes[outcome] += 1
+
+    def record_tenant(self, tenant: str, counter: str, amount: int = 1) -> None:
+        """Bump one per-tenant counter (e.g. ``sessions_opened``)."""
+        counters = self.per_tenant.get(tenant)
+        if counters is None:
+            counters = self.per_tenant[tenant] = {}
+        counters[counter] = counters.get(counter, 0) + amount
 
     # --------------------------------------------------------- aggregation
 
@@ -205,6 +218,10 @@ class ServiceMetrics:
             if mine is None:
                 mine = self.command_latency[command] = LatencyHistogram()
             mine.merge(histogram)
+        for tenant, counters in other.per_tenant.items():
+            mine_t = self.per_tenant.setdefault(tenant, {})
+            for counter, amount in counters.items():
+                mine_t[counter] = mine_t.get(counter, 0) + amount
         return self
 
     def to_state(self) -> Dict[str, Any]:
@@ -217,6 +234,10 @@ class ServiceMetrics:
             "command_latency": {
                 command: histogram.to_state()
                 for command, histogram in sorted(self.command_latency.items())
+            },
+            "per_tenant": {
+                tenant: dict(counters)
+                for tenant, counters in sorted(self.per_tenant.items())
             },
         }
 
@@ -235,6 +256,11 @@ class ServiceMetrics:
             metrics.command_latency[str(command)] = (
                 LatencyHistogram.from_state(hist_state)
             )
+        for tenant, counters in dict(state.get("per_tenant", {})).items():
+            metrics.per_tenant[str(tenant)] = {
+                str(counter): int(amount)
+                for counter, amount in dict(counters).items()
+            }
         return metrics
 
     # ------------------------------------------------------------- reading
@@ -269,6 +295,13 @@ class ServiceMetrics:
             "sessions_detached": self.sessions_detached,
             "sessions_resumed": self.sessions_resumed,
             "duplicates_served": self.duplicates_served,
+            "sessions_evicted": self.sessions_evicted,
+            "sessions_resurrected": self.sessions_resurrected,
+            "tenants_rejected": self.tenants_rejected,
+            "per_tenant": {
+                tenant: dict(counters)
+                for tenant, counters in sorted(self.per_tenant.items())
+            },
             "outcomes": dict(self.outcomes),
             "advice_accuracy": (
                 None if accuracy is None else round(accuracy, 4)

@@ -46,6 +46,22 @@ and stay within v3:
   :meth:`~repro.service.metrics.ServiceMetrics.to_state` — which is both
   the supervisor's liveness probe and the gateway's fleet-aggregation
   feed.
+
+The multi-tenant layer (:mod:`repro.tenancy`) adds two more additive
+fields, still within v3:
+
+* ``tenant`` on OPEN names the tenant whose shared base model (and
+  quotas) the session runs under::
+
+      {"v": 3, "cmd": "open", "id": 1, "policy": "tree",
+       "cache_size": 1024, "tenant": "acme"}
+
+  Requires the server to be running with a tenant config; an unknown
+  tenant is ``bad_request``, and a quota breach is rejected with the
+  ``quota_exceeded`` error code.
+* ``retry_after_s`` on error replies (quota rejections set it from the
+  tenant's configured backoff hint) tells well-behaved clients when to
+  try again; absent on all other errors.
 """
 
 from __future__ import annotations
@@ -84,6 +100,7 @@ E_UNKNOWN_SESSION = "unknown_session"
 E_SESSION_ERROR = "session_error"
 E_LIMIT = "limit_exceeded"
 E_SEQ = "seq_mismatch"
+E_QUOTA = "quota_exceeded"
 
 
 class ProtocolError(Exception):
@@ -118,6 +135,9 @@ class OpenRequest:
     gateway pins a session's identity — ring placement, checkpoint file,
     client-visible id — to one string across workers.  Must satisfy
     :func:`is_safe_id`; collisions with a live session are rejected."""
+    tenant: Optional[str] = None
+    """Tenant whose shared base model and quotas this session runs under
+    (v3, additive); requires a server-side tenant config."""
 
     cmd = "open"
 
@@ -136,6 +156,8 @@ class OpenRequest:
             out["resume"] = self.resume
         if self.session_id is not None:
             out["session_id"] = self.session_id
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
         return out
 
     @classmethod
@@ -143,6 +165,7 @@ class OpenRequest:
         model = payload.get("model")
         resume = payload.get("resume")
         session_id = payload.get("session_id")
+        tenant = payload.get("tenant")
         return cls(
             id=id,
             policy=str(payload.get("policy", "tree")),
@@ -152,6 +175,7 @@ class OpenRequest:
             model=str(model) if model is not None else None,
             resume=str(resume) if resume is not None else None,
             session_id=str(session_id) if session_id is not None else None,
+            tenant=str(tenant) if tenant is not None else None,
         )
 
 
@@ -373,17 +397,26 @@ class ErrorReply:
     id: int
     error: str
     message: str
+    retry_after_s: Optional[float] = None
+    """Backoff hint for retryable rejections (quota breaches); ``None``
+    otherwise (v3, additive)."""
 
     cmd = "error"
     ok = False
 
     def payload(self) -> Dict[str, Any]:
-        return {"error": self.error, "message": self.message}
+        out: Dict[str, Any] = {"error": self.error, "message": self.message}
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = self.retry_after_s
+        return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "ErrorReply":
+        retry_after = payload.get("retry_after_s")
         return cls(id=id, error=str(payload["error"]),
-                   message=str(payload["message"]))
+                   message=str(payload["message"]),
+                   retry_after_s=(float(retry_after)
+                                  if retry_after is not None else None))
 
 
 Reply = Union[HelloReply, OpenReply, ObserveReply, StatsReply, CloseReply,

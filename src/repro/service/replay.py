@@ -20,10 +20,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.service import protocol
 from repro.service.client import (
     AsyncServiceClient,
     ResilientAsyncClient,
     RetryPolicy,
+    ServiceError,
 )
 from repro.service.metrics import percentiles_from_samples
 
@@ -46,6 +48,10 @@ class ReplayReport:
     resumes: int = 0
     cold_restarts: int = 0
     degraded_clients: int = 0
+    # tenancy telemetry; sessions counts successful opens across all
+    # clients, quota_rejected the OPENs the server refused with E_QUOTA
+    sessions: int = 0
+    quota_rejected: int = 0
 
     @property
     def advice_per_second(self) -> float:
@@ -73,6 +79,8 @@ class ReplayReport:
             "resumes": self.resumes,
             "cold_restarts": self.cold_restarts,
             "degraded_clients": self.degraded_clients,
+            "sessions": self.sessions,
+            "quota_rejected": self.quota_rejected,
         }
 
 
@@ -86,6 +94,8 @@ class _ClientResult:
     resumes: int = 0
     cold_restarts: int = 0
     degraded: bool = False
+    sessions: int = 0
+    quota_rejected: int = 0
 
 
 async def _replay_one(
@@ -99,54 +109,71 @@ async def _replay_one(
     policy_kwargs: Optional[Dict[str, Any]],
     offset: int,
     retry: Optional[RetryPolicy] = None,
+    tenant: Optional[str] = None,
+    sessions: int = 1,
+    tolerate_quota: bool = False,
 ) -> _ClientResult:
-    samples: List[float] = []
-    outcomes = {"demand_hit": 0, "prefetch_hit": 0, "miss": 0}
-    prefetches = 0
-    if retry is not None:
-        # Resilient path: the client journals every reference and
-        # transparently reconnects/resumes across injected faults, so the
-        # advice stream is identical to the fault-free run.
-        async with ResilientAsyncClient(host, port, retry=retry) as client:
-            await client.open(
-                policy=policy, cache_size=cache_size, params=params,
-                policy_kwargs=policy_kwargs,
-            )
-            for block in blocks:
-                started = time.perf_counter()
-                advice = await client.observe(int(block) + offset)
-                samples.append(time.perf_counter() - started)
-                outcomes[advice.outcome] += 1
-                prefetches += len(advice.prefetch)
-            final = await client.close_session()
-            return _ClientResult(
-                samples=samples,
-                outcomes=outcomes,
-                prefetches=prefetches,
-                miss_rate=float(final.get("miss_rate", 0.0)),
-                retries=client.retries,
-                resumes=client.resumes,
-                cold_restarts=client.cold_restarts,
-                degraded=client.degraded,
-            )
-    async with await AsyncServiceClient.connect(host, port) as client:
-        session = await client.open(
-            policy=policy, cache_size=cache_size, params=params,
-            policy_kwargs=policy_kwargs,
-        )
-        for block in blocks:
-            started = time.perf_counter()
-            advice = await client.observe(session, int(block) + offset)
-            samples.append(time.perf_counter() - started)
-            outcomes[advice.outcome] += 1
-            prefetches += len(advice.prefetch)
-        final = await client.close_session(session)
-    return _ClientResult(
-        samples=samples,
-        outcomes=outcomes,
-        prefetches=prefetches,
-        miss_rate=float(final.get("miss_rate", 0.0)),
+    result = _ClientResult(
+        samples=[],
+        outcomes={"demand_hit": 0, "prefetch_hit": 0, "miss": 0},
+        prefetches=0,
+        miss_rate=0.0,
     )
+
+    async def _one_session() -> None:
+        if retry is not None:
+            # Resilient path: the client journals every reference and
+            # transparently reconnects/resumes across injected faults, so
+            # the advice stream is identical to the fault-free run.
+            async with ResilientAsyncClient(
+                host, port, retry=retry
+            ) as client:
+                await client.open(
+                    policy=policy, cache_size=cache_size, params=params,
+                    policy_kwargs=policy_kwargs, tenant=tenant,
+                )
+                for block in blocks:
+                    started = time.perf_counter()
+                    advice = await client.observe(int(block) + offset)
+                    result.samples.append(time.perf_counter() - started)
+                    result.outcomes[advice.outcome] += 1
+                    result.prefetches += len(advice.prefetch)
+                final = await client.close_session()
+                result.retries += client.retries
+                result.resumes += client.resumes
+                result.cold_restarts += client.cold_restarts
+                result.degraded = result.degraded or client.degraded
+        else:
+            async with await AsyncServiceClient.connect(
+                host, port
+            ) as client:
+                session = await client.open(
+                    policy=policy, cache_size=cache_size, params=params,
+                    policy_kwargs=policy_kwargs, tenant=tenant,
+                )
+                for block in blocks:
+                    started = time.perf_counter()
+                    advice = await client.observe(
+                        session, int(block) + offset
+                    )
+                    result.samples.append(time.perf_counter() - started)
+                    result.outcomes[advice.outcome] += 1
+                    result.prefetches += len(advice.prefetch)
+                final = await client.close_session(session)
+        result.sessions += 1
+        result.miss_rate = float(final.get("miss_rate", 0.0))
+
+    for _ in range(sessions):
+        try:
+            await _one_session()
+        except ServiceError as exc:
+            # Over-quota tenants are expected to be refused at OPEN; the
+            # smoke harness replays past them and counts the rejections.
+            if tolerate_quota and exc.code == protocol.E_QUOTA:
+                result.quota_rejected += 1
+                continue
+            raise
+    return result
 
 
 async def replay_async(
@@ -161,6 +188,9 @@ async def replay_async(
     policy_kwargs: Optional[Dict[str, Any]] = None,
     disjoint: bool = False,
     retry: Optional[RetryPolicy] = None,
+    tenant: Optional[str] = None,
+    sessions_per_client: int = 1,
+    tolerate_quota: bool = False,
 ) -> ReplayReport:
     """Replay ``blocks`` from ``clients`` concurrent sessions.
 
@@ -168,9 +198,19 @@ async def replay_async(
     :class:`~repro.service.client.ResilientAsyncClient`, so the replay
     survives connection resets, timeouts, and server restarts (given a
     checkpoint directory) — the chaos-testing configuration.
+
+    ``tenant`` opens every session under that tenant;
+    ``sessions_per_client`` makes each client open/replay/close that many
+    sessions back to back (session-churn load for the tenancy smoke);
+    ``tolerate_quota`` turns server-side ``quota_exceeded`` rejections
+    into a counted outcome instead of a failure.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients!r}")
+    if sessions_per_client < 1:
+        raise ValueError(
+            f"sessions_per_client must be >= 1, got {sessions_per_client!r}"
+        )
     if not blocks:
         raise ValueError("cannot replay an empty trace")
     # Private id ranges per client when streams must not collide.
@@ -183,6 +223,9 @@ async def replay_async(
             policy_kwargs=policy_kwargs,
             offset=index * span,
             retry=retry,
+            tenant=tenant,
+            sessions=sessions_per_client,
+            tolerate_quota=tolerate_quota,
         )
         for index in range(clients)
     ))
@@ -210,6 +253,8 @@ async def replay_async(
         resumes=sum(result.resumes for result in results),
         cold_restarts=sum(result.cold_restarts for result in results),
         degraded_clients=sum(1 for result in results if result.degraded),
+        sessions=sum(result.sessions for result in results),
+        quota_rejected=sum(result.quota_rejected for result in results),
     )
 
 

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> session)
     from repro.store.codec import Snapshot
     from repro.store.registry import ModelStore
+    from repro.tenancy.manager import TenancyManager
 
 from repro.params import PAPER_PARAMS, SystemParams
 from repro.service import protocol
@@ -78,6 +79,11 @@ class ServiceLimits:
     without CLOSE, resumable via OPEN ``resume=<id>`` (LRU-evicted)."""
 
 
+#: How many OBSERVEs between memory-budget sweeps.  Accounting is O(live
+#: sessions), so amortise it instead of paying it per request.
+_BUDGET_CHECK_INTERVAL = 64
+
+
 class PrefetchService:
     """Session table + request dispatcher (transport-independent)."""
 
@@ -91,6 +97,8 @@ class PrefetchService:
         default_model: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
         identity: Optional[str] = None,
+        tenancy: Optional["TenancyManager"] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         self.default_params = (
             default_params if default_params is not None else PAPER_PARAMS
@@ -104,9 +112,24 @@ class PrefetchService:
         """Worker name in a fleet (e.g. ``w2``): reported by server-level
         STATS and prefixed onto generated session ids so checkpoints from
         different workers sharing one ``--checkpoint-dir`` cannot collide."""
-        self.sessions: Dict[str, PrefetchSession] = {}
+        self.tenancy = tenancy
+        """Tenant manager binding sessions to shared base models; None on
+        single-tenant servers (see :mod:`repro.tenancy`)."""
+        self.memory_budget_bytes = memory_budget_bytes
+        """Per-worker ceiling on accounted model bytes (shared bases plus
+        per-session private state, at the paper's bytes-per-node rate).
+        When exceeded, least-recently-observed sessions are evicted to the
+        checkpoint directory and transparently resurrected on their next
+        request.  Requires ``checkpoint_dir``; ``None`` disables eviction."""
+        #: Ordered least-recently-observed first: OBSERVE moves its session
+        #: to the end, so budget eviction pops from the front.
+        self.sessions: "OrderedDict[str, PrefetchSession]" = OrderedDict()
         self.detached: "OrderedDict[str, Snapshot]" = OrderedDict()
+        #: Sessions evicted to disk under memory pressure: id -> tenant (or
+        #: None), consulted for transparent resurrection.
+        self.evicted: Dict[str, Optional[str]] = {}
         self._session_ids = itertools.count(1)
+        self._observes_since_budget_check = 0
         self._writers: Set[asyncio.StreamWriter] = set()
 
     # ----------------------------------------------------------- dispatch
@@ -161,6 +184,40 @@ class PrefetchService:
                     request.id, protocol.E_SESSION_ERROR,
                     f"session {request.session_id!r} already exists",
                 )
+        tenant_spec = None
+        if request.tenant is not None:
+            if self.tenancy is None:
+                self.metrics.sessions_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_BAD_REQUEST,
+                    "server has no tenant config "
+                    "(start serve with --tenant-config)",
+                )
+            if request.model is not None:
+                self.metrics.sessions_rejected += 1
+                return ErrorReply(
+                    request.id, protocol.E_BAD_REQUEST,
+                    "'tenant' and 'model' are mutually exclusive "
+                    "(the tenant names its base model)",
+                )
+            from repro.tenancy.manager import (
+                TenantQuotaError,
+                UnknownTenantError,
+            )
+
+            try:
+                tenant_spec = self.tenancy.admit(request.tenant)
+            except UnknownTenantError as exc:
+                self.metrics.sessions_rejected += 1
+                return ErrorReply(request.id, protocol.E_BAD_REQUEST, str(exc))
+            except TenantQuotaError as exc:
+                self.metrics.sessions_rejected += 1
+                self.metrics.tenants_rejected += 1
+                self.metrics.record_tenant(request.tenant, "sessions_rejected")
+                return ErrorReply(
+                    request.id, protocol.E_QUOTA, str(exc),
+                    retry_after_s=exc.retry_after_s,
+                )
         if request.resume is not None:
             return self._handle_resume(request, owned)
         try:
@@ -172,7 +229,9 @@ class PrefetchService:
             request.model if request.model is not None else self.default_model
         )
         try:
-            if model_spec is not None:
+            if tenant_spec is not None:
+                session = self._open_for_tenant(request, tenant_spec, params)
+            elif model_spec is not None:
                 session = self._open_from_model(model_spec, request, params)
             else:
                 session = PrefetchSession(
@@ -203,7 +262,10 @@ class PrefetchService:
         except SessionError as exc:
             self.metrics.sessions_rejected += 1
             return ErrorReply(request.id, protocol.E_SESSION_ERROR, str(exc))
-        return self._install_session(request, session, owned)
+        return self._install_session(
+            request, session, owned,
+            tenant=request.tenant if tenant_spec is not None else None,
+        )
 
     def _install_session(
         self,
@@ -212,6 +274,7 @@ class PrefetchService:
         owned: Set[str],
         *,
         resumed: bool = False,
+        tenant: Optional[str] = None,
     ) -> OpenReply:
         if request.session_id is not None:
             session_id = request.session_id
@@ -220,7 +283,12 @@ class PrefetchService:
             session_id = f"{prefix}s{next(self._session_ids)}"
         self.sessions[session_id] = session
         owned.add(session_id)
+        self.evicted.pop(session_id, None)
+        if tenant is not None and self.tenancy is not None:
+            self.tenancy.bind(session_id, tenant)
+            self.metrics.record_tenant(tenant, "sessions_opened")
         self.metrics.sessions_opened += 1
+        self.enforce_memory_budget(keep=session_id)
         return OpenReply(
             id=request.id,
             session=session_id,
@@ -273,14 +341,24 @@ class PrefetchService:
             session = restore_session(
                 snapshot,
                 max_observations=self.limits.max_observations_per_session,
+                model_factory=(
+                    self.tenancy.model_factory
+                    if self.tenancy is not None else None
+                ),
             )
         except SnapshotError as exc:
             return ErrorReply(
                 request.id, protocol.E_SESSION_ERROR,
                 f"cannot restore {resume_id!r}: {exc}",
             )
+        # A budget-evicted session keeps its tenant binding across the
+        # gap; the resume supersedes the eviction record even when the
+        # new session gets a fresh id.
+        tenant = request.tenant or self.evicted.pop(resume_id, None)
         self.metrics.sessions_resumed += 1
-        return self._install_session(request, session, owned, resumed=True)
+        return self._install_session(
+            request, session, owned, resumed=True, tenant=tenant
+        )
 
     def _open_from_model(
         self,
@@ -330,8 +408,187 @@ class PrefetchService:
             warm_start=snapshot,
         )
 
+    def _open_for_tenant(
+        self,
+        request: OpenRequest,
+        spec: Any,
+        params: SystemParams,
+    ) -> PrefetchSession:
+        """Build a tenant session sharing (copy-on-write) the tenant base.
+
+        The session is constructed cold on the effective policy, then its
+        model is swapped for a fresh overlay over the shared base — or a
+        private warm copy when the base cannot be shared.  A corrupt base
+        degrades the session (like a corrupt named model); a config-level
+        mismatch (non-tree base, no store) rejects the OPEN.
+        """
+        from repro.store.codec import SnapshotError
+        from repro.store.registry import ModelStoreError
+        from repro.tenancy.config import TenancyConfigError
+
+        policy_name = request.policy
+        if spec.policy is not None and policy_name == "tree":
+            # The protocol default; the tenant's configured policy wins.
+            policy_name = spec.policy
+        session = PrefetchSession(
+            policy=policy_name,
+            cache_size=request.cache_size,
+            params=params,
+            policy_kwargs=request.policy_kwargs,
+            max_observations=self.limits.max_observations_per_session,
+        )
+        try:
+            model = self.tenancy.make_model(spec.name)
+        except (TenancyConfigError, ModelStoreError) as exc:
+            raise SessionError(f"tenant {spec.name!r}: {exc}") from None
+        except SnapshotError as exc:
+            raise ModelRestoreError(f"tenant {spec.name!r}: {exc}") from None
+        try:
+            session.simulator.policy.replace_model(model)
+        except (NotImplementedError, TypeError) as exc:
+            raise SessionError(
+                f"tenant {spec.name!r} requires a tree-backed policy; "
+                f"{exc}"
+            ) from None
+        return session
+
+    # ------------------------------------------------------ memory budget
+
+    def _session_model_bytes(self, session: PrefetchSession) -> int:
+        """One session's *private* model bytes at the paper's per-node rate.
+
+        Overlay models are charged only their copy-on-write delta; the
+        shared base is charged once per tenant in
+        :meth:`accounted_model_bytes`.
+        """
+        from repro.core.tree import PAPER_NODE_BYTES
+
+        model = session.simulator.policy.model()
+        if model is None:
+            return 0
+        items = (
+            model.delta_items() if hasattr(model, "delta_items")
+            else model.memory_items()
+        )
+        return items * PAPER_NODE_BYTES
+
+    def accounted_model_bytes(self) -> int:
+        """Total model bytes this worker is charged for right now."""
+        total = (
+            self.tenancy.base_bytes_total() if self.tenancy is not None else 0
+        )
+        for session in self.sessions.values():
+            total += self._session_model_bytes(session)
+        return total
+
+    def enforce_memory_budget(self, *, keep: Optional[str] = None) -> int:
+        """Evict least-recently-observed sessions until under budget.
+
+        Returns the number of sessions evicted.  A no-op without a budget
+        or a checkpoint directory (there is nowhere to evict to).  ``keep``
+        shields the session that triggered the sweep.
+        """
+        budget = self.memory_budget_bytes
+        if budget is None or self.checkpoint_dir is None:
+            return 0
+        total = self.accounted_model_bytes()
+        evictions = 0
+        while total > budget:
+            # Least-recently-observed first, but skip sessions whose
+            # private delta is empty: evicting them frees nothing and
+            # costs a checkpoint write each.
+            victim = None
+            freed = 0
+            for sid in self.sessions:
+                if sid == keep:
+                    continue
+                freed = self._session_model_bytes(self.sessions[sid])
+                if freed > 0:
+                    victim = sid
+                    break
+            if victim is None:
+                break
+            if not self._evict_one(victim):
+                break
+            evictions += 1
+            total -= freed
+        return evictions
+
+    def _evict_one(self, session_id: str) -> bool:
+        """Checkpoint one live session to disk and drop it *without* close.
+
+        The session stays logically open: its id is remembered in
+        ``self.evicted`` and the next request touching it resurrects it
+        from the checkpoint transparently (see :meth:`_live_session`).
+        """
+        from repro.store.codec import SnapshotError, write_snapshot
+        from repro.store.session_state import snapshot_session
+
+        session = self.sessions[session_id]
+        try:
+            snapshot = snapshot_session(
+                session,
+                provenance={
+                    "session": session_id,
+                    "period": session.observations,
+                    "evicted": True,
+                },
+            )
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+            write_snapshot(
+                snapshot,
+                os.path.join(self.checkpoint_dir, f"{session_id}.snap"),
+            )
+        except (OSError, SnapshotError):
+            return False
+        tenant = (
+            self.tenancy.tenant_of(session_id)
+            if self.tenancy is not None else None
+        )
+        if self.tenancy is not None:
+            self.tenancy.unbind(session_id)
+        self.sessions.pop(session_id, None)
+        self.evicted[session_id] = tenant
+        self.metrics.sessions_evicted += 1
+        if tenant is not None:
+            self.metrics.record_tenant(tenant, "sessions_evicted")
+        return True
+
+    def _live_session(self, session_id: str) -> Optional[PrefetchSession]:
+        """The live session, resurrecting it from disk if budget-evicted."""
+        session = self.sessions.get(session_id)
+        if session is not None:
+            return session
+        if session_id not in self.evicted or self.checkpoint_dir is None:
+            return None
+        from repro.store.codec import SnapshotError, read_snapshot
+        from repro.store.session_state import restore_session
+
+        path = os.path.join(self.checkpoint_dir, f"{session_id}.snap")
+        try:
+            snapshot = read_snapshot(path)
+            session = restore_session(
+                snapshot,
+                max_observations=self.limits.max_observations_per_session,
+                model_factory=(
+                    self.tenancy.model_factory
+                    if self.tenancy is not None else None
+                ),
+            )
+        except (OSError, SnapshotError):
+            # Leave the eviction record: the fault may be transient, and
+            # the client can still OPEN resume=<id> explicitly.
+            return None
+        tenant = self.evicted.pop(session_id)
+        self.sessions[session_id] = session
+        if tenant is not None and self.tenancy is not None:
+            self.tenancy.bind(session_id, tenant)
+            self.metrics.record_tenant(tenant, "sessions_resurrected")
+        self.metrics.sessions_resurrected += 1
+        return session
+
     def _handle_observe(self, request: ObserveRequest) -> Reply:
-        session = self.sessions.get(request.session)
+        session = self._live_session(request.session)
         if session is None:
             return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
                               f"unknown session {request.session!r}")
@@ -360,6 +617,11 @@ class PrefetchService:
                 )
         advice = session.observe(request.block)
         self.metrics.record_advice(advice.outcome, len(advice.prefetch))
+        self.sessions.move_to_end(request.session)
+        self._observes_since_budget_check += 1
+        if self._observes_since_budget_check >= _BUDGET_CHECK_INTERVAL:
+            self._observes_since_budget_check = 0
+            self.enforce_memory_budget(keep=request.session)
         return ObserveReply(id=request.id, session=request.session,
                             advice=advice)
 
@@ -369,18 +631,21 @@ class PrefetchService:
             # doubles as a supervisor liveness probe and as the feed a
             # fleet gateway merges into fleet totals (``metrics_state`` is
             # the lossless form; ``metrics`` the human summary).
-            return StatsReply(
-                id=request.id, session="",
-                stats={
-                    "server": "repro.service",
-                    "worker": self.identity,
-                    "protocol": protocol.PROTOCOL_VERSION,
-                    "live_sessions": self.metrics.live_sessions,
-                    "metrics": self.metrics.as_dict(),
-                    "metrics_state": self.metrics.to_state(),
-                },
-            )
-        session = self.sessions.get(request.session)
+            stats: Dict[str, Any] = {
+                "server": "repro.service",
+                "worker": self.identity,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "live_sessions": self.metrics.live_sessions,
+                "model_bytes": self.accounted_model_bytes(),
+                "memory_budget_bytes": self.memory_budget_bytes,
+                "evicted_sessions": len(self.evicted),
+                "metrics": self.metrics.as_dict(),
+                "metrics_state": self.metrics.to_state(),
+            }
+            if self.tenancy is not None:
+                stats["tenants"] = self.tenancy.gauges(self.sessions)
+            return StatsReply(id=request.id, session="", stats=stats)
+        session = self._live_session(request.session)
         if session is None:
             return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
                               f"unknown session {request.session!r}")
@@ -388,11 +653,17 @@ class PrefetchService:
                           stats=session.stats_snapshot())
 
     def _handle_close(self, request: CloseRequest, owned: Set[str]) -> Reply:
-        session = self.sessions.pop(request.session, None)
+        session = self._live_session(request.session)
         if session is None:
             return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
                               f"unknown session {request.session!r}")
+        self.sessions.pop(request.session, None)
         owned.discard(request.session)
+        if self.tenancy is not None:
+            tenant = self.tenancy.tenant_of(request.session)
+            if tenant is not None:
+                self.metrics.record_tenant(tenant, "sessions_closed")
+            self.tenancy.unbind(request.session)
         stats = session.close()
         self.metrics.sessions_closed += 1
         return CloseReply(id=request.id, session=request.session, stats=stats)
@@ -489,7 +760,17 @@ class PrefetchService:
         for session_id in owned:
             session = self.sessions.pop(session_id, None)
             if session is None:
+                # A budget-evicted session dies with its connection; the
+                # checkpoint stays on disk for an explicit resume.
+                if session_id in self.evicted:
+                    del self.evicted[session_id]
+                    self.metrics.sessions_closed += 1
                 continue
+            if self.tenancy is not None:
+                tenant = self.tenancy.tenant_of(session_id)
+                if tenant is not None:
+                    self.metrics.record_tenant(tenant, "sessions_closed")
+                self.tenancy.unbind(session_id)
             if not session.closed and session.observations > 0:
                 try:
                     self.detached[session_id] = snapshot_session(

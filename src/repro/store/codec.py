@@ -48,9 +48,15 @@ MAGIC = "repro-snapshot"
 SCHEMA_VERSION = 1
 
 #: Snapshot kinds.  ``model`` bodies hold one predictor/tree; ``session``
-#: bodies hold a whole serving session (model + engine runtime state).
+#: bodies hold a whole serving session (model + engine runtime state);
+#: ``base-model`` bodies are model bodies promoted to shared multi-tenant
+#: bases (loaded once per worker, mmap-read); ``delta`` bodies hold one
+#: session's copy-on-write overlay over a named base (see
+#: :mod:`repro.tenancy`).
 KIND_MODEL = "model"
 KIND_SESSION = "session"
+KIND_BASE = "base-model"
+KIND_DELTA = "delta"
 
 
 class SnapshotError(Exception):
@@ -129,12 +135,8 @@ def encode_snapshot(snapshot: Snapshot) -> bytes:
     return header_line.encode("utf-8") + b"\n" + body
 
 
-def decode_snapshot(data: bytes) -> Snapshot:
-    """Parse and verify on-disk bytes; raises on any integrity failure."""
-    newline = data.find(b"\n")
-    if newline < 0:
-        raise SnapshotCorruptError("no header line (empty or truncated file)")
-    header_bytes, body = data[: newline], data[newline + 1 :]
+def _parse_header_line(header_bytes: bytes) -> Dict[str, Any]:
+    """Parse + validate the header line; returns the header dict."""
     try:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -151,6 +153,25 @@ def decode_snapshot(data: bytes) -> Snapshot:
             f"snapshot schema {schema!r} is not supported "
             f"(this build reads schema {SCHEMA_VERSION})"
         )
+    return header
+
+
+def _finish_snapshot(header: Dict[str, Any], records: List[Any]) -> Snapshot:
+    """Strip codec-owned fields and build the Snapshot object."""
+    kind = str(header.pop("kind", ""))
+    model = str(header.pop("model", ""))
+    for key in ("magic", "schema", "body_lines", "body_sha256"):
+        header.pop(key, None)
+    return Snapshot(kind=kind, model=model, header=header, records=records)
+
+
+def decode_snapshot(data: bytes) -> Snapshot:
+    """Parse and verify on-disk bytes; raises on any integrity failure."""
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise SnapshotCorruptError("no header line (empty or truncated file)")
+    header = _parse_header_line(data[:newline])
+    body = data[newline + 1 :]
     expected_lines = header.get("body_lines")
     expected_sha = header.get("body_sha256")
     if not isinstance(expected_lines, int) or not isinstance(expected_sha, str):
@@ -175,11 +196,7 @@ def decode_snapshot(data: bytes) -> Snapshot:
             records.append(json.loads(line.decode("utf-8")))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise SnapshotCorruptError(f"line {i} is not valid JSON: {exc}") from None
-    kind = str(header.pop("kind", ""))
-    model = str(header.pop("model", ""))
-    for key in ("magic", "schema", "body_lines", "body_sha256"):
-        header.pop(key, None)
-    return Snapshot(kind=kind, model=model, header=header, records=records)
+    return _finish_snapshot(header, records)
 
 
 def write_snapshot(snapshot: Snapshot, path: PathLike) -> None:
@@ -211,6 +228,75 @@ def read_snapshot(path: PathLike) -> Snapshot:
     """
     with open(path, "rb") as fh:
         return decode_snapshot(fh.read())
+
+
+def read_snapshot_mmap(path: PathLike) -> Snapshot:
+    """Read and verify a snapshot through a read-only memory map.
+
+    Behaviourally identical to :func:`read_snapshot` (same integrity
+    checks, same errors), but the file bytes are never copied wholesale
+    into the process: the body checksum hashes the mapped pages directly
+    and records are parsed line by line off the map.  For the multi-GB
+    base-model snapshots the tenancy layer loads once per worker this
+    keeps peak RSS at ~parsed-records instead of parsed-records plus a
+    full byte copy of the file, and the mapped pages stay evictable,
+    shared page cache.
+    """
+    import mmap
+
+    with open(path, "rb") as fh:
+        try:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:  # zero-length file cannot be mapped
+            raise SnapshotCorruptError(
+                "no header line (empty or truncated file)"
+            ) from None
+        with mm:
+            newline = mm.find(b"\n")
+            if newline < 0:
+                raise SnapshotCorruptError(
+                    "no header line (empty or truncated file)"
+                )
+            header = _parse_header_line(mm[:newline])
+            expected_lines = header.get("body_lines")
+            expected_sha = header.get("body_sha256")
+            if not isinstance(expected_lines, int) or not isinstance(
+                expected_sha, str
+            ):
+                raise SnapshotCorruptError(
+                    "header is missing the integrity fields"
+                )
+            body_start = newline + 1
+            with memoryview(mm) as view:
+                actual_sha = hashlib.sha256(view[body_start:]).hexdigest()
+            if actual_sha != expected_sha:
+                raise SnapshotCorruptError(
+                    f"body checksum mismatch: header says "
+                    f"{expected_sha[:12]}..., body hashes to "
+                    f"{actual_sha[:12]}... (corrupt or edited)"
+                )
+            records: List[Any] = []
+            pos = body_start
+            end = mm.size()
+            lineno = 2
+            while pos < end:
+                nl = mm.find(b"\n", pos)
+                if nl < 0:
+                    nl = end
+                try:
+                    records.append(json.loads(mm[pos:nl].decode("utf-8")))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise SnapshotCorruptError(
+                        f"line {lineno} is not valid JSON: {exc}"
+                    ) from None
+                pos = nl + 1
+                lineno += 1
+            if len(records) != expected_lines:
+                raise SnapshotCorruptError(
+                    f"body has {len(records)} lines, header says "
+                    f"{expected_lines} (truncated file)"
+                )
+    return _finish_snapshot(header, records)
 
 
 def read_header(path: PathLike) -> Dict[str, Any]:

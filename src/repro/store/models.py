@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.store.codec import KIND_MODEL, Snapshot, SnapshotError
+from repro.store.codec import KIND_BASE, KIND_MODEL, KIND_SESSION, Snapshot, SnapshotError
 
 try:  # pragma: no cover - typing nicety only
     from typing import Protocol, runtime_checkable
@@ -44,8 +44,14 @@ def model_snapshot(
     *,
     config: Optional[Dict[str, Any]] = None,
     provenance: Optional[Dict[str, Any]] = None,
+    base: bool = False,
 ) -> Snapshot:
-    """Serialize one model into a ``model``-kind snapshot."""
+    """Serialize one model into a ``model``-kind snapshot.
+
+    With ``base=True`` the snapshot is written as a ``base-model`` — the
+    same body, but marked as promoted to a shared multi-tenant base (see
+    :mod:`repro.tenancy`).
+    """
     kind = getattr(model, "snapshot_kind", None)
     if not isinstance(kind, str) or not hasattr(model, "snapshot_state"):
         raise SnapshotError(
@@ -59,15 +65,55 @@ def model_snapshot(
         "counts": {"model_kind": kind, "model_items": len(items)},
         "meta": meta,
     }
-    return Snapshot(kind=KIND_MODEL, model=kind, header=header, records=items)
+    return Snapshot(
+        kind=KIND_BASE if base else KIND_MODEL,
+        model=kind,
+        header=header,
+        records=items,
+    )
+
+
+def extract_model_state(
+    snapshot: Snapshot,
+) -> Tuple[str, Dict[str, Any], List[Any]]:
+    """Pull ``(model_kind, meta, items)`` out of any snapshot holding a model.
+
+    Accepts ``model`` and ``base-model`` snapshots directly, and ``session``
+    snapshots by extracting their embedded model records — so a shared base
+    can be promoted from either a trained model or a serving checkpoint.
+    """
+    if snapshot.kind in (KIND_MODEL, KIND_BASE):
+        meta = snapshot.header.get("meta")
+        if not isinstance(meta, dict):
+            raise SnapshotError("model snapshot header is missing its meta")
+        return snapshot.model, meta, list(snapshot.records)
+    if snapshot.kind == KIND_SESSION:
+        meta: Optional[Dict[str, Any]] = None
+        kind: Optional[str] = None
+        items: List[Any] = []
+        for record in snapshot.records:
+            tag = record[0]
+            if tag == "model":
+                kind = record[1]["kind"]
+                meta = record[1]["meta"]
+            elif tag == "model-item":
+                items.append(record[1])
+        if kind is None or meta is None:
+            raise SnapshotError(
+                "session snapshot carries no embedded model records"
+            )
+        return kind, meta, items
+    raise SnapshotError(
+        f"cannot extract a model from a {snapshot.kind!r} snapshot"
+    )
 
 
 def restore_model(snapshot: Snapshot, model: "Snapshotable") -> None:
-    """Load a ``model``-kind snapshot into ``model`` in place.
+    """Load a ``model``/``base-model`` snapshot into ``model`` in place.
 
     The snapshot's model kind must match ``model.snapshot_kind``.
     """
-    if snapshot.kind != KIND_MODEL:
+    if snapshot.kind not in (KIND_MODEL, KIND_BASE):
         raise SnapshotError(
             f"expected a model snapshot, got kind {snapshot.kind!r}"
         )

@@ -170,8 +170,18 @@ def restore_session(
     snapshot: Snapshot,
     *,
     max_observations: Optional[int] = None,
+    model_factory=None,
 ) -> PrefetchSession:
-    """Reconstruct a live session from a ``session``-kind snapshot."""
+    """Reconstruct a live session from a ``session``-kind snapshot.
+
+    ``model_factory(model_kind, meta)``, when given, is consulted if the
+    snapshot's model kind differs from the policy's default model: it may
+    return a replacement model object of the snapshot's kind (installed
+    via :meth:`~repro.policies.base.Policy.replace_model` before state is
+    applied) or ``None`` to decline.  The tenancy layer uses this to
+    rebind ``tree-delta`` overlays to their shared base on resume; without
+    a factory a kind mismatch is an error, as before.
+    """
     if snapshot.kind != KIND_SESSION:
         raise SnapshotError(
             f"expected a session snapshot, got kind {snapshot.kind!r}"
@@ -207,13 +217,13 @@ def restore_session(
             by_tag[tag] = payload
 
     try:
-        _apply(sim, session, by_tag, pentries, model_items)
+        _apply(sim, session, by_tag, pentries, model_items, model_factory)
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise SnapshotError(f"session snapshot is incomplete: {exc}") from None
     return session
 
 
-def _apply(sim, session, by_tag, pentries, model_items) -> None:
+def _apply(sim, session, by_tag, pentries, model_items, model_factory=None) -> None:
     clock_state = by_tag["clock"]
     clock = sim.clock
     clock.now = clock_state["now"]
@@ -304,9 +314,17 @@ def _apply(sim, session, by_tag, pentries, model_items) -> None:
                 f"{session.policy_name!r} has none"
             )
         if model.snapshot_kind != model_state["kind"]:
-            raise SnapshotError(
-                f"model kind mismatch: snapshot has {model_state['kind']!r}, "
-                f"policy {session.policy_name!r} expects "
-                f"{model.snapshot_kind!r}"
-            )
+            replacement = None
+            if model_factory is not None:
+                replacement = model_factory(
+                    model_state["kind"], model_state["meta"]
+                )
+            if replacement is None:
+                raise SnapshotError(
+                    f"model kind mismatch: snapshot has "
+                    f"{model_state['kind']!r}, policy "
+                    f"{session.policy_name!r} expects {model.snapshot_kind!r}"
+                )
+            sim.policy.replace_model(replacement)
+            model = replacement
         model.restore_state(model_state["meta"], model_items)

@@ -1,0 +1,34 @@
+"""Multi-tenant model serving: shared bases, per-session deltas, budgets.
+
+One trained prefetch model (a *base*) is loaded once per worker process and
+shared read-only by every session of the owning tenant; sessions observe
+accesses through copy-on-write :class:`~repro.tenancy.overlay.OverlayTree`
+views whose advice is bit-identical to a private copy of the same model.
+The :class:`~repro.tenancy.manager.TenancyManager` accounts model bytes
+per tenant and per worker, evicts idle sessions to checkpoints under
+memory pressure, and enforces tenant quotas; the gateway layers admission
+control on top (see ``docs/SERVICE.md``).
+"""
+
+from repro.tenancy.config import TenancyConfig, TenancyConfigError, TenantSpec
+from repro.tenancy.manager import TenancyManager, TenantState
+from repro.tenancy.memory import rss_bytes
+from repro.tenancy.overlay import (
+    DELTA_MODEL_KIND,
+    OverlayError,
+    OverlayTree,
+    fold_overlays,
+)
+
+__all__ = [
+    "DELTA_MODEL_KIND",
+    "OverlayError",
+    "OverlayTree",
+    "TenancyConfig",
+    "TenancyConfigError",
+    "TenancyManager",
+    "TenantSpec",
+    "TenantState",
+    "fold_overlays",
+    "rss_bytes",
+]

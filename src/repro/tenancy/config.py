@@ -1,0 +1,173 @@
+"""Tenant configuration: who may open sessions, against which base model.
+
+A tenancy config is a JSON document (``repro serve --tenant-config``,
+``repro fleet --tenant-config``)::
+
+    {
+      "memory_budget_bytes": 268435456,
+      "tenants": {
+        "acme": {
+          "model": "tree-cello@3",
+          "policy": "tree",
+          "max_sessions": 5000,
+          "max_model_bytes": 67108864,
+          "retry_after_s": 2.0
+        },
+        "umbrella": {"model": "tree-cad"}
+      }
+    }
+
+Per tenant:
+
+``model``
+    Registry spec (``NAME[@VERSION]``) of the tenant's shared base model.
+    Required.  Loaded once per worker and shared copy-on-write by every
+    session the tenant opens.
+``policy``
+    Default policy for the tenant's sessions when an OPEN does not name
+    one; optional (falls back to the server default).
+``max_sessions``
+    Quota on concurrently open sessions across the deployment (enforced
+    at the gateway) and per worker (enforced worker-side).  ``null`` /
+    absent = unlimited.
+``max_model_bytes``
+    Quota on the tenant's accounted model memory (paper bytes-per-node
+    over base + per-session deltas).  ``null`` / absent = unlimited.
+``retry_after_s``
+    Hint returned with quota rejections so well-behaved clients back off;
+    default 1.0.
+
+Top level:
+
+``memory_budget_bytes``
+    Per-worker budget on total accounted model memory; when exceeded the
+    server evicts idle sessions to checkpoints (see ``docs/SERVICE.md``).
+    CLI flag ``--memory-budget-mb`` overrides it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class TenancyConfigError(Exception):
+    """The tenancy config file is malformed or inconsistent."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's model binding and quotas."""
+
+    name: str
+    model: str
+    policy: Optional[str] = None
+    max_sessions: Optional[int] = None
+    max_model_bytes: Optional[int] = None
+    retry_after_s: float = 1.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "policy": self.policy,
+            "max_sessions": self.max_sessions,
+            "max_model_bytes": self.max_model_bytes,
+            "retry_after_s": self.retry_after_s,
+        }
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Parsed tenancy configuration."""
+
+    tenants: Dict[str, TenantSpec] = field(default_factory=dict)
+    memory_budget_bytes: Optional[int] = None
+
+    def spec(self, tenant: str) -> Optional[TenantSpec]:
+        return self.tenants.get(tenant)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "tenants": {
+                name: spec.as_dict() for name, spec in self.tenants.items()
+            },
+        }
+
+
+def _positive_int(raw: Any, what: str) -> Optional[int]:
+    if raw is None:
+        return None
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < 1:
+        raise TenancyConfigError(f"{what} must be a positive integer or null")
+    return raw
+
+
+def parse_tenancy_config(doc: Any) -> TenancyConfig:
+    """Validate a decoded JSON document into a :class:`TenancyConfig`."""
+    if not isinstance(doc, dict):
+        raise TenancyConfigError("tenancy config must be a JSON object")
+    raw_tenants = doc.get("tenants")
+    if not isinstance(raw_tenants, dict) or not raw_tenants:
+        raise TenancyConfigError(
+            "tenancy config needs a non-empty 'tenants' object"
+        )
+    tenants: Dict[str, TenantSpec] = {}
+    for name, raw in raw_tenants.items():
+        if not isinstance(raw, dict):
+            raise TenancyConfigError(f"tenant {name!r} must be an object")
+        model = raw.get("model")
+        if not isinstance(model, str) or not model:
+            raise TenancyConfigError(
+                f"tenant {name!r} needs a 'model' registry spec"
+            )
+        retry_after = raw.get("retry_after_s", 1.0)
+        if not isinstance(retry_after, (int, float)) or retry_after < 0:
+            raise TenancyConfigError(
+                f"tenant {name!r}: retry_after_s must be a number >= 0"
+            )
+        unknown = set(raw) - {
+            "model", "policy", "max_sessions", "max_model_bytes",
+            "retry_after_s",
+        }
+        if unknown:
+            raise TenancyConfigError(
+                f"tenant {name!r} has unknown keys: {sorted(unknown)}"
+            )
+        policy = raw.get("policy")
+        if policy is not None and not isinstance(policy, str):
+            raise TenancyConfigError(f"tenant {name!r}: policy must be a string")
+        tenants[name] = TenantSpec(
+            name=name,
+            model=model,
+            policy=policy,
+            max_sessions=_positive_int(
+                raw.get("max_sessions"), f"tenant {name!r}: max_sessions"
+            ),
+            max_model_bytes=_positive_int(
+                raw.get("max_model_bytes"), f"tenant {name!r}: max_model_bytes"
+            ),
+            retry_after_s=float(retry_after),
+        )
+    return TenancyConfig(
+        tenants=tenants,
+        memory_budget_bytes=_positive_int(
+            doc.get("memory_budget_bytes"), "memory_budget_bytes"
+        ),
+    )
+
+
+def load_tenancy_config(path: str) -> TenancyConfig:
+    """Read and validate a tenancy config file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise TenancyConfigError(f"cannot read tenancy config {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise TenancyConfigError(
+            f"tenancy config {path} is not valid JSON: {exc}"
+        )
+    return parse_tenancy_config(doc)

@@ -1,0 +1,41 @@
+"""Process-memory probes shared by the service and the benchmarks.
+
+The eviction loop and the scaling/multitenancy benchmarks all want the
+same number: resident set size of a (possibly other) process.  Linux
+exposes it in ``/proc/<pid>/status``; elsewhere we fall back to
+``resource.getrusage`` for the current process (peak, not current — close
+enough for trend reporting, and clearly better than nothing).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+
+def rss_bytes(pid: Optional[int] = None) -> int:
+    """Resident set size of ``pid`` (default: this process), in bytes.
+
+    Returns 0 when the platform offers no probe for the requested process
+    (e.g. another pid on a non-Linux host) — callers treat 0 as
+    "unavailable", never as "no memory".
+    """
+    target = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{target}/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    if pid is None or pid == os.getpid():
+        try:
+            import resource
+
+            usage = resource.getrusage(resource.RUSAGE_SELF)
+            scale = 1024 if sys.platform != "darwin" else 1
+            return int(usage.ru_maxrss) * scale
+        except (ImportError, ValueError):
+            pass
+    return 0

@@ -2,7 +2,19 @@
 
 import pytest
 
-from repro.analysis.parallel import RunSpec, execute, run_batch, spec_hash
+from repro.analysis.scheduler import RunSpec, execute, run_batch, spec_hash
+
+
+class TestDeprecationShim:
+    def test_parallel_reexports_scheduler_objects(self):
+        # The legacy module must keep importing until its removal PR, and
+        # it must hand back the *same* objects (hash compatibility).
+        from repro.analysis import parallel
+
+        assert parallel.RunSpec is RunSpec
+        assert parallel.execute is execute
+        assert parallel.run_batch is run_batch
+        assert parallel.spec_hash is spec_hash
 
 
 def spec(**overrides):

@@ -9,8 +9,13 @@ import json
 
 import pytest
 
-from repro.analysis.parallel import RunSpec, execute, spec_hash
-from repro.analysis.scheduler import KIND_RESULT, ResultStore
+from repro.analysis.scheduler import (
+    KIND_RESULT,
+    ResultStore,
+    RunSpec,
+    execute,
+    spec_hash,
+)
 from repro.sim.stats import SimulationStats
 from repro.store.codec import (
     Snapshot,

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.analysis.parallel import RunSpec, spec_hash
-from repro.analysis.scheduler import Scheduler
+from repro.analysis.scheduler import RunSpec, Scheduler, spec_hash
 from repro.store.codec import SnapshotCorruptError
 from repro.traces import io as trace_io
 from repro.traces.synthetic import make_trace
@@ -149,7 +148,7 @@ class TestResultCache:
 
 class TestRunBatchWrapper:
     def test_run_batch_through_scheduler(self, tmp_path):
-        from repro.analysis.parallel import run_batch
+        from repro.analysis.scheduler import run_batch
 
         specs = [spec(cache_size=c) for c in (32, 64, 128)]
         results = run_batch(specs, cache_dir=tmp_path)

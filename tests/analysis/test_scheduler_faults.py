@@ -11,8 +11,7 @@ import time
 
 import pytest
 
-from repro.analysis.parallel import RunSpec, execute
-from repro.analysis.scheduler import Scheduler, SchedulerError
+from repro.analysis.scheduler import RunSpec, Scheduler, SchedulerError, execute
 
 _MARKER_ENV = "REPRO_TEST_FAULT_MARKER"
 

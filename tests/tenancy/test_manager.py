@@ -1,0 +1,234 @@
+"""TenancyManager unit tests: config parsing, worker-side admission,
+byte accounting, and delta-snapshot rebinding via ``model_factory``."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.tree import PAPER_NODE_BYTES, PrefetchTree
+from repro.service.session import PrefetchSession
+from repro.store import ModelStore
+from repro.store.codec import SnapshotError
+from repro.store.models import model_snapshot
+from repro.tenancy.config import (
+    TenancyConfigError,
+    load_tenancy_config,
+    parse_tenancy_config,
+)
+from repro.tenancy.manager import (
+    TenancyManager,
+    TenantQuotaError,
+    UnknownTenantError,
+)
+from repro.tenancy.overlay import OverlayTree
+
+
+def trained_base(n=3000, universe=50, seed=5, max_nodes=None):
+    rng = random.Random(seed)
+    tree = PrefetchTree(max_nodes=max_nodes)
+    tree.record_all(rng.randrange(universe) for _ in range(n))
+    return tree
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = ModelStore(str(tmp_path / "store"))
+    store.save("acme-base", model_snapshot(trained_base(), base=True))
+    store.save("globex-base", model_snapshot(trained_base(seed=9)))
+    store.save(
+        "capped-base",
+        model_snapshot(trained_base(seed=4, max_nodes=200)),
+    )
+    return store
+
+
+def make_manager(store, doc):
+    return TenancyManager(store, parse_tenancy_config(doc))
+
+
+BASIC = {
+    "tenants": {
+        "acme": {"model": "acme-base", "max_sessions": 2,
+                 "retry_after_s": 0.25},
+        "globex": {"model": "globex-base", "max_model_bytes": 1},
+    }
+}
+
+
+class TestConfig:
+    def test_parse_full_document(self):
+        config = parse_tenancy_config({
+            "memory_budget_bytes": 1 << 20,
+            "tenants": {
+                "acme": {"model": "acme-base@2", "policy": "tree-lvc",
+                         "max_sessions": 7, "max_model_bytes": 4096,
+                         "retry_after_s": 2.5},
+            },
+        })
+        assert config.memory_budget_bytes == 1 << 20
+        spec = config.spec("acme")
+        assert spec.model == "acme-base@2"
+        assert spec.policy == "tree-lvc"
+        assert spec.max_sessions == 7
+        assert spec.max_model_bytes == 4096
+        assert spec.retry_after_s == 2.5
+        assert config.spec("nobody") is None
+
+    def test_defaults(self):
+        spec = parse_tenancy_config(
+            {"tenants": {"t": {"model": "m"}}}
+        ).spec("t")
+        assert spec.policy is None
+        assert spec.max_sessions is None
+        assert spec.max_model_bytes is None
+        assert spec.retry_after_s == 1.0
+
+    @pytest.mark.parametrize("doc", [
+        [],                                       # not an object
+        {},                                       # no tenants
+        {"tenants": {"t": {}}},                   # model missing
+        {"tenants": {"t": {"model": ""}}},        # empty model spec
+        {"tenants": {"t": {"model": "m", "max_sessions": 0}}},
+        {"tenants": {"t": {"model": "m", "max_model_bytes": -5}}},
+        {"tenants": {"t": {"model": "m", "retry_after_s": "soon"}}},
+        {"memory_budget_bytes": 0, "tenants": {"t": {"model": "m"}}},
+    ])
+    def test_rejects_malformed(self, doc):
+        with pytest.raises(TenancyConfigError):
+            parse_tenancy_config(doc)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(BASIC))
+        config = load_tenancy_config(str(path))
+        assert sorted(config.tenants) == ["acme", "globex"]
+        with pytest.raises(TenancyConfigError):
+            load_tenancy_config(str(tmp_path / "missing.json"))
+        (tmp_path / "broken.json").write_text("{nope")
+        with pytest.raises(TenancyConfigError):
+            load_tenancy_config(str(tmp_path / "broken.json"))
+
+
+class TestModels:
+    def test_shared_base_is_loaded_once(self, store):
+        manager = make_manager(store, BASIC)
+        first = manager.make_model("acme")
+        second = manager.make_model("acme")
+        assert isinstance(first, OverlayTree)
+        assert first.base is second.base  # one shared instance per worker
+        assert first is not second
+        # Session-side writes stay private to the overlay.
+        before = first.base.node_count
+        first.record_all([900, 901, 902])
+        assert first.base.node_count == before
+        assert second.path_probability([900]) == 0.0
+
+    def test_capped_base_falls_back_to_private_copies(self, store):
+        manager = make_manager(store, {
+            "tenants": {"capped": {"model": "capped-base"}},
+        })
+        model = manager.make_model("capped")
+        assert isinstance(model, PrefetchTree)
+        assert not isinstance(model, OverlayTree)
+        assert model.max_nodes == 200
+        # Private tenants contribute nothing to the shared-base total;
+        # their sessions carry the full cost instead.
+        assert manager.base_bytes_total() == 0
+
+    def test_unknown_tenant(self, store):
+        manager = make_manager(store, BASIC)
+        with pytest.raises(UnknownTenantError):
+            manager.spec("umbrella")
+        with pytest.raises(UnknownTenantError):
+            manager.make_model("umbrella")
+
+
+class TestAdmission:
+    def test_session_quota(self, store):
+        manager = make_manager(store, BASIC)
+        assert manager.admit("acme").model == "acme-base"
+        manager.bind("s1", "acme")
+        manager.bind("s2", "acme")
+        with pytest.raises(TenantQuotaError) as excinfo:
+            manager.admit("acme")
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.retry_after_s == 0.25
+        manager.unbind("s1")
+        assert manager.admit("acme") is not None
+
+    def test_byte_quota_counts_loaded_base(self, store):
+        manager = make_manager(store, BASIC)
+        assert manager.admit("globex") is not None  # base not loaded yet
+        manager.make_model("globex")
+        with pytest.raises(TenantQuotaError) as excinfo:
+            manager.admit("globex")
+        assert "model-byte quota" in str(excinfo.value)
+
+
+class TestAccounting:
+    def test_bytes_split_between_base_and_deltas(self, store):
+        manager = make_manager(store, BASIC)
+        model = manager.make_model("acme")
+        session = PrefetchSession(policy="tree", cache_size=64)
+        session.simulator.policy.replace_model(model)
+        manager.bind("s1", "acme")
+        for block in (700, 701, 702, 700, 701):
+            session.observe(block)
+        base_bytes = model.base.memory_items() * PAPER_NODE_BYTES
+        delta_bytes = model.delta_items() * PAPER_NODE_BYTES
+        assert delta_bytes > 0
+        assert manager.session_model_bytes(session) == delta_bytes
+        assert manager.base_bytes_total() == base_bytes
+        sessions = {"s1": session}
+        assert (manager.tenant_model_bytes("acme", sessions)
+                == base_bytes + delta_bytes)
+        gauges = manager.gauges(sessions)
+        assert gauges["acme"] == {
+            "sessions": 1, "model_bytes": base_bytes + delta_bytes,
+        }
+        assert "globex" not in gauges  # never loaded, no sessions
+
+    def test_tenant_of_tracks_binding(self, store):
+        manager = make_manager(store, BASIC)
+        manager.bind("s1", "acme")
+        assert manager.tenant_of("s1") == "acme"
+        manager.unbind("s1")
+        assert manager.tenant_of("s1") is None
+        manager.unbind("s1")  # idempotent
+
+
+class TestModelFactory:
+    def _delta_snapshot_meta(self, manager, blocks):
+        overlay = manager.make_model("acme")
+        overlay.record_all(blocks)
+        return overlay, overlay.snapshot_state()
+
+    def test_rebinds_delta_to_shared_base(self, store):
+        manager = make_manager(store, BASIC)
+        overlay, (meta, items) = self._delta_snapshot_meta(
+            manager, [800, 801] * 20
+        )
+        replacement = manager.model_factory(OverlayTree.snapshot_kind, meta)
+        assert isinstance(replacement, OverlayTree)
+        assert replacement.base is manager.make_model("acme").base
+        replacement.restore_state(meta, items)
+        assert replacement.delta_items() == overlay.delta_items()
+        assert (replacement.path_probability([800])
+                == overlay.path_probability([800]) > 0.0)
+
+    def test_declines_foreign_states(self, store):
+        manager = make_manager(store, BASIC)
+        _, (meta, _) = self._delta_snapshot_meta(manager, [800])
+        # Non-delta kinds and unknown tenants are someone else's problem.
+        assert manager.model_factory("tree", {}) is None
+        foreign = dict(meta, base={"tenant": "umbrella", "model": "x@1"})
+        assert manager.model_factory(OverlayTree.snapshot_kind, foreign) is None
+
+    def test_rejects_base_version_mismatch(self, store):
+        manager = make_manager(store, BASIC)
+        _, (meta, _) = self._delta_snapshot_meta(manager, [800])
+        stale = dict(meta)
+        stale["base"] = dict(meta["base"], model="acme-base@99")
+        with pytest.raises(SnapshotError):
+            manager.model_factory(OverlayTree.snapshot_kind, stale)
