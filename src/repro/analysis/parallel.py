@@ -11,7 +11,16 @@ names unchanged and will be removed in a future PR.
 
 from __future__ import annotations
 
-from repro.analysis.scheduler import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.analysis.parallel is deprecated; import from "
+    "repro.analysis.scheduler (or the repro.analysis package root) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.analysis.scheduler import (  # noqa: E402,F401
     SPEC_SCHEMA,
     TIMING_FIELDS,
     RunSpec,

@@ -1,0 +1,84 @@
+"""Scenario lab: declarative campaigns over the advisory fleet.
+
+PRs 1-6 built the pieces — a faithful single-stream simulator, an
+advisory server, chaos tooling, a sharded fleet, multi-tenant serving.
+This package is the harness that exercises them *together*: a campaign
+is a declarative TOML/JSON scenario (client arrival and churn curves,
+diurnal trace-mix drift, per-tenant quotas, chaos profiles, fleet-size
+sweep axes) that the engine drives end-to-end against a real gateway +
+worker fleet, capturing a reproducible result bundle per fleet size.
+
+* :mod:`~repro.campaign.spec`     — scenario parsing/validation and the
+  single-seed discipline (:func:`derive_seed`): every random stream in
+  a campaign derives from ``scenario.seed``;
+* :mod:`~repro.campaign.workload` — deterministic per-client reference
+  streams from the synthetic trace generators, mix drift, arrival
+  curves;
+* :mod:`~repro.campaign.runner`   — the driver: stand up the target
+  (in-process server or real fleet), run each phase through
+  :func:`repro.service.replay.replay_async` (with a
+  :class:`~repro.service.faults.ChaosProxy` in the path when the phase
+  calls for faults), collect per-phase reports;
+* :mod:`~repro.campaign.bundle`   — the hashed result bundle: scenario
+  snapshot + deterministic outcomes under one SHA-256, wall-clock
+  metrics alongside.  Two runs of one scenario hash identically;
+* :mod:`~repro.campaign.compare`  — per-metric delta table against a
+  named baseline bundle, with regression flags (``repro campaign
+  compare`` exits non-zero on a deterministic mismatch or lost
+  sessions).
+
+CLI: ``repro campaign run|compare|list`` (see ``docs/EXPERIMENTS.md``,
+"Campaigns").
+"""
+
+from repro.campaign.bundle import (
+    Bundle,
+    BundleError,
+    compute_bundle_hash,
+    list_bundles,
+    load_bundle,
+    write_bundle,
+)
+from repro.campaign.compare import (
+    Comparison,
+    compare_bundles,
+    render_comparison,
+)
+from repro.campaign.runner import CampaignError, run_scenario, run_scenario_async
+from repro.campaign.spec import (
+    ArrivalSpec,
+    ChaosProfile,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    TenancySpec,
+    derive_seed,
+    load_scenario,
+    parse_scenario,
+    scenario_hash,
+)
+
+__all__ = [
+    "ArrivalSpec",
+    "Bundle",
+    "BundleError",
+    "CampaignError",
+    "ChaosProfile",
+    "Comparison",
+    "PhaseSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "TenancySpec",
+    "compare_bundles",
+    "compute_bundle_hash",
+    "derive_seed",
+    "list_bundles",
+    "load_bundle",
+    "load_scenario",
+    "parse_scenario",
+    "render_comparison",
+    "run_scenario",
+    "run_scenario_async",
+    "scenario_hash",
+    "write_bundle",
+]

@@ -1,0 +1,515 @@
+"""Scenario specs: the declarative input to the campaign engine.
+
+A scenario file (TOML or JSON) describes one *campaign*: which fleet to
+stand up, which workload phases to drive through it, and what to break
+while it runs::
+
+    [scenario]
+    name = "diurnal-chaos"
+    seed = 1999
+    mode = "fleet"          # "fleet" = gateway + worker subprocesses,
+                            # "server" = one in-process advisory server
+    workers = [2]           # fleet-size sweep axis (one bundle per size)
+    policy = "tree"
+    cache_size = 1024
+
+    [[phase]]
+    name = "dawn-ramp"
+    clients = 4
+    refs = 400              # references per session
+    arrival = { curve = "ramp", over_s = 0.5, jitter_s = 0.1 }
+    mix = { cello = 0.75, cad = 0.25 }
+
+    [[phase]]
+    name = "midday-chaos"
+    clients = 2
+    refs = 300
+    sessions_per_client = 2
+    mix = { cad = 0.5, cello = 0.5 }
+    mix_end = { cad = 0.9, cello = 0.1 }   # diurnal drift across the phase
+    chaos = { reset_every = 150, delay_every = 43, delay_ms = 2.0 }
+
+Everything random about a campaign — arrival jitter, session churn
+order, trace mixing, the chaos retry schedule — derives from the single
+``scenario.seed`` via :func:`derive_seed`, so one scenario file names
+one reproducible experiment: two runs of the same file produce
+bit-identical advice streams and therefore identical bundle hashes
+(see :mod:`repro.campaign.bundle`).
+
+The parsed :class:`ScenarioSpec` renders back to a canonical plain-dict
+snapshot (:meth:`ScenarioSpec.as_dict`) whose SHA-256
+(:func:`scenario_hash`) identifies the scenario the same way
+:func:`repro.analysis.scheduler.spec_hash` identifies a single
+simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.faults import FaultPlan
+from repro.store.codec import canonical_json
+from repro.tenancy.config import (
+    TenancyConfig,
+    TenancyConfigError,
+    parse_tenancy_config,
+)
+from repro.traces.synthetic import TRACE_NAMES
+
+#: Schema marker baked into every scenario snapshot/hash.  Bump when the
+#: meaning of a field changes incompatibly so stale baseline bundles
+#: compare as "different scenario" instead of silently matching.
+CAMPAIGN_SCHEMA = 1
+
+#: Campaign execution targets.
+MODES = ("server", "fleet")
+
+#: Client arrival curves (see :func:`repro.campaign.workload.arrival_delays`).
+ARRIVAL_CURVES = ("burst", "uniform", "ramp")
+
+
+class ScenarioError(Exception):
+    """The scenario document is malformed or inconsistent."""
+
+
+def derive_seed(root_seed: int, *parts: Any) -> int:
+    """A stable sub-seed for one labelled consumer of the scenario seed.
+
+    Every independent random stream in a campaign (per-phase mixing, a
+    client's arrival jitter, the chaos retry backoff) draws its seed from
+    ``derive_seed(scenario.seed, <labels...>)``: a 64-bit BLAKE2b digest
+    of the canonical-JSON label tuple.  Stable across processes and
+    platforms (no ``hash()``), and collision-free for distinct labels in
+    any realistic campaign.
+    """
+    payload = canonical_json([int(root_seed), *parts]).encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When a phase's clients connect, relative to the phase start.
+
+    ``burst`` starts everyone immediately; ``uniform`` spaces arrivals
+    evenly across ``over_s``; ``ramp`` front-loads the gaps so arrivals
+    accelerate (the morning-rush shape).  ``jitter_s`` adds a seeded
+    uniform offset in ``[0, jitter_s)`` per client on top of the curve.
+    """
+
+    curve: str = "burst"
+    over_s: float = 0.0
+    jitter_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "curve": self.curve,
+            "over_s": self.over_s,
+            "jitter_s": self.jitter_s,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """A phase's fault-injection schedule, in scenario-file units.
+
+    Mirrors :class:`repro.service.faults.FaultPlan` (every-Nth reply
+    semantics, deterministic by construction) plus the retry budget the
+    resilient replay clients get while the profile is active.
+    """
+
+    reset_every: Optional[int] = None
+    delay_every: Optional[int] = None
+    delay_ms: float = 10.0
+    truncate_every: Optional[int] = None
+    garbage_every: Optional[int] = None
+    max_attempts: int = 8
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            reset_every=self.reset_every,
+            delay_every=self.delay_every,
+            delay_s=self.delay_ms / 1000.0,
+            truncate_every=self.truncate_every,
+            garbage_every=self.garbage_every,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "reset_every": self.reset_every,
+            "delay_every": self.delay_every,
+            "delay_ms": self.delay_ms,
+            "truncate_every": self.truncate_every,
+            "garbage_every": self.garbage_every,
+            "max_attempts": self.max_attempts,
+        }
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One workload phase: who arrives, what they reference, what breaks."""
+
+    name: str
+    clients: int = 2
+    refs: int = 500
+    sessions_per_client: int = 1
+    mix: Tuple[Tuple[str, float], ...] = (("cad", 1.0),)
+    mix_end: Optional[Tuple[Tuple[str, float], ...]] = None
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    chaos: Optional[ChaosProfile] = None
+    tenant: Optional[str] = None
+    tolerate_quota: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "clients": self.clients,
+            "refs": self.refs,
+            "sessions_per_client": self.sessions_per_client,
+            "mix": {name: weight for name, weight in self.mix},
+            "mix_end": (
+                None if self.mix_end is None
+                else {name: weight for name, weight in self.mix_end}
+            ),
+            "arrival": self.arrival.as_dict(),
+            "chaos": None if self.chaos is None else self.chaos.as_dict(),
+            "tenant": self.tenant,
+            "tolerate_quota": self.tolerate_quota,
+        }
+
+
+@dataclass(frozen=True)
+class TenancySpec:
+    """Optional multi-tenant serving config for the campaign's workers."""
+
+    store: str
+    config: TenancyConfig
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc = self.config.as_dict()
+        # TenantSpec.as_dict repeats the name inside each entry; drop it
+        # so the snapshot round-trips through parse_tenancy_config.
+        tenants = {}
+        for name, spec in doc["tenants"].items():
+            entry = {k: v for k, v in spec.items()
+                     if k != "name" and v is not None}
+            tenants[name] = entry
+        return {
+            "store": self.store,
+            "memory_budget_bytes": doc["memory_budget_bytes"],
+            "tenants": tenants,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A parsed campaign scenario (see module docstring)."""
+
+    name: str
+    seed: int = 1999
+    mode: str = "fleet"
+    workers: Tuple[int, ...] = (2,)
+    policy: str = "tree"
+    cache_size: int = 1024
+    phases: Tuple[PhaseSpec, ...] = ()
+    tenancy: Optional[TenancySpec] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Canonical snapshot; the input to :func:`scenario_hash`."""
+        return {
+            "campaign_schema": CAMPAIGN_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "mode": self.mode,
+            "workers": list(self.workers),
+            "policy": self.policy,
+            "cache_size": self.cache_size,
+            "phases": [phase.as_dict() for phase in self.phases],
+            "tenancy": (
+                None if self.tenancy is None else self.tenancy.as_dict()
+            ),
+        }
+
+
+def scenario_hash(scenario: ScenarioSpec) -> str:
+    """Hex SHA-256 of the scenario's canonical-JSON snapshot."""
+    payload = canonical_json(scenario.as_dict())
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------- parsing
+
+
+def _require(doc: Dict[str, Any], key: str, what: str) -> Any:
+    if key not in doc:
+        raise ScenarioError(f"{what} needs a {key!r} entry")
+    return doc[key]
+
+
+def _string(raw: Any, what: str) -> str:
+    if not isinstance(raw, str) or not raw:
+        raise ScenarioError(f"{what} must be a non-empty string")
+    return raw
+
+
+def _int_at_least(raw: Any, minimum: int, what: str) -> int:
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < minimum:
+        raise ScenarioError(f"{what} must be an integer >= {minimum}")
+    return raw
+
+
+def _number(raw: Any, minimum: float, what: str) -> float:
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+        raise ScenarioError(f"{what} must be a number")
+    value = float(raw)
+    if value < minimum:
+        raise ScenarioError(f"{what} must be >= {minimum}")
+    return value
+
+
+def _optional_every(doc: Dict[str, Any], key: str,
+                    what: str) -> Optional[int]:
+    raw = doc.get(key)
+    if raw is None:
+        return None
+    return _int_at_least(raw, 1, f"{what}: {key}")
+
+
+def _reject_unknown(doc: Dict[str, Any], allowed: set, what: str) -> None:
+    unknown = set(doc) - allowed
+    if unknown:
+        raise ScenarioError(f"{what} has unknown keys: {sorted(unknown)}")
+
+
+def _parse_mix(raw: Any, what: str) -> Tuple[Tuple[str, float], ...]:
+    if not isinstance(raw, dict) or not raw:
+        raise ScenarioError(
+            f"{what} must be a non-empty table of trace -> weight"
+        )
+    mix: List[Tuple[str, float]] = []
+    for name in sorted(raw):
+        if name not in TRACE_NAMES:
+            raise ScenarioError(
+                f"{what}: unknown trace {name!r} "
+                f"(known traces: {', '.join(TRACE_NAMES)})"
+            )
+        weight = _number(raw[name], 0.0, f"{what}: weight of {name!r}")
+        mix.append((name, weight))
+    if not any(weight > 0 for _, weight in mix):
+        raise ScenarioError(f"{what}: at least one weight must be > 0")
+    return tuple(mix)
+
+
+def _parse_arrival(raw: Any, what: str) -> ArrivalSpec:
+    if not isinstance(raw, dict):
+        raise ScenarioError(f"{what} must be a table")
+    _reject_unknown(raw, {"curve", "over_s", "jitter_s"}, what)
+    curve = raw.get("curve", "burst")
+    if curve not in ARRIVAL_CURVES:
+        raise ScenarioError(
+            f"{what}: curve must be one of {', '.join(ARRIVAL_CURVES)}"
+        )
+    return ArrivalSpec(
+        curve=curve,
+        over_s=_number(raw.get("over_s", 0.0), 0.0, f"{what}: over_s"),
+        jitter_s=_number(raw.get("jitter_s", 0.0), 0.0, f"{what}: jitter_s"),
+    )
+
+
+def _parse_chaos(raw: Any, what: str) -> ChaosProfile:
+    if not isinstance(raw, dict):
+        raise ScenarioError(f"{what} must be a table")
+    _reject_unknown(
+        raw,
+        {"reset_every", "delay_every", "delay_ms", "truncate_every",
+         "garbage_every", "max_attempts"},
+        what,
+    )
+    profile = ChaosProfile(
+        reset_every=_optional_every(raw, "reset_every", what),
+        delay_every=_optional_every(raw, "delay_every", what),
+        delay_ms=_number(raw.get("delay_ms", 10.0), 0.0, f"{what}: delay_ms"),
+        truncate_every=_optional_every(raw, "truncate_every", what),
+        garbage_every=_optional_every(raw, "garbage_every", what),
+        max_attempts=_int_at_least(
+            raw.get("max_attempts", 8), 1, f"{what}: max_attempts"
+        ),
+    )
+    if not profile.plan().injects_anything:
+        raise ScenarioError(
+            f"{what} enables no fault class "
+            "(set reset_every / delay_every / truncate_every / garbage_every, "
+            "or drop the chaos table)"
+        )
+    return profile
+
+
+def _parse_phase(raw: Any, index: int,
+                 tenancy: Optional[TenancySpec]) -> PhaseSpec:
+    what = f"phase[{index}]"
+    if not isinstance(raw, dict):
+        raise ScenarioError(f"{what} must be a table")
+    _reject_unknown(
+        raw,
+        {"name", "clients", "refs", "sessions_per_client", "mix",
+         "mix_end", "arrival", "chaos", "tenant", "tolerate_quota"},
+        what,
+    )
+    name = _string(raw.get("name", f"phase-{index}"), f"{what}: name")
+    what = f"phase {name!r}"
+    mix = _parse_mix(_require(raw, "mix", what), f"{what}: mix")
+    mix_end = None
+    if raw.get("mix_end") is not None:
+        mix_end = _parse_mix(raw["mix_end"], f"{what}: mix_end")
+        if tuple(n for n, _ in mix_end) != tuple(n for n, _ in mix):
+            raise ScenarioError(
+                f"{what}: mix_end must name the same traces as mix"
+            )
+    tenant = raw.get("tenant")
+    if tenant is not None:
+        tenant = _string(tenant, f"{what}: tenant")
+        if tenancy is None:
+            raise ScenarioError(
+                f"{what} names tenant {tenant!r} but the scenario has "
+                "no [tenancy] section"
+            )
+        if tenancy.config.spec(tenant) is None:
+            raise ScenarioError(
+                f"{what} names tenant {tenant!r} which is not in the "
+                "[tenancy] section"
+            )
+    tolerate = raw.get("tolerate_quota", False)
+    if not isinstance(tolerate, bool):
+        raise ScenarioError(f"{what}: tolerate_quota must be a boolean")
+    return PhaseSpec(
+        name=name,
+        clients=_int_at_least(raw.get("clients", 2), 1, f"{what}: clients"),
+        refs=_int_at_least(raw.get("refs", 500), 1, f"{what}: refs"),
+        sessions_per_client=_int_at_least(
+            raw.get("sessions_per_client", 1), 1,
+            f"{what}: sessions_per_client",
+        ),
+        mix=mix,
+        mix_end=mix_end,
+        arrival=_parse_arrival(raw.get("arrival", {}), f"{what}: arrival"),
+        chaos=(
+            None if raw.get("chaos") is None
+            else _parse_chaos(raw["chaos"], f"{what}: chaos")
+        ),
+        tenant=tenant,
+        tolerate_quota=tolerate,
+    )
+
+
+def _parse_tenancy(raw: Any) -> TenancySpec:
+    what = "tenancy section"
+    if not isinstance(raw, dict):
+        raise ScenarioError(f"{what} must be a table")
+    _reject_unknown(raw, {"store", "memory_budget_bytes", "tenants"}, what)
+    store = _string(_require(raw, "store", what), f"{what}: store")
+    doc: Dict[str, Any] = {"tenants": raw.get("tenants")}
+    if raw.get("memory_budget_bytes") is not None:
+        doc["memory_budget_bytes"] = raw["memory_budget_bytes"]
+    try:
+        config = parse_tenancy_config(doc)
+    except TenancyConfigError as exc:
+        raise ScenarioError(f"{what}: {exc}") from None
+    return TenancySpec(store=store, config=config)
+
+
+def parse_scenario(doc: Any) -> ScenarioSpec:
+    """Validate a decoded TOML/JSON document into a :class:`ScenarioSpec`."""
+    if not isinstance(doc, dict):
+        raise ScenarioError("scenario document must be a table/object")
+    _reject_unknown(doc, {"scenario", "phase", "tenancy"}, "scenario document")
+    head = _require(doc, "scenario", "scenario document")
+    if not isinstance(head, dict):
+        raise ScenarioError("[scenario] must be a table")
+    _reject_unknown(
+        head,
+        {"name", "seed", "mode", "workers", "policy", "cache_size"},
+        "[scenario]",
+    )
+    name = _string(_require(head, "name", "[scenario]"), "[scenario] name")
+    mode = head.get("mode", "fleet")
+    if mode not in MODES:
+        raise ScenarioError(
+            f"[scenario] mode must be one of {', '.join(MODES)}"
+        )
+    raw_workers = head.get("workers", [2])
+    if isinstance(raw_workers, int) and not isinstance(raw_workers, bool):
+        raw_workers = [raw_workers]
+    if not isinstance(raw_workers, list) or not raw_workers:
+        raise ScenarioError(
+            "[scenario] workers must be an integer or a non-empty list"
+        )
+    workers = tuple(
+        _int_at_least(value, 1, "[scenario] workers") for value in raw_workers
+    )
+    if len(set(workers)) != len(workers):
+        raise ScenarioError("[scenario] workers has duplicate sweep points")
+    from repro.policies.registry import policy_names
+
+    policy = head.get("policy", "tree")
+    if policy not in policy_names():
+        raise ScenarioError(f"[scenario] unknown policy {policy!r}")
+    tenancy = None
+    if doc.get("tenancy") is not None:
+        tenancy = _parse_tenancy(doc["tenancy"])
+    raw_phases = doc.get("phase", [])
+    if not isinstance(raw_phases, list) or not raw_phases:
+        raise ScenarioError("scenario needs at least one [[phase]]")
+    phases = tuple(
+        _parse_phase(raw, index, tenancy)
+        for index, raw in enumerate(raw_phases)
+    )
+    names = [phase.name for phase in phases]
+    if len(set(names)) != len(names):
+        raise ScenarioError("phase names must be unique")
+    return ScenarioSpec(
+        name=name,
+        seed=_int_at_least(head.get("seed", 1999), 0, "[scenario] seed"),
+        mode=mode,
+        workers=workers,
+        policy=policy,
+        cache_size=_int_at_least(
+            head.get("cache_size", 1024), 1, "[scenario] cache_size"
+        ),
+        phases=phases,
+        tenancy=tenancy,
+    )
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Read and validate a scenario file (``.toml`` or ``.json``)."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path}: {exc}") from None
+    if str(path).endswith(".json"):
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ScenarioError(
+                f"scenario {path} is not valid JSON: {exc}"
+            ) from None
+    else:
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+            raise ScenarioError(
+                f"scenario {path} is TOML but this Python has no tomllib; "
+                "convert the scenario to .json"
+            ) from None
+        try:
+            doc = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as exc:
+            raise ScenarioError(
+                f"scenario {path} is not valid TOML: {exc}"
+            ) from None
+    return parse_scenario(doc)

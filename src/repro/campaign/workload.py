@@ -1,0 +1,123 @@
+"""Deterministic workload synthesis for campaign phases.
+
+Each client in a phase gets its *own* reference stream, mixed from the
+scenario's named synthetic generators: the phase's ``mix`` weights pick
+which trace the next reference comes from, and an optional ``mix_end``
+linearly drifts the weights across the stream (the diurnal shift — a
+morning cello-heavy mix sliding into an afternoon cad-heavy one inside
+one phase).  Component traces are offset into disjoint block-id ranges
+so a cello reference can never alias a cad block.
+
+Everything is a pure function of ``(scenario seed, phase name, client
+index)`` via :func:`repro.campaign.spec.derive_seed`: same scenario,
+same streams, on any machine — which is what makes campaign bundles
+hash-reproducible.
+
+Arrival timing lives here too (:func:`arrival_delays`): curves shape
+*when* clients connect, seeded jitter de-synchronises them, and none of
+it affects the advice stream — only the wall-clock metrics.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Dict, List
+
+from repro.campaign.spec import ArrivalSpec, PhaseSpec, derive_seed
+from repro.traces.synthetic import make_trace
+
+#: Headroom on each component trace so a drifting mix can draw most of a
+#: phase's references from one source without exhausting it.
+_POOL_SLACK = 1.25
+
+
+def _component_pools(
+    phase: PhaseSpec, scenario_seed: int, client: int
+) -> Dict[str, List[int]]:
+    """Per-trace reference pools for one client, id-offset to disjointness."""
+    pools: Dict[str, List[int]] = {}
+    length = max(64, int(phase.refs * _POOL_SLACK) + 1)
+    offset = 0
+    for name, _weight in phase.mix:
+        trace = make_trace(
+            name,
+            num_references=length,
+            seed=derive_seed(scenario_seed, phase.name, client, name),
+        )
+        blocks = trace.as_list()
+        span = max(int(block) for block in blocks) + 1
+        pools[name] = [int(block) + offset for block in blocks]
+        offset += span
+    return pools
+
+
+def client_blocks(
+    phase: PhaseSpec, scenario_seed: int, client: int
+) -> List[int]:
+    """One client's mixed reference stream for ``phase`` (see module doc)."""
+    pools = _component_pools(phase, scenario_seed, client)
+    cursor = {name: 0 for name in pools}
+    start = dict(phase.mix)
+    end = dict(phase.mix_end) if phase.mix_end is not None else start
+    names = [name for name, _ in phase.mix]
+    rng = Random(derive_seed(scenario_seed, phase.name, client, "mix"))
+    stream: List[int] = []
+    denominator = max(1, phase.refs - 1)
+    for position in range(phase.refs):
+        t = position / denominator
+        weights = [
+            (1.0 - t) * start[name] + t * end[name] for name in names
+        ]
+        total = sum(weights)
+        if total <= 0.0:
+            # A drift can momentarily zero every weight; fall back to the
+            # uniform pick rather than dividing by zero.
+            weights = [1.0] * len(names)
+            total = float(len(names))
+        pick = rng.random() * total
+        chosen = names[-1]
+        for name, weight in zip(names, weights):
+            pick -= weight
+            if pick < 0.0:
+                chosen = name
+                break
+        pool = pools[chosen]
+        index = cursor[chosen]
+        cursor[chosen] = (index + 1) % len(pool)
+        stream.append(pool[index])
+    return stream
+
+
+def phase_client_blocks(
+    phase: PhaseSpec, scenario_seed: int
+) -> List[List[int]]:
+    """Every client's stream for one phase, in client order."""
+    return [
+        client_blocks(phase, scenario_seed, client)
+        for client in range(phase.clients)
+    ]
+
+
+def arrival_delays(
+    arrival: ArrivalSpec, clients: int, scenario_seed: int, phase_name: str
+) -> List[float]:
+    """Per-client connect delays (seconds) for one phase.
+
+    ``burst``: everyone at 0.  ``uniform``: client *i* of *n* at
+    ``i/n * over_s``.  ``ramp``: quadratic spacing, so early arrivals
+    trickle and late ones flood in (``(i/n)**2`` inverted: gaps shrink).
+    Seeded jitter is added per client.
+    """
+    rng = Random(derive_seed(scenario_seed, phase_name, "arrival"))
+    delays: List[float] = []
+    for client in range(clients):
+        fraction = client / clients
+        if arrival.curve == "uniform":
+            base = fraction * arrival.over_s
+        elif arrival.curve == "ramp":
+            base = (1.0 - (1.0 - fraction) ** 2) * arrival.over_s
+        else:  # burst
+            base = 0.0
+        jitter = rng.random() * arrival.jitter_s
+        delays.append(base + jitter)
+    return delays

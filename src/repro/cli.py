@@ -16,6 +16,12 @@ Commands
 ``chaos``     Replay through a fault-injecting proxy (resets, delays,
               corrupt lines) with retrying clients, and report what the
               resilience layer absorbed.
+``campaign``  The scenario lab (:mod:`repro.campaign`): ``run`` drives a
+              declarative scenario file end-to-end against a real fleet
+              and writes a content-hashed result bundle; ``compare``
+              renders a per-metric delta table against a baseline bundle
+              (non-zero exit on regression); ``list`` shows the bundles
+              under an output directory.
 
 Examples
 --------
@@ -33,7 +39,13 @@ Examples
     python -m repro fleet --workers 3 --port 7199 --checkpoint-dir ckpt \
         --checkpoint-every-s 1
     python -m repro replay --trace cad --clients 4 --port 7199
+    python -m repro replay --trace cad --port 7199 --json
     python -m repro chaos --trace cad --port 7199 --reset-every 40
+    python -m repro campaign run examples/campaigns/diurnal_chaos.toml \
+        --out .campaigns
+    python -m repro campaign compare benchmarks/campaigns/baseline \
+        .campaigns/diurnal-chaos-*-w2
+    python -m repro campaign list --out .campaigns
 """
 
 from __future__ import annotations
@@ -625,6 +637,13 @@ def cmd_replay(args) -> int:
         ) from None
     except (ServiceError, ProtocolError) as exc:
         raise CLIError(f"replay failed: {exc}") from None
+    if args.json:
+        import json
+
+        # Machine-readable mode: the full report as one JSON document on
+        # stdout, nothing else (campaign tooling and scripts parse this).
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
     flat = report.as_dict()
     outcomes = flat.pop("outcomes")
     flat.pop("per_client_miss_rate")
@@ -635,6 +654,92 @@ def cmd_replay(args) -> int:
         # Greppable for the tenancy smoke, mirroring the serve/fleet pair.
         print(f"replay: tenant={args.tenant} sessions={report.sessions} "
               f"quota_rejected={report.quota_rejected}", flush=True)
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from repro.campaign import (
+        CampaignError,
+        ScenarioError,
+        load_scenario,
+        run_scenario,
+    )
+    from repro.service.client import ResumeParityError
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as exc:
+        raise CLIError(str(exc)) from None
+    echo = None if args.quiet else (lambda line: print(line, flush=True))
+    try:
+        runs = run_scenario(
+            scenario,
+            out_dir=args.out,
+            workdir=args.workdir,
+            echo=echo,
+        )
+    except ResumeParityError as exc:
+        raise CLIError(
+            f"decision parity violated during campaign: {exc}"
+        ) from None
+    except CampaignError as exc:
+        raise CLIError(str(exc)) from None
+    total_lost = 0
+    for bundle, record in runs:
+        total_lost += record["sessions_lost"]
+        print(
+            f"campaign: wrote {bundle.path} "
+            f"scenario_hash={bundle.scenario_hash[:12]} "
+            f"bundle_hash={bundle.bundle_hash[:12]}"
+        )
+    # Greppable verdict line, mirroring the fleet/chaos summaries: the
+    # campaign finished and (chaos or not) no session went unaccounted.
+    print(
+        f"campaign: name={scenario.name} runs={len(runs)} "
+        f"sessions_lost={total_lost}",
+        flush=True,
+    )
+    return 0 if total_lost == 0 else 1
+
+
+def cmd_campaign_compare(args) -> int:
+    from repro.campaign import BundleError, load_bundle
+    from repro.campaign.compare import compare_bundles, render_comparison
+
+    try:
+        baseline = load_bundle(args.baseline)
+        candidate = load_bundle(args.candidate)
+        baseline.verify()
+        candidate.verify()
+    except BundleError as exc:
+        raise CLIError(str(exc)) from None
+    comparison = compare_bundles(
+        baseline, candidate, perf_tolerance=args.perf_tolerance
+    )
+    print(render_comparison(comparison))
+    passed = comparison.passed(fail_on_perf=args.fail_on_perf)
+    print(f"campaign compare: {'PASS' if passed else 'FAIL'}", flush=True)
+    return 0 if passed else 1
+
+
+def cmd_campaign_list(args) -> int:
+    from repro.campaign import list_bundles
+
+    bundles = list_bundles(args.out)
+    if not bundles:
+        print(f"no campaign bundles under {args.out}")
+        return 0
+    for bundle in bundles:
+        lost = sum(
+            int(phase.get("sessions_lost", 0))
+            for phase in bundle.deterministic_phases
+        )
+        print(
+            f"{bundle.path.name}: scenario={bundle.scenario_hash[:12]} "
+            f"bundle={bundle.bundle_hash[:12]} workers={bundle.workers} "
+            f"phases={len(bundle.deterministic_phases)} "
+            f"sessions_lost={lost}"
+        )
     return 0
 
 
@@ -837,6 +942,9 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="tolerate_quota",
                           help="count quota_exceeded rejections instead "
                                "of failing the replay")
+    p_replay.add_argument("--json", action="store_true",
+                          help="print the full report as JSON on stdout "
+                               "(machine-readable; suppresses the tables)")
     p_replay.set_defaults(func=cmd_replay)
 
     p_chaos = sub.add_parser(
@@ -872,6 +980,51 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="max_attempts",
                          help="client retry budget per observation")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="declarative scenario lab: run campaigns, compare bundles",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_crun = camp_sub.add_parser(
+        "run", help="drive a scenario file end-to-end, write a bundle"
+    )
+    p_crun.add_argument("scenario",
+                        help="scenario file (.toml or .json)")
+    p_crun.add_argument("--out", default=".repro-campaigns",
+                        help="bundle output directory "
+                             "(default .repro-campaigns)")
+    p_crun.add_argument("--workdir", default=None,
+                        help="scratch directory for worker checkpoints "
+                             "(default: inside the bundle directory)")
+    p_crun.add_argument("--quiet", action="store_true",
+                        help="suppress per-phase progress lines")
+    p_crun.set_defaults(func=cmd_campaign_run)
+
+    p_ccmp = camp_sub.add_parser(
+        "compare",
+        help="per-metric delta table vs a baseline bundle "
+             "(exit 1 on regression)",
+    )
+    p_ccmp.add_argument("baseline", help="baseline bundle directory")
+    p_ccmp.add_argument("candidate", help="candidate bundle directory")
+    p_ccmp.add_argument("--perf-tolerance", type=float, default=0.5,
+                        dest="perf_tolerance",
+                        help="relative wall-clock drift tolerated before "
+                             "flagging (default 0.5 = 50%%)")
+    p_ccmp.add_argument("--fail-on-perf", action="store_true",
+                        dest="fail_on_perf",
+                        help="treat perf drift beyond tolerance as a "
+                             "failure (same-machine A/B runs)")
+    p_ccmp.set_defaults(func=cmd_campaign_compare)
+
+    p_clist = camp_sub.add_parser(
+        "list", help="list campaign bundles under an output directory"
+    )
+    p_clist.add_argument("--out", default=".repro-campaigns",
+                         help="bundle output directory")
+    p_clist.set_defaults(func=cmd_campaign_list)
 
     return parser
 

@@ -17,14 +17,16 @@ resilience substrate (checkpoints, ``OPEN resume``, seq-tagged folds):
   reply bytes verbatim (exact advice parity with a bare server), and on
   worker death resumes sessions on the ring successor from the shared
   checkpoint directory, replaying its per-session journal tail;
-* :mod:`~repro.cluster.fleet`   — :func:`serve_fleet`, the
-  ``python -m repro fleet`` core wiring all three together.
+* :mod:`~repro.cluster.fleet`   — :func:`start_fleet` / :class:`Fleet`
+  (the programmatic embedding the campaign engine drives) and
+  :func:`serve_fleet`, the ``python -m repro fleet`` core wiring all
+  three together.
 
 Clients need no changes: a replay or chaos run pointed at the gateway's
 port behaves exactly as against a single server.
 """
 
-from repro.cluster.fleet import serve_fleet
+from repro.cluster.fleet import Fleet, serve_fleet, start_fleet
 from repro.cluster.gateway import AdvisoryGateway, GatewayStats, SessionLost
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.worker import (
@@ -37,6 +39,7 @@ from repro.cluster.worker import (
 __all__ = [
     "AdvisoryGateway",
     "DEFAULT_VNODES",
+    "Fleet",
     "GatewayStats",
     "HashRing",
     "SessionLost",
@@ -45,4 +48,5 @@ __all__ = [
     "WorkerStartupError",
     "WorkerSupervisor",
     "serve_fleet",
+    "start_fleet",
 ]

@@ -1,10 +1,17 @@
-"""Run a whole fleet — supervisor + workers + gateway — as one command.
+"""Run a whole fleet — supervisor + workers + gateway — as one unit.
 
-This is the ``python -m repro fleet`` core: spawn N advisory workers,
-put the gateway in front of them, serve until SIGTERM/SIGINT, then
-drain — gateway first (stop accepting, close client connections), then
-SIGTERM fan-out to the workers so each checkpoints its live sessions to
-the shared ``--checkpoint-dir`` — and print one greppable summary line::
+Two entry points share the same wiring:
+
+* :func:`start_fleet` — the programmatic embedding: start N supervised
+  advisory workers behind a gateway and hand back a :class:`Fleet`
+  handle (``port``, ``metrics()``, ``aclose()``).  The campaign engine
+  (:mod:`repro.campaign`) drives real fleets through this.
+* :func:`serve_fleet` — the ``python -m repro fleet`` core: a started
+  fleet plus signal handling.  Serve until SIGTERM/SIGINT, then drain —
+  gateway first (stop accepting, close client connections), then
+  SIGTERM fan-out to the workers so each checkpoints its live sessions
+  to the shared ``--checkpoint-dir`` — and print one greppable summary
+  line::
 
     fleet: workers=3 workers_restarted=1 sessions_opened=12 \
 sessions_closed=12 failovers_resumed=4 failovers_degraded=0 \
@@ -21,33 +28,148 @@ from __future__ import annotations
 
 import asyncio
 import signal
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.gateway import AdvisoryGateway
 from repro.cluster.ring import DEFAULT_VNODES
 from repro.cluster.worker import WorkerSupervisor
 from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
 
 
-def _fleet_summary(
-    gateway: AdvisoryGateway,
-    supervisor: WorkerSupervisor,
+class Fleet:
+    """A started fleet: gateway in front, supervised workers behind.
+
+    ::
+
+        fleet = await start_fleet(workers=2, checkpoint_dir="ckpt")
+        try:
+            ...  # clients connect to fleet.port
+            totals, per_worker = await fleet.metrics()
+        finally:
+            await fleet.aclose()
+
+    Also an async context manager.  :meth:`aclose` collects the worker
+    counters *before* tearing anything down, so :attr:`sessions_evicted`
+    and :attr:`worker_tenants_rejected` stay readable afterwards (the
+    shutdown summary line needs them).
+    """
+
+    def __init__(
+        self, gateway: AdvisoryGateway, supervisor: WorkerSupervisor
+    ) -> None:
+        self.gateway = gateway
+        self.supervisor = supervisor
+        self.sessions_evicted = 0
+        self.worker_tenants_rejected = 0
+
+    @property
+    def port(self) -> int:
+        """The gateway port clients connect to."""
+        return self.gateway.port
+
+    @property
+    def sessions_lost(self) -> int:
+        return self.gateway.stats.sessions_lost
+
+    async def metrics(self) -> Tuple[ServiceMetrics, Dict[str, Any]]:
+        """Merged worker metrics: ``(fleet totals, per-worker dicts)``."""
+        return await self.gateway.fleet_metrics()
+
+    def summary(self) -> str:
+        """The greppable one-line shutdown summary (see module docstring)."""
+        stats = self.gateway.stats
+        rejected = stats.tenants_rejected + self.worker_tenants_rejected
+        return (
+            f"fleet: workers={len(self.supervisor.workers)} "
+            f"workers_restarted={self.supervisor.workers_restarted} "
+            f"sessions_opened={stats.sessions_opened} "
+            f"sessions_closed={stats.sessions_closed} "
+            f"failovers_resumed={stats.failovers_resumed} "
+            f"failovers_degraded={stats.failovers_degraded} "
+            f"sessions_lost={stats.sessions_lost} "
+            f"sessions_evicted={self.sessions_evicted} "
+            f"tenants_rejected={rejected}"
+        )
+
+    async def aclose(self) -> None:
+        # Collect worker counters (evictions, worker-side rejections) for
+        # the summary while the workers are still up.
+        try:
+            totals, _ = await self.gateway.fleet_metrics()
+            self.sessions_evicted = totals.sessions_evicted
+            self.worker_tenants_rejected = totals.tenants_rejected
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        await self.gateway.aclose()
+        await self.supervisor.stop()
+
+    async def __aenter__(self) -> "Fleet":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+
+async def start_fleet(
+    host: str = "127.0.0.1",
+    port: int = 0,
     *,
-    sessions_evicted: int = 0,
-    worker_tenants_rejected: int = 0,
-) -> str:
-    stats = gateway.stats
-    return (
-        f"fleet: workers={len(supervisor.workers)} "
-        f"workers_restarted={supervisor.workers_restarted} "
-        f"sessions_opened={stats.sessions_opened} "
-        f"sessions_closed={stats.sessions_closed} "
-        f"failovers_resumed={stats.failovers_resumed} "
-        f"failovers_degraded={stats.failovers_degraded} "
-        f"sessions_lost={stats.sessions_lost} "
-        f"sessions_evicted={sessions_evicted} "
-        f"tenants_rejected={stats.tenants_rejected + worker_tenants_rejected}"
+    workers: int = 2,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_s: Optional[float] = None,
+    store: Optional[str] = None,
+    model: Optional[str] = None,
+    tenant_config: Optional[str] = None,
+    memory_budget_mb: Optional[int] = None,
+    max_sessions: int = 1024,
+    vnodes: int = DEFAULT_VNODES,
+    probe_interval_s: float = 1.0,
+    echo=None,
+) -> Fleet:
+    """Spawn the workers, start the gateway, return a live :class:`Fleet`.
+
+    ``port=0`` binds the gateway to an ephemeral port (read it back from
+    ``fleet.port``).  ``echo`` is an optional ``callable(str)`` receiving
+    the same progress lines ``repro fleet`` prints.
+    """
+    quotas = None
+    if tenant_config is not None:
+        # Parse once up front: the gateway admits against the same config
+        # the workers load from the file path.
+        from repro.tenancy.config import load_tenancy_config
+
+        quotas = load_tenancy_config(tenant_config)
+    supervisor = WorkerSupervisor(
+        workers,
+        host=host,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every_s=checkpoint_every_s,
+        store=store,
+        model=model,
+        tenant_config=tenant_config,
+        memory_budget_mb=memory_budget_mb,
+        max_sessions=max_sessions,
+        probe_interval_s=probe_interval_s,
+        echo=echo,
     )
+    await supervisor.start()
+    gateway = AdvisoryGateway(
+        supervisor,
+        vnodes=vnodes,
+        on_route=(
+            None if echo is None
+            else (lambda sid, wid: echo(f"fleet: session {sid} on {wid}"))
+        ),
+        tenant_config=quotas,
+    )
+    try:
+        await gateway.start(host, port)
+    except BaseException:
+        await gateway.aclose()
+        await supervisor.stop()
+        raise
+    return Fleet(gateway, supervisor)
 
 
 async def serve_fleet(
@@ -72,16 +194,9 @@ async def serve_fleet(
         if ready_message:
             print(message, flush=True)
 
-    quotas = None
-    if tenant_config is not None:
-        # Parse once up front: the gateway admits against the same config
-        # the workers load from the file path.
-        from repro.tenancy.config import load_tenancy_config
-
-        quotas = load_tenancy_config(tenant_config)
-    supervisor = WorkerSupervisor(
-        workers,
-        host=host,
+    fleet = await start_fleet(
+        host, port,
+        workers=workers,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every_s=checkpoint_every_s,
         store=store,
@@ -89,20 +204,13 @@ async def serve_fleet(
         tenant_config=tenant_config,
         memory_budget_mb=memory_budget_mb,
         max_sessions=max_sessions,
+        vnodes=vnodes,
         probe_interval_s=probe_interval_s,
         echo=_say if ready_message else None,
     )
-    await supervisor.start()
-    gateway = AdvisoryGateway(
-        supervisor,
-        vnodes=vnodes,
-        on_route=lambda sid, wid: _say(f"fleet: session {sid} on {wid}"),
-        tenant_config=quotas,
-    )
     try:
-        await gateway.start(host, port)
         _say(
-            f"repro.gateway listening on {host}:{gateway.port} "
+            f"repro.gateway listening on {host}:{fleet.port} "
             f"(protocol v{protocol.PROTOCOL_VERSION}, workers={workers})"
         )
         stop_requested = asyncio.Event()
@@ -120,20 +228,5 @@ async def serve_fleet(
             for signum in installed:
                 loop.remove_signal_handler(signum)
     finally:
-        # Collect worker counters (evictions, worker-side rejections) for
-        # the summary while the workers are still up.
-        sessions_evicted = 0
-        worker_tenants_rejected = 0
-        try:
-            totals, _ = await gateway.fleet_metrics()
-            sessions_evicted = totals.sessions_evicted
-            worker_tenants_rejected = totals.tenants_rejected
-        except (ConnectionError, OSError, asyncio.TimeoutError):
-            pass
-        await gateway.aclose()
-        await supervisor.stop()
-        _say(_fleet_summary(
-            gateway, supervisor,
-            sessions_evicted=sessions_evicted,
-            worker_tenants_rejected=worker_tenants_rejected,
-        ))
+        await fleet.aclose()
+        _say(fleet.summary())

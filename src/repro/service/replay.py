@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.service import protocol
 from repro.service.client import (
@@ -28,6 +28,11 @@ from repro.service.client import (
     ServiceError,
 )
 from repro.service.metrics import percentiles_from_samples
+
+#: Session-churn hook: ``callback(client_index, event)`` with event one of
+#: ``"open"`` / ``"close"``.  The campaign driver counts these to assert
+#: every opened session was closed (nothing lost to churn or chaos).
+SessionEventHook = Callable[[int, str], None]
 
 
 @dataclass
@@ -112,6 +117,9 @@ async def _replay_one(
     tenant: Optional[str] = None,
     sessions: int = 1,
     tolerate_quota: bool = False,
+    client_index: int = 0,
+    start_delay_s: float = 0.0,
+    on_session_event: Optional[SessionEventHook] = None,
 ) -> _ClientResult:
     result = _ClientResult(
         samples=[],
@@ -119,6 +127,12 @@ async def _replay_one(
         prefetches=0,
         miss_rate=0.0,
     )
+    if start_delay_s > 0.0:
+        await asyncio.sleep(start_delay_s)
+
+    def _event(event: str) -> None:
+        if on_session_event is not None:
+            on_session_event(client_index, event)
 
     async def _one_session() -> None:
         if retry is not None:
@@ -132,6 +146,7 @@ async def _replay_one(
                     policy=policy, cache_size=cache_size, params=params,
                     policy_kwargs=policy_kwargs, tenant=tenant,
                 )
+                _event("open")
                 for block in blocks:
                     started = time.perf_counter()
                     advice = await client.observe(int(block) + offset)
@@ -139,6 +154,7 @@ async def _replay_one(
                     result.outcomes[advice.outcome] += 1
                     result.prefetches += len(advice.prefetch)
                 final = await client.close_session()
+                _event("close")
                 result.retries += client.retries
                 result.resumes += client.resumes
                 result.cold_restarts += client.cold_restarts
@@ -151,6 +167,7 @@ async def _replay_one(
                     policy=policy, cache_size=cache_size, params=params,
                     policy_kwargs=policy_kwargs, tenant=tenant,
                 )
+                _event("open")
                 for block in blocks:
                     started = time.perf_counter()
                     advice = await client.observe(
@@ -160,6 +177,7 @@ async def _replay_one(
                     result.outcomes[advice.outcome] += 1
                     result.prefetches += len(advice.prefetch)
                 final = await client.close_session(session)
+                _event("close")
         result.sessions += 1
         result.miss_rate = float(final.get("miss_rate", 0.0))
 
@@ -191,6 +209,9 @@ async def replay_async(
     tenant: Optional[str] = None,
     sessions_per_client: int = 1,
     tolerate_quota: bool = False,
+    client_blocks: Optional[Sequence[Sequence[int]]] = None,
+    arrival_delays: Optional[Sequence[float]] = None,
+    on_session_event: Optional[SessionEventHook] = None,
 ) -> ReplayReport:
     """Replay ``blocks`` from ``clients`` concurrent sessions.
 
@@ -204,6 +225,13 @@ async def replay_async(
     sessions back to back (session-churn load for the tenancy smoke);
     ``tolerate_quota`` turns server-side ``quota_exceeded`` rejections
     into a counted outcome instead of a failure.
+
+    The campaign driver's hooks: ``client_blocks`` hands every client its
+    own private stream (overriding ``blocks``; incompatible with
+    ``disjoint``, which exists to synthesise exactly that from one
+    stream), ``arrival_delays`` staggers client connects (seconds, one
+    entry per client), and ``on_session_event`` observes open/close churn
+    as it happens.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients!r}")
@@ -211,14 +239,33 @@ async def replay_async(
         raise ValueError(
             f"sessions_per_client must be >= 1, got {sessions_per_client!r}"
         )
-    if not blocks:
+    if client_blocks is not None:
+        if disjoint:
+            raise ValueError(
+                "client_blocks already gives each client a private stream; "
+                "disjoint does not apply"
+            )
+        if len(client_blocks) != clients:
+            raise ValueError(
+                f"client_blocks must have one stream per client "
+                f"({clients}), got {len(client_blocks)}"
+            )
+        if any(not stream for stream in client_blocks):
+            raise ValueError("client_blocks contains an empty stream")
+    elif not blocks:
         raise ValueError("cannot replay an empty trace")
+    if arrival_delays is not None and len(arrival_delays) != clients:
+        raise ValueError(
+            f"arrival_delays must have one delay per client "
+            f"({clients}), got {len(arrival_delays)}"
+        )
     # Private id ranges per client when streams must not collide.
     span = (max(int(b) for b in blocks) + 1) if disjoint else 0
     started = time.perf_counter()
     results = await asyncio.gather(*(
         _replay_one(
-            host, port, blocks,
+            host, port,
+            blocks if client_blocks is None else client_blocks[index],
             policy=policy, cache_size=cache_size, params=params,
             policy_kwargs=policy_kwargs,
             offset=index * span,
@@ -226,6 +273,11 @@ async def replay_async(
             tenant=tenant,
             sessions=sessions_per_client,
             tolerate_quota=tolerate_quota,
+            client_index=index,
+            start_delay_s=(
+                0.0 if arrival_delays is None else float(arrival_delays[index])
+            ),
+            on_session_event=on_session_event,
         )
         for index in range(clients)
     ))

@@ -1,0 +1,45 @@
+"""One real fleet-mode campaign: gateway + worker subprocesses.
+
+Slow relative to the server-mode tests (subprocess spawn + probe), so
+there is exactly one of it: a two-phase scenario with churn and mild
+chaos against a live 2-worker fleet, asserting the run is lossless and
+the bundle verifies.  The CI campaign smoke job runs the committed
+``examples/campaigns/smoke.toml`` through the same path twice and
+compares hashes; this test keeps the path honest under plain pytest.
+"""
+
+from repro.campaign import parse_scenario, run_scenario
+
+
+def test_fleet_campaign_end_to_end(tmp_path):
+    scenario = parse_scenario({
+        "scenario": {"name": "fleet-lab", "seed": 23, "mode": "fleet",
+                     "workers": [2], "cache_size": 128},
+        "phase": [
+            {"name": "ramp", "clients": 3, "refs": 60,
+             "mix": {"cello": 0.5, "cad": 0.5},
+             "arrival": {"curve": "uniform", "over_s": 0.05}},
+            {"name": "chaos", "clients": 2, "refs": 50,
+             "sessions_per_client": 2,
+             "mix": {"snake": 1.0},
+             "chaos": {"reset_every": 70, "delay_every": 29,
+                       "delay_ms": 1.0}},
+        ],
+    })
+    (bundle, record), = run_scenario(
+        scenario, out_dir=str(tmp_path / "out")
+    )
+    assert record["workers"] == 2
+    assert record["sessions_lost"] == 0
+    ramp, chaos = record["phases"]
+    assert ramp["requests"] == 3 * 60
+    assert chaos["requests"] == 2 * 2 * 50
+    assert chaos["churn_opened"] == 4
+    assert chaos["churn_closed"] == 4
+    assert chaos["chaos"]["drops_injected"] >= 1
+    bundle.verify()
+    # The merged fleet metrics landed in the bundle's results.
+    fleet_totals = bundle.results["fleet_metrics"]["fleet"]
+    assert fleet_totals["advice_issued"] == 380
+    assert bundle.results["fleet_metrics"]["gateway"]["sessions_lost"] == 0
+    assert len(bundle.results["fleet_metrics"]["per_worker"]) == 2

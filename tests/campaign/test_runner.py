@@ -1,0 +1,243 @@
+"""End-to-end campaign runs (server mode) and the CLI surface.
+
+The centrepiece is the single-seed determinism audit: every random
+stream in a campaign derives from ``scenario.seed``, so running the
+same scenario twice — including a chaos phase with injected resets and
+delays — must produce byte-identical bundle hashes.  Fleet mode shares
+this exact code path behind ``start_fleet`` (exercised by the committed
+CI smoke and ``tests/cluster/test_fleet.py``); here we drive the
+in-process server target to keep the suite fast and loop-friendly.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.campaign import (
+    load_bundle,
+    parse_scenario,
+    run_scenario,
+    scenario_hash,
+)
+from repro.cli import main
+from repro.store import ModelStore
+from repro.store.models import model_snapshot
+from repro.core.tree import PrefetchTree
+
+
+def scenario_doc(**scenario_overrides):
+    doc = {
+        "scenario": {"name": "lab", "seed": 17, "mode": "server",
+                     "cache_size": 256},
+        "phase": [
+            {"name": "ramp", "clients": 2, "refs": 120,
+             "mix": {"cello": 0.6, "cad": 0.4},
+             "mix_end": {"cello": 0.2, "cad": 0.8},
+             "arrival": {"curve": "ramp", "over_s": 0.05,
+                         "jitter_s": 0.02}},
+            {"name": "churn-chaos", "clients": 2, "refs": 80,
+             "sessions_per_client": 2,
+             "mix": {"snake": 1.0},
+             "chaos": {"reset_every": 60, "delay_every": 23,
+                       "delay_ms": 1.0}},
+        ],
+    }
+    doc["scenario"].update(scenario_overrides)
+    return doc
+
+
+class TestDeterminismAudit:
+    def test_two_runs_identical_bundle_hashes(self, tmp_path):
+        scenario = parse_scenario(scenario_doc())
+        first = run_scenario(scenario, out_dir=str(tmp_path / "a"))
+        second = run_scenario(scenario, out_dir=str(tmp_path / "b"))
+        (bundle_a, record_a), = first
+        (bundle_b, record_b), = second
+        assert bundle_a.bundle_hash == bundle_b.bundle_hash
+        assert record_a["sessions_lost"] == 0
+        assert record_b["sessions_lost"] == 0
+        bundle_a.verify()
+        # The chaos phase really injected faults and really retried —
+        # determinism is interesting *because* the runs were perturbed.
+        chaos = record_a["phases"][1]
+        assert chaos["chaos"]["drops_injected"] > 0
+        assert chaos["retries"] > 0
+
+    def test_chaos_does_not_change_deterministic_outcomes(self, tmp_path):
+        # Same seed, same phases, chaos table removed: the advice stream
+        # (requests, outcomes, prefetches) must be identical — the
+        # resilience layer guarantees parity, the bundle proves it.
+        doc_chaos = scenario_doc()
+        doc_calm = scenario_doc()
+        doc_calm["phase"][1].pop("chaos")
+        (_, chaos_record), = run_scenario(
+            parse_scenario(doc_chaos), out_dir=str(tmp_path / "chaos")
+        )
+        (_, calm_record), = run_scenario(
+            parse_scenario(doc_calm), out_dir=str(tmp_path / "calm")
+        )
+        for noisy, calm in zip(chaos_record["phases"],
+                               calm_record["phases"]):
+            assert noisy["requests"] == calm["requests"]
+            assert noisy["outcomes"] == calm["outcomes"]
+            assert (noisy["prefetches_recommended"]
+                    == calm["prefetches_recommended"])
+
+    def test_seed_changes_the_bundle(self, tmp_path):
+        one = run_scenario(parse_scenario(scenario_doc(seed=17)),
+                           out_dir=str(tmp_path / "a"))
+        two = run_scenario(parse_scenario(scenario_doc(seed=18)),
+                           out_dir=str(tmp_path / "b"))
+        assert one[0][0].bundle_hash != two[0][0].bundle_hash
+
+
+class TestRunRecords:
+    def test_phase_accounting(self, tmp_path):
+        scenario = parse_scenario(scenario_doc())
+        (bundle, record), = run_scenario(
+            scenario, out_dir=str(tmp_path / "out")
+        )
+        ramp, chaos = record["phases"]
+        assert ramp["requests"] == 2 * 120
+        assert ramp["sessions"] == 2
+        assert ramp["churn_opened"] == 2
+        assert ramp["churn_closed"] == 2
+        assert ramp["chaos"] is None
+        # sessions_per_client=2: each client opens/closes two sessions.
+        assert chaos["requests"] == 2 * 2 * 80
+        assert chaos["sessions"] == 4
+        assert chaos["churn_opened"] == 4
+        assert chaos["churn_closed"] == 4
+        assert sum(ramp["outcomes"].values()) == ramp["requests"]
+        assert bundle.path.name == (
+            f"lab-{scenario_hash(scenario)[:10]}-w1"
+        )
+
+    def test_bundle_files_on_disk(self, tmp_path):
+        (bundle, _), = run_scenario(
+            parse_scenario(scenario_doc()), out_dir=str(tmp_path / "out")
+        )
+        for name in ("scenario.json", "results.json", "bundle.json"):
+            assert (bundle.path / name).is_file()
+        results = json.loads((bundle.path / "results.json").read_text())
+        assert results["fleet_metrics"]["advice_issued"] > 0
+        assert results["fleet_metrics"]["sessions_opened"] == (
+            results["fleet_metrics"]["sessions_closed"]
+        )
+        assert results["environment"]["python"]
+
+
+class TestTenancyCampaign:
+    def test_tenant_phase_runs_against_shared_base(self, tmp_path):
+        store = ModelStore(str(tmp_path / "models"))
+        tree = PrefetchTree()
+        rng = random.Random(5)
+        tree.record_all(rng.randrange(64) for _ in range(3000))
+        store.save("acme-base", model_snapshot(tree, base=True))
+        doc = scenario_doc()
+        doc["tenancy"] = {
+            "store": str(tmp_path / "models"),
+            "tenants": {"acme": {"model": "acme-base",
+                                 "max_sessions": 8}},
+        }
+        doc["phase"][0]["tenant"] = "acme"
+        (bundle, record), = run_scenario(
+            parse_scenario(doc), out_dir=str(tmp_path / "out")
+        )
+        assert record["sessions_lost"] == 0
+        assert record["phases"][0]["sessions"] == 2
+        bundle.verify()
+
+
+class TestCampaignCLI:
+    def write_scenario(self, tmp_path, doc=None):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(doc or scenario_doc()),
+                        encoding="utf-8")
+        return str(path)
+
+    def test_run_list_compare_loop(self, tmp_path, capsys):
+        scenario = self.write_scenario(tmp_path)
+        out_a, out_b = str(tmp_path / "a"), str(tmp_path / "b")
+        assert main(["campaign", "run", scenario, "--out", out_a,
+                     "--quiet"]) == 0
+        assert main(["campaign", "run", scenario, "--out", out_b,
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions_lost=0" in out
+        assert main(["campaign", "list", "--out", out_a]) == 0
+        listing = capsys.readouterr().out
+        assert "lab-" in listing and "sessions_lost=0" in listing
+        bundle_dir = listing.split(":")[0]
+        assert main(["campaign", "compare",
+                     f"{out_a}/{bundle_dir}", f"{out_b}/{bundle_dir}"]) == 0
+        report = capsys.readouterr().out
+        assert "REPRODUCED" in report
+        assert "campaign compare: PASS" in report
+
+    def test_compare_flags_regression_nonzero_exit(self, tmp_path, capsys):
+        scenario = self.write_scenario(tmp_path)
+        out_a = str(tmp_path / "a")
+        assert main(["campaign", "run", scenario, "--out", out_a,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        bundle, = __import__("glob").glob(f"{out_a}/lab-*")
+        # Forge a candidate whose deterministic outcome diverged.
+        import shutil
+
+        forged = str(tmp_path / "forged")
+        shutil.copytree(bundle, forged)
+        doc = json.loads((tmp_path / "forged" / "bundle.json").read_text())
+        doc["phases"][0]["requests"] += 1
+        from repro.campaign.bundle import compute_bundle_hash
+
+        payload = {key: doc[key] for key in
+                   ("bundle_format", "scenario", "workers", "phases")}
+        doc["bundle_hash"] = compute_bundle_hash(payload)
+        (tmp_path / "forged" / "bundle.json").write_text(json.dumps(doc))
+        assert main(["campaign", "compare", bundle, forged]) == 1
+        report = capsys.readouterr().out
+        assert "REGRESSION" in report
+        assert "campaign compare: FAIL" in report
+
+    def test_run_rejects_bad_scenario(self, tmp_path, capsys):
+        doc = scenario_doc()
+        doc["phase"] = []
+        scenario = self.write_scenario(tmp_path, doc)
+        assert main(["campaign", "run", scenario]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_compare_rejects_non_bundle(self, tmp_path, capsys):
+        assert main(["campaign", "compare", str(tmp_path),
+                     str(tmp_path)]) == 2
+        assert "not a campaign bundle" in capsys.readouterr().err
+
+    def test_list_empty_dir(self, tmp_path, capsys):
+        assert main(["campaign", "list", "--out",
+                     str(tmp_path / "none")]) == 0
+        assert "no campaign bundles" in capsys.readouterr().out
+
+
+class TestReplayJson:
+    def test_replay_json_is_machine_readable(self, capsys):
+        from repro.service.server import BackgroundServer
+
+        with BackgroundServer() as server:
+            rc = main(["replay", "--trace", "cad", "--refs", "400",
+                       "--clients", "2", "--port", str(server.port),
+                       "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["requests"] == 800
+        assert doc["clients"] == 2
+        assert set(doc) >= {"advice_per_second", "latency_p99_ms",
+                            "outcomes", "sessions", "retries"}
+
+    def test_json_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["replay", "--trace", "cad", "--json"]
+        )
+        assert args.json is True

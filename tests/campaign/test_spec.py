@@ -1,0 +1,318 @@
+"""Scenario spec parsing: happy paths, hashing, and every rejection."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    ArrivalSpec,
+    ChaosProfile,
+    ScenarioError,
+    derive_seed,
+    load_scenario,
+    parse_scenario,
+    scenario_hash,
+)
+
+
+def doc(**overrides):
+    base = {
+        "scenario": {"name": "demo", "seed": 11, "mode": "server"},
+        "phase": [
+            {"name": "one", "clients": 2, "refs": 100,
+             "mix": {"cello": 1.0}},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestParse:
+    def test_minimal_document(self):
+        scenario = parse_scenario(doc())
+        assert scenario.name == "demo"
+        assert scenario.seed == 11
+        assert scenario.mode == "server"
+        assert scenario.workers == (2,)
+        assert scenario.policy == "tree"
+        assert len(scenario.phases) == 1
+        assert scenario.phases[0].mix == (("cello", 1.0),)
+        assert scenario.tenancy is None
+
+    def test_workers_scalar_becomes_axis(self):
+        d = doc()
+        d["scenario"]["workers"] = 3
+        assert parse_scenario(d).workers == (3,)
+
+    def test_workers_sweep_axis(self):
+        d = doc()
+        d["scenario"]["workers"] = [1, 2, 4]
+        assert parse_scenario(d).workers == (1, 2, 4)
+
+    def test_full_phase(self):
+        d = doc()
+        d["phase"] = [{
+            "name": "busy",
+            "clients": 3,
+            "refs": 250,
+            "sessions_per_client": 2,
+            "mix": {"cello": 0.6, "cad": 0.4},
+            "mix_end": {"cello": 0.1, "cad": 0.9},
+            "arrival": {"curve": "ramp", "over_s": 1.0, "jitter_s": 0.2},
+            "chaos": {"reset_every": 40, "delay_every": 11,
+                      "delay_ms": 2.0, "max_attempts": 6},
+        }]
+        phase = parse_scenario(d).phases[0]
+        assert phase.sessions_per_client == 2
+        assert phase.mix_end == (("cad", 0.9), ("cello", 0.1))
+        assert phase.arrival == ArrivalSpec(curve="ramp", over_s=1.0,
+                                            jitter_s=0.2)
+        assert phase.chaos.reset_every == 40
+        assert phase.chaos.max_attempts == 6
+
+    def test_default_phase_name_from_index(self):
+        d = doc()
+        d["phase"] = [{"mix": {"cad": 1.0}}]
+        assert parse_scenario(d).phases[0].name == "phase-0"
+
+
+class TestHash:
+    def test_stable_across_calls(self):
+        assert scenario_hash(parse_scenario(doc())) == scenario_hash(
+            parse_scenario(doc())
+        )
+        assert len(scenario_hash(parse_scenario(doc()))) == 64
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d["scenario"].update(seed=12),
+        lambda d: d["scenario"].update(cache_size=2048),
+        lambda d: d["scenario"].update(mode="fleet"),
+        lambda d: d["scenario"].update(workers=[3]),
+        lambda d: d["phase"][0].update(refs=101),
+        lambda d: d["phase"][0].update(mix={"cad": 1.0}),
+        lambda d: d["phase"][0].update(
+            chaos={"reset_every": 9}),
+        lambda d: d["phase"][0].update(
+            arrival={"curve": "uniform", "over_s": 1.0}),
+    ])
+    def test_every_field_is_load_bearing(self, mutate):
+        changed = doc()
+        mutate(changed)
+        assert scenario_hash(parse_scenario(changed)) != scenario_hash(
+            parse_scenario(doc())
+        )
+
+    def test_mix_key_order_is_irrelevant(self):
+        a, b = doc(), doc()
+        a["phase"][0]["mix"] = {"cello": 0.5, "cad": 0.5}
+        b["phase"][0]["mix"] = {"cad": 0.5, "cello": 0.5}
+        assert scenario_hash(parse_scenario(a)) == scenario_hash(
+            parse_scenario(b)
+        )
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_label_sensitive(self):
+        assert derive_seed(7, "phase", 0) == derive_seed(7, "phase", 0)
+        assert derive_seed(7, "phase", 0) != derive_seed(7, "phase", 1)
+        assert derive_seed(7, "phase", 0) != derive_seed(8, "phase", 0)
+
+    def test_known_value_is_platform_stable(self):
+        # Pinned: a changed derivation would silently break every
+        # committed bundle hash, so lock the function itself down.
+        assert derive_seed(1999, "ramp", 0, "mix") == 7397704149006743146
+
+
+class TestRejections:
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.pop("scenario"), "needs a 'scenario'"),
+        (lambda d: d.update(extra=1), "unknown keys"),
+        (lambda d: d["scenario"].pop("name"), "needs a 'name'"),
+        (lambda d: d["scenario"].update(name=""), "non-empty string"),
+        (lambda d: d["scenario"].update(mode="cloud"), "mode must be one of"),
+        (lambda d: d["scenario"].update(workers=[]), "non-empty list"),
+        (lambda d: d["scenario"].update(workers=[2, 2]), "duplicate sweep"),
+        (lambda d: d["scenario"].update(workers=[0]), "integer >= 1"),
+        (lambda d: d["scenario"].update(policy="oracle"), "unknown policy"),
+        (lambda d: d["scenario"].update(cache_size=0), "integer >= 1"),
+        (lambda d: d["scenario"].update(seed=-1), "integer >= 0"),
+        (lambda d: d.update(phase=[]), "at least one"),
+        (lambda d: d["phase"][0].pop("mix"), "needs a 'mix'"),
+        (lambda d: d["phase"][0].update(mix={}), "non-empty table"),
+        (lambda d: d["phase"][0].update(mix={"vax": 1.0}), "unknown trace"),
+        (lambda d: d["phase"][0].update(mix={"cello": 0.0}),
+         "at least one weight"),
+        (lambda d: d["phase"][0].update(mix={"cello": -1.0}), "must be >= 0"),
+        (lambda d: d["phase"][0].update(mix_end={"cad": 1.0}),
+         "same traces as mix"),
+        (lambda d: d["phase"][0].update(clients=0), "integer >= 1"),
+        (lambda d: d["phase"][0].update(surprise=1), "unknown keys"),
+        (lambda d: d["phase"][0].update(tolerate_quota="yes"),
+         "must be a boolean"),
+        (lambda d: d["phase"][0].update(
+            arrival={"curve": "exponential"}), "curve must be one of"),
+        (lambda d: d["phase"][0].update(
+            arrival={"over_s": -1.0}), "must be >= 0"),
+        (lambda d: d["phase"][0].update(tenant="acme"),
+         "no \\[tenancy\\] section"),
+    ])
+    def test_malformed_documents(self, mutate, message):
+        bad = doc()
+        mutate(bad)
+        with pytest.raises(ScenarioError, match=message):
+            parse_scenario(bad)
+
+    def test_duplicate_phase_names(self):
+        d = doc()
+        d["phase"] = [
+            {"name": "p", "mix": {"cello": 1.0}},
+            {"name": "p", "mix": {"cad": 1.0}},
+        ]
+        with pytest.raises(ScenarioError, match="unique"):
+            parse_scenario(d)
+
+    def test_non_table_document(self):
+        with pytest.raises(ScenarioError, match="table/object"):
+            parse_scenario(["not", "a", "scenario"])
+
+
+class TestChaosProfileParsing:
+    """The chaos table maps onto ChaosProxy's FaultPlan; parse errors
+    here are what stands between a typo and a silently fault-free
+    'chaos' phase."""
+
+    def chaos_doc(self, table):
+        d = doc()
+        d["phase"][0]["chaos"] = table
+        return d
+
+    def test_profile_maps_onto_fault_plan(self):
+        profile = parse_scenario(self.chaos_doc({
+            "reset_every": 50, "delay_every": 7, "delay_ms": 2.0,
+            "truncate_every": 90, "garbage_every": 120,
+        })).phases[0].chaos
+        plan = profile.plan()
+        assert plan.reset_every == 50
+        assert plan.delay_every == 7
+        assert plan.delay_s == pytest.approx(0.002)
+        assert plan.truncate_every == 90
+        assert plan.garbage_every == 120
+        assert plan.injects_anything
+
+    def test_defaults(self):
+        profile = parse_scenario(
+            self.chaos_doc({"reset_every": 10})
+        ).phases[0].chaos
+        assert profile.delay_ms == 10.0
+        assert profile.max_attempts == 8
+        assert profile.plan().delay_every is None
+
+    def test_empty_chaos_table_is_rejected(self):
+        # A chaos phase that injects nothing is a lie in the scenario
+        # file; require at least one fault class or no table at all.
+        with pytest.raises(ScenarioError, match="enables no fault class"):
+            parse_scenario(self.chaos_doc({}))
+
+    def test_delay_ms_alone_is_rejected(self):
+        with pytest.raises(ScenarioError, match="enables no fault class"):
+            parse_scenario(self.chaos_doc({"delay_ms": 5.0}))
+
+    @pytest.mark.parametrize("table, message", [
+        ({"reset_every": 0}, "integer >= 1"),
+        ({"delay_every": -3}, "integer >= 1"),
+        ({"reset_every": 10, "delay_ms": -1.0}, "must be >= 0"),
+        ({"reset_every": 10, "max_attempts": 0}, "integer >= 1"),
+        ({"reset_every": 10, "jitter": True}, "unknown keys"),
+        ("hard", "must be a table"),
+    ])
+    def test_malformed_chaos_tables(self, table, message):
+        with pytest.raises(ScenarioError, match=message):
+            parse_scenario(self.chaos_doc(table))
+
+
+class TestTenancySection:
+    def tenancy_doc(self):
+        d = doc()
+        d["tenancy"] = {
+            "store": "models",
+            "tenants": {"acme": {"model": "base", "max_sessions": 4}},
+        }
+        d["phase"][0]["tenant"] = "acme"
+        return d
+
+    def test_parses_and_snapshots(self):
+        scenario = parse_scenario(self.tenancy_doc())
+        assert scenario.tenancy.store == "models"
+        assert scenario.tenancy.config.spec("acme").max_sessions == 4
+        snapshot = scenario.as_dict()["tenancy"]
+        assert snapshot["tenants"]["acme"]["model"] == "base"
+        assert "name" not in snapshot["tenants"]["acme"]
+
+    def test_unknown_tenant_in_phase(self):
+        d = self.tenancy_doc()
+        d["phase"][0]["tenant"] = "globex"
+        with pytest.raises(ScenarioError, match="not in the"):
+            parse_scenario(d)
+
+    def test_tenancy_errors_are_wrapped(self):
+        d = self.tenancy_doc()
+        d["tenancy"]["tenants"]["acme"].pop("model")
+        with pytest.raises(ScenarioError, match="tenancy section.*model"):
+            parse_scenario(d)
+
+    def test_store_required(self):
+        d = self.tenancy_doc()
+        d["tenancy"].pop("store")
+        with pytest.raises(ScenarioError, match="needs a 'store'"):
+            parse_scenario(d)
+
+
+class TestLoadScenario:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(doc()), encoding="utf-8")
+        assert load_scenario(str(path)).name == "demo"
+
+    def test_toml_round_trip(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "s.toml"
+        path.write_text(
+            '[scenario]\nname = "demo"\nseed = 11\nmode = "server"\n'
+            '[[phase]]\nname = "one"\nclients = 2\nrefs = 100\n'
+            'mix = { cello = 1.0 }\n',
+            encoding="utf-8",
+        )
+        toml_scenario = load_scenario(str(path))
+        assert scenario_hash(toml_scenario) == scenario_hash(
+            parse_scenario(doc())
+        )
+
+    def test_committed_examples_parse(self):
+        pytest.importorskip("tomllib")
+        from pathlib import Path
+
+        examples = Path(__file__).resolve().parents[2] / (
+            "examples/campaigns"
+        )
+        for name in ("diurnal_chaos", "smoke"):
+            scenario = load_scenario(str(examples / f"{name}.toml"))
+            assert scenario.mode == "fleet"
+            assert scenario.workers == (2,)
+            assert any(phase.chaos is not None for phase in scenario.phases)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(str(tmp_path / "absent.toml"))
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            load_scenario(str(path))
+
+    def test_bad_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "s.toml"
+        path.write_text("[scenario\nname=", encoding="utf-8")
+        with pytest.raises(ScenarioError, match="not valid TOML"):
+            load_scenario(str(path))

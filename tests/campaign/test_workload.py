@@ -1,0 +1,126 @@
+"""Workload synthesis: determinism, pool disjointness, drift, arrivals."""
+
+import pytest
+
+from repro.campaign.spec import ArrivalSpec, PhaseSpec, parse_scenario
+from repro.campaign.workload import (
+    _component_pools,
+    arrival_delays,
+    client_blocks,
+    phase_client_blocks,
+)
+
+
+def phase(**overrides):
+    base = dict(name="p", clients=2, refs=300,
+                mix=(("cad", 0.5), ("cello", 0.5)))
+    base.update(overrides)
+    return PhaseSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_stream(self):
+        assert client_blocks(phase(), 7, 0) == client_blocks(phase(), 7, 0)
+
+    def test_clients_get_distinct_streams(self):
+        assert client_blocks(phase(), 7, 0) != client_blocks(phase(), 7, 1)
+
+    def test_seed_changes_stream(self):
+        assert client_blocks(phase(), 7, 0) != client_blocks(phase(), 8, 0)
+
+    def test_phase_name_changes_stream(self):
+        assert client_blocks(phase(), 7, 0) != client_blocks(
+            phase(name="q"), 7, 0
+        )
+
+    def test_phase_client_blocks_shape(self):
+        streams = phase_client_blocks(phase(clients=3), 7)
+        assert len(streams) == 3
+        assert all(len(stream) == 300 for stream in streams)
+
+
+class TestPools:
+    def test_component_ranges_are_disjoint(self):
+        pools = _component_pools(phase(), 7, 0)
+        cad = set(pools["cad"])
+        cello = set(pools["cello"])
+        assert cad and cello
+        assert not (cad & cello)
+        assert max(pools["cad"]) < min(pools["cello"])
+
+    def test_stream_only_draws_from_pools(self):
+        pools = _component_pools(phase(), 7, 0)
+        allowed = set(pools["cad"]) | set(pools["cello"])
+        assert set(client_blocks(phase(), 7, 0)) <= allowed
+
+    def test_zero_weight_trace_is_never_drawn(self):
+        p = phase(mix=(("cad", 1.0), ("cello", 0.0)))
+        pools = _component_pools(p, 7, 0)
+        assert set(client_blocks(p, 7, 0)) <= set(pools["cad"])
+
+
+class TestDrift:
+    def test_mix_end_shifts_composition(self):
+        p = phase(refs=2000, mix=(("cad", 0.9), ("cello", 0.1)),
+                  mix_end=(("cad", 0.1), ("cello", 0.9)))
+        pools = _component_pools(p, 7, 0)
+        cad = set(pools["cad"])
+        stream = client_blocks(p, 7, 0)
+        head = sum(1 for b in stream[:500] if b in cad)
+        tail = sum(1 for b in stream[-500:] if b in cad)
+        # 90% cad at the head drifting to 10% at the tail: the counts
+        # must drop decisively, not just statistically wiggle.
+        assert head > 350
+        assert tail < 150
+
+    def test_drift_is_deterministic(self):
+        p = phase(mix_end=(("cad", 0.1), ("cello", 0.9)))
+        assert client_blocks(p, 7, 0) == client_blocks(p, 7, 0)
+
+
+class TestArrivals:
+    def test_burst_is_all_zero(self):
+        assert arrival_delays(ArrivalSpec(), 4, 7, "p") == [0.0] * 4
+
+    def test_uniform_spacing(self):
+        delays = arrival_delays(
+            ArrivalSpec(curve="uniform", over_s=2.0), 4, 7, "p"
+        )
+        assert delays == pytest.approx([0.0, 0.5, 1.0, 1.5])
+
+    def test_ramp_accelerates(self):
+        delays = arrival_delays(
+            ArrivalSpec(curve="ramp", over_s=1.0), 5, 7, "p"
+        )
+        gaps = [b - a for a, b in zip(delays, delays[1:])]
+        assert all(b < a for a, b in zip(gaps, gaps[1:]))
+        assert all(delay <= 1.0 for delay in delays)
+
+    def test_jitter_is_seeded(self):
+        spec = ArrivalSpec(curve="uniform", over_s=1.0, jitter_s=0.5)
+        assert arrival_delays(spec, 4, 7, "p") == arrival_delays(
+            spec, 4, 7, "p"
+        )
+        assert arrival_delays(spec, 4, 7, "p") != arrival_delays(
+            spec, 4, 8, "p"
+        )
+
+    def test_jitter_bounded(self):
+        spec = ArrivalSpec(jitter_s=0.25)
+        for delay in arrival_delays(spec, 16, 7, "p"):
+            assert 0.0 <= delay < 0.25
+
+
+class TestScenarioIntegration:
+    def test_streams_are_pure_functions_of_the_scenario(self):
+        doc = {
+            "scenario": {"name": "w", "seed": 5, "mode": "server"},
+            "phase": [{"name": "a", "clients": 3, "refs": 200,
+                       "mix": {"snake": 0.5, "sitar": 0.5},
+                       "mix_end": {"snake": 0.9, "sitar": 0.1}}],
+        }
+        one = parse_scenario(doc)
+        two = parse_scenario(doc)
+        assert phase_client_blocks(one.phases[0], one.seed) == (
+            phase_client_blocks(two.phases[0], two.seed)
+        )

@@ -1,0 +1,124 @@
+"""Error-path coverage for tenancy config parsing.
+
+``test_manager.py`` checks that malformed documents are rejected;
+these tests pin down *which* complaint each malformation produces, so a
+config error points an operator at the actual problem instead of a
+generic "bad config".  The campaign spec parser routes its ``[tenancy]``
+section through the same validator, so every message here is also what
+``repro campaign run`` users see.
+"""
+
+import pytest
+
+from repro.tenancy.config import (
+    TenancyConfigError,
+    load_tenancy_config,
+    parse_tenancy_config,
+)
+
+
+class TestDocumentShape:
+    def test_non_object_document(self):
+        with pytest.raises(TenancyConfigError, match="JSON object"):
+            parse_tenancy_config("tenants: everywhere")
+
+    def test_missing_tenants_section(self):
+        with pytest.raises(TenancyConfigError, match="non-empty 'tenants'"):
+            parse_tenancy_config({"memory_budget_bytes": 1024})
+
+    def test_tenants_wrong_type(self):
+        with pytest.raises(TenancyConfigError, match="non-empty 'tenants'"):
+            parse_tenancy_config({"tenants": ["acme"]})
+
+    def test_empty_tenants(self):
+        with pytest.raises(TenancyConfigError, match="non-empty 'tenants'"):
+            parse_tenancy_config({"tenants": {}})
+
+
+class TestTenantEntries:
+    def test_entry_not_an_object(self):
+        with pytest.raises(TenancyConfigError,
+                           match="tenant 'acme' must be an object"):
+            parse_tenancy_config({"tenants": {"acme": "tree-cello"}})
+
+    def test_model_missing(self):
+        with pytest.raises(TenancyConfigError,
+                           match="tenant 'acme' needs a 'model'"):
+            parse_tenancy_config({"tenants": {"acme": {"policy": "tree"}}})
+
+    def test_model_wrong_type(self):
+        with pytest.raises(TenancyConfigError,
+                           match="tenant 'acme' needs a 'model'"):
+            parse_tenancy_config({"tenants": {"acme": {"model": 7}}})
+
+    def test_unknown_keys_are_named(self):
+        with pytest.raises(TenancyConfigError,
+                           match=r"unknown keys: \['max_sesions'\]"):
+            parse_tenancy_config({
+                "tenants": {"acme": {"model": "m", "max_sesions": 5}},
+            })
+
+    def test_policy_wrong_type(self):
+        with pytest.raises(TenancyConfigError, match="policy must be a string"):
+            parse_tenancy_config({
+                "tenants": {"acme": {"model": "m", "policy": 3}},
+            })
+
+    @pytest.mark.parametrize("value", [0, -1, 2.5, "many", True])
+    def test_max_sessions_must_be_positive_int(self, value):
+        with pytest.raises(TenancyConfigError,
+                           match="max_sessions must be a positive integer"):
+            parse_tenancy_config({
+                "tenants": {"acme": {"model": "m", "max_sessions": value}},
+            })
+
+    @pytest.mark.parametrize("value", [0, -4096, False])
+    def test_max_model_bytes_must_be_positive_int(self, value):
+        with pytest.raises(TenancyConfigError,
+                           match="max_model_bytes must be a positive integer"):
+            parse_tenancy_config({
+                "tenants": {"acme": {"model": "m", "max_model_bytes": value}},
+            })
+
+    def test_retry_after_rejects_negative(self):
+        with pytest.raises(TenancyConfigError,
+                           match="retry_after_s must be a number >= 0"):
+            parse_tenancy_config({
+                "tenants": {"acme": {"model": "m", "retry_after_s": -1.0}},
+            })
+
+    def test_retry_after_zero_is_allowed(self):
+        config = parse_tenancy_config({
+            "tenants": {"acme": {"model": "m", "retry_after_s": 0}},
+        })
+        assert config.spec("acme").retry_after_s == 0.0
+
+
+class TestTopLevel:
+    @pytest.mark.parametrize("value", [0, -1, "256MB", True])
+    def test_memory_budget_must_be_positive_int(self, value):
+        with pytest.raises(TenancyConfigError,
+                           match="memory_budget_bytes must be a positive"):
+            parse_tenancy_config({
+                "memory_budget_bytes": value,
+                "tenants": {"acme": {"model": "m"}},
+            })
+
+
+class TestLoadErrors:
+    def test_missing_file_names_the_path(self, tmp_path):
+        path = tmp_path / "nope.json"
+        with pytest.raises(TenancyConfigError,
+                           match="cannot read tenancy config"):
+            load_tenancy_config(str(path))
+
+    def test_invalid_json_names_the_path(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text('{"tenants": ', encoding="utf-8")
+        with pytest.raises(TenancyConfigError, match="not valid JSON"):
+            load_tenancy_config(str(path))
+
+    def test_directory_instead_of_file(self, tmp_path):
+        with pytest.raises(TenancyConfigError,
+                           match="cannot read tenancy config"):
+            load_tenancy_config(str(tmp_path))
