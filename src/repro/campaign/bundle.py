@@ -57,13 +57,22 @@ class BundleError(Exception):
     """A bundle directory is missing, malformed, or unreadable."""
 
 
+#: Phase-result flags that mark a phase's counts as timing-dependent:
+#: quota and overload rejections depend on admission timing, and a
+#: worker kill makes request totals depend on checkpoint/failover races.
+#: Only the flag itself and losslessness stay hash-covered for them.
+VOLATILE_PHASE_FLAGS = ("quota_tolerant", "overload_tolerant", "failover")
+
+
 def deterministic_phase_record(phase_result: Dict[str, Any]) -> Dict[str, Any]:
     """The hash-covered slice of one phase's result record."""
     record: Dict[str, Any] = {"name": phase_result["name"]}
-    if phase_result.get("quota_tolerant"):
-        # Quota rejections depend on admission timing; only the phase's
-        # identity and losslessness stay hash-covered.
-        record["quota_tolerant"] = True
+    volatile = False
+    for flag in VOLATILE_PHASE_FLAGS:
+        if phase_result.get(flag):
+            record[flag] = True
+            volatile = True
+    if volatile:
         record["sessions_lost"] = phase_result["sessions_lost"]
         return record
     for field in DETERMINISTIC_PHASE_FIELDS:

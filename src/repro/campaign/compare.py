@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.campaign.bundle import Bundle
+from repro.campaign.bundle import VOLATILE_PHASE_FLAGS, Bundle
 
 #: Deterministic scalar metrics compared per phase (hash-covered).
 DETERMINISTIC_METRICS = (
@@ -155,11 +155,12 @@ def compare_bundles(
 
     for name, base_phase in base_det.items():
         cand_phase = cand_det.get(name)
-        quota_tolerant = bool(base_phase.get("quota_tolerant")) or bool(
-            (cand_phase or {}).get("quota_tolerant")
+        volatile = any(
+            bool(base_phase.get(flag)) or bool((cand_phase or {}).get(flag))
+            for flag in VOLATILE_PHASE_FLAGS
         )
         det_metrics: Tuple[str, ...] = (
-            ("sessions_lost",) if quota_tolerant else DETERMINISTIC_METRICS
+            ("sessions_lost",) if volatile else DETERMINISTIC_METRICS
         )
         for metric in det_metrics:
             row = DeltaRow(
@@ -171,7 +172,7 @@ def compare_bundles(
             )
             _flag_deterministic(comparison, row)
             comparison.rows.append(row)
-        if not quota_tolerant:
+        if not volatile:
             for key in OUTCOME_KEYS:
                 row = DeltaRow(
                     phase=name,

@@ -67,6 +67,16 @@ class _Target:
     def sessions_lost(self) -> int:
         return 0
 
+    @property
+    def failovers_resumed(self) -> int:
+        return 0
+
+    def kill_worker(self, worker_id: str) -> bool:
+        raise CampaignError(
+            f"cannot kill worker {worker_id!r}: target has no supervised "
+            "workers (kill_worker needs mode = \"fleet\")"
+        )
+
     async def metrics(self) -> Optional[Dict[str, Any]]:
         return None
 
@@ -110,6 +120,16 @@ class _FleetTarget(_Target):
     def sessions_lost(self) -> int:
         return self.fleet.sessions_lost
 
+    @property
+    def failovers_resumed(self) -> int:
+        return self.fleet.gateway.stats.failovers_resumed
+
+    def kill_worker(self, worker_id: str) -> bool:
+        try:
+            return self.fleet.supervisor.kill_worker(worker_id)
+        except KeyError as exc:
+            raise CampaignError(str(exc)) from None
+
     async def metrics(self) -> Optional[Dict[str, Any]]:
         totals, per_worker = await self.fleet.metrics()
         return {
@@ -150,6 +170,7 @@ async def _start_target(
                 checkpoint_every_s=1.0,
                 store=(None if tenancy is None else tenancy.store),
                 tenant_config=tenant_config_path,
+                max_inflight=scenario.max_inflight,
                 echo=echo,
             )
         except Exception as exc:
@@ -161,6 +182,12 @@ async def _start_target(
         "checkpoint_dir": str(checkpoint_dir),
         "identity": "campaign",
     }
+    if scenario.max_inflight is not None:
+        from repro.service.overload import OverloadPolicy
+
+        service_kwargs["overload"] = OverloadPolicy(
+            max_inflight=scenario.max_inflight
+        )
     if tenancy is not None:
         from repro.store import ModelStore
         from repro.tenancy.manager import TenancyManager
@@ -204,8 +231,24 @@ async def _run_phase(
             seed=derive_seed(scenario.seed, phase.name, "retry"),
         )
     lost_before = target.sessions_lost
+    failovers_before = target.failovers_resumed
+    kill_task: Optional[asyncio.Task] = None
+    worker_killed = False
+
+    async def _kill_later() -> None:
+        nonlocal worker_killed
+        await asyncio.sleep(phase.kill_after_s)
+        worker_killed = target.kill_worker(phase.kill_worker)
+        if echo is not None and worker_killed:
+            echo(
+                f"campaign: phase {phase.name!r} killed worker "
+                f"{phase.kill_worker} at t+{phase.kill_after_s:g}s"
+            )
+
     started = time.perf_counter()
     try:
+        if phase.kill_worker is not None:
+            kill_task = asyncio.ensure_future(_kill_later())
         report = await replay_async(
             [],
             host=target.host,
@@ -217,6 +260,7 @@ async def _run_phase(
             tenant=phase.tenant,
             sessions_per_client=phase.sessions_per_client,
             tolerate_quota=phase.tolerate_quota,
+            tolerate_overload=phase.tolerate_overload,
             client_blocks=streams,
             arrival_delays=delays,
             on_session_event=_on_event,
@@ -226,6 +270,10 @@ async def _run_phase(
             f"phase {phase.name!r} failed: {exc}"
         ) from exc
     finally:
+        if kill_task is not None:
+            if not kill_task.done():
+                kill_task.cancel()
+            await asyncio.gather(kill_task, return_exceptions=True)
         if proxy is not None:
             await proxy.aclose()
     wall = time.perf_counter() - started
@@ -238,11 +286,15 @@ async def _run_phase(
         "clients": phase.clients,
         "refs": phase.refs,
         "quota_tolerant": phase.tolerate_quota,
+        "overload_tolerant": phase.tolerate_overload,
+        "failover": phase.kill_worker is not None,
         "requests": flat["requests"],
         "outcomes": flat["outcomes"],
         "prefetches_recommended": flat["prefetches_recommended"],
         "sessions": flat["sessions"],
         "quota_rejected": flat["quota_rejected"],
+        "overload_rejected": flat["overload_rejections"],
+        "overload_backoffs": flat["overload_backoffs"],
         "churn_opened": churn["open"],
         "churn_closed": churn["close"],
         "sessions_lost": sessions_lost,
@@ -257,12 +309,27 @@ async def _run_phase(
         "degraded_clients": flat["degraded_clients"],
         "chaos": None if proxy is None else proxy.stats.as_dict(),
     }
+    if phase.kill_worker is not None:
+        result["kill_worker"] = phase.kill_worker
+        result["worker_killed"] = worker_killed
+        result["failovers_resumed"] = (
+            target.failovers_resumed - failovers_before
+        )
     if echo is not None:
         chaos_note = ""
         if proxy is not None:
             chaos_note = (
                 f" chaos[drops={proxy.stats.drops_injected}"
                 f" retries={flat['retries']}]"
+            )
+        if phase.tolerate_overload:
+            chaos_note += (
+                f" overload_rejections={flat['overload_rejections']}"
+                f" overload_backoffs={flat['overload_backoffs']}"
+            )
+        if phase.kill_worker is not None:
+            chaos_note += (
+                f" failovers_resumed={result['failovers_resumed']}"
             )
         echo(
             f"campaign: phase {phase.name!r} done in {wall:.2f}s "

@@ -163,9 +163,15 @@ class PhaseSpec:
     chaos: Optional[ChaosProfile] = None
     tenant: Optional[str] = None
     tolerate_quota: bool = False
+    #: Count ``overloaded`` sheds instead of failing (deliberate floods).
+    tolerate_overload: bool = False
+    #: Fleet mode only: SIGKILL this worker id ``kill_after_s`` seconds
+    #: into the phase, exercising failover under live load.
+    kill_worker: Optional[str] = None
+    kill_after_s: float = 0.5
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        snapshot = {
             "name": self.name,
             "clients": self.clients,
             "refs": self.refs,
@@ -180,6 +186,15 @@ class PhaseSpec:
             "tenant": self.tenant,
             "tolerate_quota": self.tolerate_quota,
         }
+        # Newer fields appear only when set, so scenarios written before
+        # they existed keep hashing identically (baseline bundles stay
+        # comparable across engine versions).
+        if self.tolerate_overload:
+            snapshot["tolerate_overload"] = True
+        if self.kill_worker is not None:
+            snapshot["kill_worker"] = self.kill_worker
+            snapshot["kill_after_s"] = self.kill_after_s
+        return snapshot
 
 
 @dataclass(frozen=True)
@@ -217,10 +232,13 @@ class ScenarioSpec:
     cache_size: int = 1024
     phases: Tuple[PhaseSpec, ...] = ()
     tenancy: Optional[TenancySpec] = None
+    #: Admission watermark handed to the target (gateway + workers in
+    #: fleet mode, the lone server otherwise); ``None`` = no shedding.
+    max_inflight: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Canonical snapshot; the input to :func:`scenario_hash`."""
-        return {
+        snapshot = {
             "campaign_schema": CAMPAIGN_SCHEMA,
             "name": self.name,
             "seed": self.seed,
@@ -233,6 +251,10 @@ class ScenarioSpec:
                 None if self.tenancy is None else self.tenancy.as_dict()
             ),
         }
+        # Conditional for the same hash-stability reason as PhaseSpec.
+        if self.max_inflight is not None:
+            snapshot["max_inflight"] = self.max_inflight
+        return snapshot
 
 
 def scenario_hash(scenario: ScenarioSpec) -> str:
@@ -356,7 +378,8 @@ def _parse_phase(raw: Any, index: int,
     _reject_unknown(
         raw,
         {"name", "clients", "refs", "sessions_per_client", "mix",
-         "mix_end", "arrival", "chaos", "tenant", "tolerate_quota"},
+         "mix_end", "arrival", "chaos", "tenant", "tolerate_quota",
+         "tolerate_overload", "kill_worker", "kill_after_s"},
         what,
     )
     name = _string(raw.get("name", f"phase-{index}"), f"{what}: name")
@@ -385,6 +408,14 @@ def _parse_phase(raw: Any, index: int,
     tolerate = raw.get("tolerate_quota", False)
     if not isinstance(tolerate, bool):
         raise ScenarioError(f"{what}: tolerate_quota must be a boolean")
+    tolerate_overload = raw.get("tolerate_overload", False)
+    if not isinstance(tolerate_overload, bool):
+        raise ScenarioError(f"{what}: tolerate_overload must be a boolean")
+    kill_worker = raw.get("kill_worker")
+    if kill_worker is not None:
+        kill_worker = _string(kill_worker, f"{what}: kill_worker")
+    elif raw.get("kill_after_s") is not None:
+        raise ScenarioError(f"{what}: kill_after_s needs kill_worker")
     return PhaseSpec(
         name=name,
         clients=_int_at_least(raw.get("clients", 2), 1, f"{what}: clients"),
@@ -402,6 +433,11 @@ def _parse_phase(raw: Any, index: int,
         ),
         tenant=tenant,
         tolerate_quota=tolerate,
+        tolerate_overload=tolerate_overload,
+        kill_worker=kill_worker,
+        kill_after_s=_number(
+            raw.get("kill_after_s", 0.5), 0.0, f"{what}: kill_after_s"
+        ),
     )
 
 
@@ -431,7 +467,8 @@ def parse_scenario(doc: Any) -> ScenarioSpec:
         raise ScenarioError("[scenario] must be a table")
     _reject_unknown(
         head,
-        {"name", "seed", "mode", "workers", "policy", "cache_size"},
+        {"name", "seed", "mode", "workers", "policy", "cache_size",
+         "max_inflight"},
         "[scenario]",
     )
     name = _string(_require(head, "name", "[scenario]"), "[scenario] name")
@@ -470,6 +507,19 @@ def parse_scenario(doc: Any) -> ScenarioSpec:
     names = [phase.name for phase in phases]
     if len(set(names)) != len(names):
         raise ScenarioError("phase names must be unique")
+    if mode != "fleet":
+        for phase in phases:
+            if phase.kill_worker is not None:
+                raise ScenarioError(
+                    f"phase {phase.name!r}: kill_worker needs mode = "
+                    "\"fleet\" (there is no supervised worker to kill "
+                    "in server mode)"
+                )
+    max_inflight = head.get("max_inflight")
+    if max_inflight is not None:
+        max_inflight = _int_at_least(
+            max_inflight, 1, "[scenario] max_inflight"
+        )
     return ScenarioSpec(
         name=name,
         seed=_int_at_least(head.get("seed", 1999), 0, "[scenario] seed"),
@@ -481,6 +531,7 @@ def parse_scenario(doc: Any) -> ScenarioSpec:
         ),
         phases=phases,
         tenancy=tenancy,
+        max_inflight=max_inflight,
     )
 
 

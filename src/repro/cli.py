@@ -468,6 +468,13 @@ def cmd_serve(args) -> int:
             "a memory budget needs --checkpoint-dir "
             "(evicted sessions are checkpointed to disk)"
         )
+    overload = None
+    if args.max_inflight is not None or args.brownout:
+        from repro.service.overload import OverloadPolicy
+
+        overload = OverloadPolicy(
+            max_inflight=args.max_inflight, brownout=args.brownout,
+        )
     service = PrefetchService(
         default_params=_params(args),
         limits=ServiceLimits(
@@ -482,6 +489,7 @@ def cmd_serve(args) -> int:
         identity=args.worker_id,
         tenancy=tenancy,
         memory_budget_bytes=memory_budget_bytes,
+        overload=overload,
     )
     try:
         asyncio.run(serve_forever(
@@ -498,7 +506,10 @@ def cmd_serve(args) -> int:
     # both the SIGTERM and the Ctrl-C shutdown paths.
     print(
         f"serve: sessions_evicted={service.metrics.sessions_evicted} "
-        f"tenants_rejected={service.metrics.tenants_rejected}",
+        f"tenants_rejected={service.metrics.tenants_rejected} "
+        f"overload_rejections={service.metrics.overload_rejections} "
+        f"brownout_transitions={service.metrics.brownout_transitions} "
+        f"checkpoints_deleted={service.metrics.checkpoints_deleted}",
         flush=True,
     )
     return 0
@@ -531,6 +542,8 @@ def cmd_fleet(args) -> int:
             tenant_config=args.tenant_config,
             memory_budget_mb=args.memory_budget_mb,
             max_sessions=args.max_sessions,
+            max_inflight=args.max_inflight,
+            brownout=args.brownout,
             vnodes=args.vnodes,
             probe_interval_s=args.probe_interval_s,
         ))
@@ -629,6 +642,7 @@ def cmd_replay(args) -> int:
             tenant=args.tenant,
             sessions_per_client=args.sessions_per_client,
             tolerate_quota=args.tolerate_quota,
+            tolerate_overload=args.tolerate_overload,
         )
     except ConnectionRefusedError:
         raise CLIError(
@@ -654,6 +668,12 @@ def cmd_replay(args) -> int:
         # Greppable for the tenancy smoke, mirroring the serve/fleet pair.
         print(f"replay: tenant={args.tenant} sessions={report.sessions} "
               f"quota_rejected={report.quota_rejected}", flush=True)
+    if args.tolerate_overload:
+        # Greppable for the overload smoke: how many OPENs the flood had
+        # shed, and how many retry_after_s backoffs clients honoured.
+        print(f"replay: sessions={report.sessions} "
+              f"overload_rejections={report.overload_rejections} "
+              f"overload_backoffs={report.overload_backoffs}", flush=True)
     return 0
 
 
@@ -875,6 +895,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cap accounted model bytes; idle sessions "
                               "are evicted to --checkpoint-dir (overrides "
                               "the config file's memory_budget_bytes)")
+    p_serve.add_argument("--max-inflight", type=_positive_int, default=None,
+                         dest="max_inflight",
+                         help="admission watermark: shed new OPENs with "
+                              "error=overloaded while this many requests "
+                              "are in flight")
+    p_serve.add_argument("--brownout", action="store_true",
+                         help="enable the event-loop-lag watchdog that "
+                              "degrades service tier by tier under "
+                              "sustained overload")
     _add_param_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -911,6 +940,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--max-sessions", type=int, default=1024,
                          dest="max_sessions",
                          help="per-worker live-session ceiling")
+    p_fleet.add_argument("--max-inflight", type=_positive_int, default=None,
+                         dest="max_inflight",
+                         help="admission watermark applied at the gateway "
+                              "and every worker: new OPENs are shed with "
+                              "error=overloaded past it")
+    p_fleet.add_argument("--brownout", action="store_true",
+                         help="enable every worker's event-loop-lag "
+                              "brownout watchdog")
     p_fleet.add_argument("--vnodes", type=_positive_int, default=64,
                          help="virtual nodes per worker on the hash ring")
     p_fleet.add_argument("--probe-interval-s", type=float, default=1.0,
@@ -942,6 +979,10 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="tolerate_quota",
                           help="count quota_exceeded rejections instead "
                                "of failing the replay")
+    p_replay.add_argument("--tolerate-overload", action="store_true",
+                          dest="tolerate_overload",
+                          help="count overloaded sheds instead of failing "
+                               "the replay (deliberate-flood harness)")
     p_replay.add_argument("--json", action="store_true",
                           help="print the full report as JSON on stdout "
                                "(machine-readable; suppresses the tables)")

@@ -35,6 +35,7 @@ from repro.cluster.ring import DEFAULT_VNODES
 from repro.cluster.worker import WorkerSupervisor
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
+from repro.service.overload import OverloadPolicy
 
 
 class Fleet:
@@ -62,6 +63,7 @@ class Fleet:
         self.supervisor = supervisor
         self.sessions_evicted = 0
         self.worker_tenants_rejected = 0
+        self.worker_overload_rejections = 0
 
     @property
     def port(self) -> int:
@@ -80,6 +82,7 @@ class Fleet:
         """The greppable one-line shutdown summary (see module docstring)."""
         stats = self.gateway.stats
         rejected = stats.tenants_rejected + self.worker_tenants_rejected
+        shed = stats.overload_rejections + self.worker_overload_rejections
         return (
             f"fleet: workers={len(self.supervisor.workers)} "
             f"workers_restarted={self.supervisor.workers_restarted} "
@@ -89,7 +92,10 @@ class Fleet:
             f"failovers_degraded={stats.failovers_degraded} "
             f"sessions_lost={stats.sessions_lost} "
             f"sessions_evicted={self.sessions_evicted} "
-            f"tenants_rejected={rejected}"
+            f"tenants_rejected={rejected} "
+            f"overload_rejections={shed} "
+            f"breakers_opened={stats.breakers_opened} "
+            f"journal_compactions={stats.journal_compactions}"
         )
 
     async def aclose(self) -> None:
@@ -99,6 +105,7 @@ class Fleet:
             totals, _ = await self.gateway.fleet_metrics()
             self.sessions_evicted = totals.sessions_evicted
             self.worker_tenants_rejected = totals.tenants_rejected
+            self.worker_overload_rejections = totals.overload_rejections
         except (ConnectionError, OSError, asyncio.TimeoutError):
             pass
         await self.gateway.aclose()
@@ -123,6 +130,8 @@ async def start_fleet(
     tenant_config: Optional[str] = None,
     memory_budget_mb: Optional[int] = None,
     max_sessions: int = 1024,
+    max_inflight: Optional[int] = None,
+    brownout: bool = False,
     vnodes: int = DEFAULT_VNODES,
     probe_interval_s: float = 1.0,
     echo=None,
@@ -150,6 +159,8 @@ async def start_fleet(
         tenant_config=tenant_config,
         memory_budget_mb=memory_budget_mb,
         max_sessions=max_sessions,
+        max_inflight=max_inflight,
+        brownout=brownout,
         probe_interval_s=probe_interval_s,
         echo=echo,
     )
@@ -162,6 +173,13 @@ async def start_fleet(
             else (lambda sid, wid: echo(f"fleet: session {sid} on {wid}"))
         ),
         tenant_config=quotas,
+        # The gateway enforces the same admission watermark fleet-front,
+        # so a flood is refused before it costs a worker round trip.
+        overload=(
+            OverloadPolicy(max_inflight=max_inflight)
+            if max_inflight is not None else None
+        ),
+        checkpoint_dir=checkpoint_dir,
     )
     try:
         await gateway.start(host, port)
@@ -184,6 +202,8 @@ async def serve_fleet(
     tenant_config: Optional[str] = None,
     memory_budget_mb: Optional[int] = None,
     max_sessions: int = 1024,
+    max_inflight: Optional[int] = None,
+    brownout: bool = False,
     vnodes: int = DEFAULT_VNODES,
     probe_interval_s: float = 1.0,
     ready_message: bool = True,
@@ -204,6 +224,8 @@ async def serve_fleet(
         tenant_config=tenant_config,
         memory_budget_mb=memory_budget_mb,
         max_sessions=max_sessions,
+        max_inflight=max_inflight,
+        brownout=brownout,
         vnodes=vnodes,
         probe_interval_s=probe_interval_s,
         echo=_say if ready_message else None,

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
@@ -49,6 +50,12 @@ from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.worker import WorkerDirectory
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
+from repro.service.overload import (
+    AdmissionGuard,
+    BreakerPolicy,
+    CircuitBreaker,
+    OverloadPolicy,
+)
 from repro.service.protocol import (
     CloseReply,
     ErrorReply,
@@ -63,6 +70,7 @@ from repro.service.protocol import (
     StatsReply,
     StatsRequest,
 )
+from repro.store.codec import SnapshotError, read_snapshot
 
 
 class SessionLost(Exception):
@@ -85,6 +93,10 @@ class GatewayStats:
     sessions_lost: int = 0
     tenants_rejected: int = 0
     errors: int = 0
+    overload_rejections: int = 0
+    breakers_opened: int = 0
+    breakers_closed: int = 0
+    journal_compactions: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -100,6 +112,10 @@ class GatewayStats:
             "sessions_lost": self.sessions_lost,
             "tenants_rejected": self.tenants_rejected,
             "errors": self.errors,
+            "overload_rejections": self.overload_rejections,
+            "breakers_opened": self.breakers_opened,
+            "breakers_closed": self.breakers_closed,
+            "journal_compactions": self.journal_compactions,
         }
 
 
@@ -301,6 +317,11 @@ class AdvisoryGateway:
         on_route=None,
         tenant_config: Optional["TenancyConfig"] = None,
         tenant_poll_interval_s: float = 5.0,
+        overload: Optional[OverloadPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
+        breaker_clock=time.monotonic,
+        checkpoint_dir: Optional[str] = None,
+        journal_compact_after: int = 4096,
     ) -> None:
         self.directory = directory
         self.ring = HashRing(directory.endpoints(), vnodes=vnodes)
@@ -315,6 +336,18 @@ class AdvisoryGateway:
         self._tenant_bytes_cache: Tuple[float, Dict[str, int]] = (
             float("-inf"), {},
         )
+        self.overload = AdmissionGuard(overload)
+        """Fleet-front admission: the gateway sheds new OPENs before they
+        reach any worker, so a flood costs one gateway-side refusal rather
+        than a placement round trip (see :meth:`_shed_reply`)."""
+        self.breaker_policy = breaker or BreakerPolicy()
+        self._breaker_clock = breaker_clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.checkpoint_dir = checkpoint_dir
+        """Shared checkpoint directory, when known.  Lets the gateway read
+        snapshot provenance and drop journal entries a durable checkpoint
+        already covers (see :meth:`_compact_journal`)."""
+        self.journal_compact_after = journal_compact_after
         self.request_timeout_s = request_timeout_s
         self.idle_timeout_s = idle_timeout_s
         self.max_line_bytes = max_line_bytes
@@ -347,6 +380,73 @@ class AdvisoryGateway:
                 limit=self.max_line_bytes,
             )
         return link
+
+    def _breaker(self, worker_id: str) -> CircuitBreaker:
+        breaker = self._breakers.get(worker_id)
+        if breaker is None:
+            breaker = self._breakers[worker_id] = CircuitBreaker(
+                self.breaker_policy, clock=self._breaker_clock,
+            )
+        return breaker
+
+    def _tripped(self) -> Set[str]:
+        """Workers whose breaker is open and still cooling down.
+
+        Used to keep *placement* (new OPENs, unknown-sid resumes) off a
+        worker that just proved sick; existing traffic still reaches the
+        half-open probe path through :meth:`_worker_call`.
+        """
+        return {
+            worker_id
+            for worker_id, breaker in self._breakers.items()
+            if breaker.blocked
+        }
+
+    def _record_breaker_failure(
+        self, breaker: CircuitBreaker, worker_id: str
+    ) -> None:
+        if not breaker.record_failure():
+            return
+        self.stats.breakers_opened += 1
+        # The breaker just tripped: every session pinned to this worker
+        # would now fail fast, so move them to ring successors eagerly —
+        # the same treatment a directory down-event gets.
+        for session in list(self.sessions.values()):
+            if session.worker_id == worker_id and not session.closed:
+                self._spawn(self._failover_task(session, worker_id))
+
+    async def _worker_call(
+        self, worker_id: str, request: Request
+    ) -> Tuple[bytes, Reply]:
+        """One breaker-guarded typed round trip to ``worker_id``.
+
+        Every gateway-to-worker RPC funnels through here: the breaker
+        fails fast while open, counts connect/timeout/garbage failures,
+        and closes again on the first healthy reply.  Failures surface as
+        ``ConnectionError`` so existing failover paths apply unchanged.
+        """
+        breaker = self._breaker(worker_id)
+        if not breaker.allow():
+            raise ConnectionError(
+                f"worker {worker_id}: circuit open (cooling down)"
+            )
+        link = self._link(worker_id)
+        try:
+            raw = await link.request(protocol.encode_request(request))
+        except (ConnectionError, OSError):
+            self._record_breaker_failure(breaker, worker_id)
+            raise
+        try:
+            reply = protocol.decode_reply(raw)
+        except ProtocolError:
+            link.invalidate()
+            self._record_breaker_failure(breaker, worker_id)
+            raise ConnectionError(
+                f"worker {worker_id} sent an undecodable reply"
+            ) from None
+        if breaker.record_success():
+            self.stats.breakers_closed += 1
+        return raw, reply
 
     def _spawn(self, coro) -> None:
         task = asyncio.ensure_future(coro)
@@ -410,14 +510,8 @@ class AdvisoryGateway:
 
     async def _rpc(self, link: _WorkerLink, request: Request) -> Reply:
         """Typed round trip on a link; garbage replies kill the link."""
-        raw = await link.request(protocol.encode_request(request))
-        try:
-            return protocol.decode_reply(raw)
-        except ProtocolError:
-            link.invalidate()
-            raise ConnectionError(
-                f"worker {link.worker_id} sent an undecodable reply"
-            ) from None
+        _, reply = await self._worker_call(link.worker_id, request)
+        return reply
 
     async def _forward(
         self, session: _GatewaySession, request: Request
@@ -445,15 +539,7 @@ class AdvisoryGateway:
     async def _forward_once(
         self, session: _GatewaySession, request: Request
     ) -> Tuple[bytes, Reply]:
-        link = self._link(session.worker_id)
-        raw = await link.request(protocol.encode_request(request))
-        try:
-            return raw, protocol.decode_reply(raw)
-        except ProtocolError:
-            link.invalidate()
-            raise ConnectionError(
-                f"worker {link.worker_id} sent an undecodable reply"
-            ) from None
+        return await self._worker_call(session.worker_id, request)
 
     async def _failover(
         self, session: _GatewaySession, *, exclude: Set[str]
@@ -497,6 +583,12 @@ class AdvisoryGateway:
                 if await self._replay_tail(link, session, period):
                     session.worker_id = worker_id
                     self.stats.failovers_resumed += 1
+                    # Note the resume period is NOT compaction evidence:
+                    # it may come from a worker's in-memory detached
+                    # table, not a durable checkpoint, and truncating to
+                    # it would leave a journal gap on the next failover.
+                    # Only _compact_journal (which reads the snapshot
+                    # file itself) may advance journal_offset.
                     return
                 break
             if (
@@ -540,6 +632,45 @@ class AdvisoryGateway:
             if not isinstance(reply, ObserveReply):
                 return False
         return True
+
+    def _truncate_journal(
+        self, session: _GatewaySession, period: int
+    ) -> None:
+        """Drop journal entries below ``period``; caller proved that a
+        checkpoint at ``period`` is durable on the shared directory."""
+        if not session.journal_offset < period <= session.next_seq:
+            return
+        del session.journal[: period - session.journal_offset]
+        session.journal_offset = period
+        self.stats.journal_compactions += 1
+
+    async def _compact_journal(self, session: _GatewaySession) -> None:
+        """Bound journal memory against the worker's own checkpoints.
+
+        The failover contract is that entries at or below the latest
+        *durably written* checkpoint period are never replayed (resume
+        restores them from the snapshot), so once the shared checkpoint
+        file reports period P the prefix below P is dead weight.  Reading
+        the snapshot header is file I/O, hence ``to_thread``; a missing,
+        stale, or corrupt snapshot simply means no compaction yet.
+        Caller holds the session lock, so the offset cannot race a
+        failover replay.
+        """
+        if self.checkpoint_dir is None:
+            return
+        path = os.path.join(self.checkpoint_dir, f"{session.sid}.snap")
+
+        def _checkpoint_period() -> Optional[int]:
+            try:
+                provenance = read_snapshot(path).provenance
+            except (OSError, SnapshotError):
+                return None
+            period = provenance.get("period")
+            return int(period) if period is not None else None
+
+        period = await asyncio.to_thread(_checkpoint_period)
+        if period is not None:
+            self._truncate_journal(session, period)
 
     async def _reopen_degraded(
         self, link: _WorkerLink, session: _GatewaySession
@@ -664,7 +795,7 @@ class AdvisoryGateway:
                 "session_id is reserved for gateway-to-worker use",
             )
         sid = f"g{next(self._ids)}"
-        worker_id = self.ring.owner(sid)
+        worker_id = self.ring.owner(sid, exclude=self._tripped())
         if worker_id is None:
             return None, ErrorReply(
                 request.id, protocol.E_LIMIT, "no live workers"
@@ -675,7 +806,9 @@ class AdvisoryGateway:
         except (ConnectionError, OSError):
             # Worker died under the OPEN: no session state exists yet
             # anywhere, so just place it on the next node instead.
-            worker_id = self.ring.owner(sid, exclude={worker_id})
+            worker_id = self.ring.owner(
+                sid, exclude={worker_id} | self._tripped()
+            )
             if worker_id is None:
                 return None, ErrorReply(
                     request.id, protocol.E_LIMIT, "no live workers"
@@ -697,15 +830,7 @@ class AdvisoryGateway:
     async def _forward_on(
         self, worker_id: str, request: Request
     ) -> Tuple[bytes, Reply]:
-        link = self._link(worker_id)
-        raw = await link.request(protocol.encode_request(request))
-        try:
-            return raw, protocol.decode_reply(raw)
-        except ProtocolError:
-            link.invalidate()
-            raise ConnectionError(
-                f"worker {worker_id} sent an undecodable reply"
-            ) from None
+        return await self._worker_call(worker_id, request)
 
     async def _handle_resume(
         self, request: OpenRequest, owned: Set[str]
@@ -777,6 +902,8 @@ class AdvisoryGateway:
             raw, reply = await self._forward(session, forward)
             if isinstance(reply, ObserveReply) and forward.seq == expected:
                 session.journal.append(request.block)
+                if len(session.journal) >= self.journal_compact_after:
+                    await self._compact_journal(session)
             return raw, reply
 
     async def _handle_stats(
@@ -868,6 +995,27 @@ class AdvisoryGateway:
                 self.stats.sessions_closed += 1
             return raw, reply
 
+    def _shed_reply(self, request: Request) -> Optional[ErrorReply]:
+        """Admission check, mirroring the worker-side server's.
+
+        Only brand-new OPENs are shed: resumes and in-flight sessions
+        represent work (and journal/worker state) already paid for, so
+        refusing them would waste more than it saves.  The reply carries
+        ``retry_after_s`` so cooperative clients treat it as backpressure
+        rather than a fault.
+        """
+        if not isinstance(request, OpenRequest) or request.resume is not None:
+            return None
+        if not self.overload.shed_open():
+            return None
+        self.stats.overload_rejections += 1
+        retry_after = self.overload.policy.shed_retry_after_s
+        return ErrorReply(
+            request.id, protocol.E_OVERLOAD,
+            f"gateway overloaded; retry in {retry_after:g}s",
+            retry_after_s=retry_after,
+        )
+
     async def _dispatch(
         self, request: Request, owned: Set[str]
     ) -> Tuple[Optional[bytes], Optional[Reply]]:
@@ -938,12 +1086,21 @@ class AdvisoryGateway:
                     ))
                     await _drain()
                     continue
-                raw, reply = await self._dispatch(request, owned)
-                if raw is not None:
-                    writer.write(raw)  # worker reply, byte-for-byte
-                else:
-                    writer.write(protocol.encode_reply(reply))
-                await _drain()
+                shed = self._shed_reply(request)
+                if shed is not None:
+                    writer.write(protocol.encode_reply(shed))
+                    await _drain()
+                    continue
+                self.overload.begin()
+                try:
+                    raw, reply = await self._dispatch(request, owned)
+                    if raw is not None:
+                        writer.write(raw)  # worker reply, byte-for-byte
+                    else:
+                        writer.write(protocol.encode_reply(reply))
+                    await _drain()
+                finally:
+                    self.overload.end()
         except (ConnectionResetError, BrokenPipeError):
             pass
         except (asyncio.TimeoutError, TimeoutError):
@@ -1008,5 +1165,8 @@ class AdvisoryGateway:
             f"failovers_resumed={stats.failovers_resumed} "
             f"failovers_degraded={stats.failovers_degraded} "
             f"sessions_lost={stats.sessions_lost} "
-            f"tenants_rejected={stats.tenants_rejected}"
+            f"tenants_rejected={stats.tenants_rejected} "
+            f"overload_rejections={stats.overload_rejections} "
+            f"breakers_opened={stats.breakers_opened} "
+            f"journal_compactions={stats.journal_compactions}"
         )

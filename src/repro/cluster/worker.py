@@ -121,6 +121,8 @@ class WorkerSupervisor(WorkerDirectory):
         tenant_config: Optional[str] = None,
         memory_budget_mb: Optional[int] = None,
         max_sessions: int = 1024,
+        max_inflight: Optional[int] = None,
+        brownout: bool = False,
         probe_interval_s: float = 1.0,
         probe_timeout_s: float = 5.0,
         restart_backoff_s: float = 0.1,
@@ -140,6 +142,8 @@ class WorkerSupervisor(WorkerDirectory):
         self.tenant_config = tenant_config
         self.memory_budget_mb = memory_budget_mb
         self.max_sessions = max_sessions
+        self.max_inflight = max_inflight
+        self.brownout = brownout
         self.probe_interval_s = probe_interval_s
         self.probe_timeout_s = probe_timeout_s
         self.restart_backoff_s = restart_backoff_s
@@ -187,6 +191,10 @@ class WorkerSupervisor(WorkerDirectory):
             argv += ["--tenant-config", self.tenant_config]
         if self.memory_budget_mb is not None:
             argv += ["--memory-budget-mb", str(self.memory_budget_mb)]
+        if self.max_inflight is not None:
+            argv += ["--max-inflight", str(self.max_inflight)]
+        if self.brownout:
+            argv += ["--brownout"]
         return argv
 
     async def _spawn(self, worker: _Worker) -> None:
@@ -338,6 +346,26 @@ class WorkerSupervisor(WorkerDirectory):
                     worker.proc.kill()
                     await worker.proc.wait()
                 continue
+
+    def kill_worker(self, worker_id: str) -> bool:
+        """SIGKILL one worker's process — the chaos hook campaigns use.
+
+        The watch loop sees the death like any crash: listeners get the
+        down event (gateway fails sessions over), the slot restarts with
+        backoff, and ``workers_restarted`` counts it.  Returns True when
+        a live process was actually killed.
+        """
+        worker = self.workers.get(worker_id)
+        if worker is None:
+            raise KeyError(f"unknown worker {worker_id!r}")
+        proc = worker.proc
+        if proc is None or proc.returncode is not None:
+            return False
+        try:
+            proc.kill()
+        except ProcessLookupError:
+            return False
+        return True
 
     async def start(self) -> "WorkerSupervisor":
         """Spawn every worker and wait until all accept connections."""

@@ -44,16 +44,29 @@ R = TypeVar("R", bound=Reply)
 
 
 class ServiceError(Exception):
-    """The server answered with an error reply."""
+    """The server answered with an error reply.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``retry_after_s`` carries the server's backoff hint when the reply
+    had one (quota and overload rejections); ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
+        self.retry_after_s = retry_after_s
 
 
 def _expect(reply: Reply, reply_type: Type[R]) -> R:
     if isinstance(reply, ErrorReply):
-        raise ServiceError(reply.error, reply.message)
+        raise ServiceError(
+            reply.error, reply.message, retry_after_s=reply.retry_after_s
+        )
     if not isinstance(reply, reply_type):
         raise ProtocolError(
             f"expected {reply_type.__name__}, got {type(reply).__name__}"
@@ -374,6 +387,10 @@ class RetryPolicy:
 _RETRYABLE = (ConnectionError, TimeoutError, asyncio.TimeoutError,
               asyncio.IncompleteReadError, EOFError, OSError, ProtocolError)
 
+#: Backstop on consecutive E_OVERLOAD waits when the policy has no overall
+#: deadline to bound them (overload waits do not consume retry attempts).
+_MAX_OVERLOAD_WAITS = 64
+
 
 class ResilientAsyncClient:
     """One logical advisory session that survives transport failures.
@@ -422,6 +439,7 @@ class ResilientAsyncClient:
         self.retries = 0
         self.resumes = 0
         self.cold_restarts = 0
+        self.overload_backoffs = 0
 
     # ------------------------------------------------------------ plumbing
 
@@ -506,7 +524,9 @@ class ResilientAsyncClient:
         loop = asyncio.get_running_loop()
         started = loop.time()
         last_exc: Optional[BaseException] = None
-        for attempt in range(policy.max_attempts):
+        attempt = 0
+        overload_waits = 0
+        while attempt < policy.max_attempts:
             if (
                 policy.overall_deadline_s is not None
                 and loop.time() - started > policy.overall_deadline_s
@@ -523,6 +543,32 @@ class ResilientAsyncClient:
             except ResumeParityError:
                 raise
             except ServiceError as exc:
+                if exc.code == protocol.E_OVERLOAD:
+                    # Backoff-not-fault: the server is healthy, just full.
+                    # Honor its retry_after_s hint, keep the connection,
+                    # and do not consume a retry attempt — only the
+                    # overall deadline bounds how long we wait for
+                    # admission (with a wait-count backstop when no
+                    # deadline is configured).
+                    self.overload_backoffs += 1
+                    overload_waits += 1
+                    if (
+                        policy.overall_deadline_s is None
+                        and overload_waits >= _MAX_OVERLOAD_WAITS
+                    ):
+                        raise
+                    last_exc = exc
+                    if self._session_id is None:
+                        # The OPEN itself was shed; drop the half-built
+                        # connection so the next pass re-runs the open.
+                        await self._teardown()
+                    delay = exc.retry_after_s
+                    if delay is None or delay <= 0:
+                        delay = policy.delay_s(
+                            min(overload_waits - 1, 8), self._rng
+                        )
+                    await asyncio.sleep(delay)
+                    continue
                 if exc.code != protocol.E_SEQ:
                     raise
                 # Our idea of the period diverged from the server's (e.g. a
@@ -535,6 +581,7 @@ class ResilientAsyncClient:
             self.retries += 1
             await self._teardown()
             await asyncio.sleep(policy.delay_s(attempt, self._rng))
+            attempt += 1
         raise ConnectionError(
             f"{label} failed after {policy.max_attempts} attempts"
         ) from last_exc

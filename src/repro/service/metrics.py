@@ -145,6 +145,9 @@ _COUNTER_FIELDS = (
     "sessions_evicted",
     "sessions_resurrected",
     "tenants_rejected",
+    "overload_rejections",
+    "checkpoints_deleted",
+    "brownout_transitions",
 )
 
 
@@ -298,6 +301,9 @@ class ServiceMetrics:
             "sessions_evicted": self.sessions_evicted,
             "sessions_resurrected": self.sessions_resurrected,
             "tenants_rejected": self.tenants_rejected,
+            "overload_rejections": self.overload_rejections,
+            "checkpoints_deleted": self.checkpoints_deleted,
+            "brownout_transitions": self.brownout_transitions,
             "per_tenant": {
                 tenant: dict(counters)
                 for tenant, counters in sorted(self.per_tenant.items())

@@ -1,0 +1,321 @@
+"""Overload protection: admission control, brownout tiers, circuit breakers.
+
+The paper's thesis is that a prefetcher should spend resources only while
+the estimated benefit exceeds the estimated cost.  This module applies the
+same discipline to the serving stack itself: when the process is saturated,
+the cheapest work to refuse is work we have not accepted yet, and the
+cheapest work to degrade is the advisory extras (deep prefetch batches,
+per-decision accounting, frequent checkpoints) rather than the advice
+stream clients are already depending on.
+
+Three cooperating pieces, all transport-agnostic and unit-testable:
+
+``AdmissionGuard``
+    Counts in-flight requests against a watermark (``max_inflight``) and
+    answers one question: *should a brand-new OPEN be shed right now?*
+    Sessions that are already admitted keep full service; only new work is
+    refused, with ``E_OVERLOAD`` + ``retry_after_s`` so cooperative clients
+    back off instead of hammering.
+
+``BrownoutController`` (+ ``LoopLagWatchdog``)
+    The watchdog is a self-probe task that sleeps a fixed interval and
+    measures how late the event loop woke it — scheduling lag is the most
+    honest single signal that the process is drowning.  The controller
+    consumes lag samples and steps a degradation level up or down through
+    hysteresis guards (N consecutive hot samples to step up, M consecutive
+    cool samples to step down, and a dead band between the thresholds so
+    the level never flaps).  Tiers, mildest first:
+
+    ======  ====================  ============================================
+    level   name                  effect
+    ======  ====================  ============================================
+    0       normal                full service
+    1       cap_prefetch          prefetch batches truncated to ``prefetch_cap``
+    2       drop_logs             per-command latency accounting skipped
+    3       widen_checkpoints     checkpoint interval × ``checkpoint_widen``
+    4       shed                  new OPENs refused with ``E_OVERLOAD``
+    ======  ====================  ============================================
+
+``CircuitBreaker``
+    Per-upstream failure counter with the classic closed → open →
+    half-open → closed cycle.  The gateway keeps one per worker link so a
+    sick worker fails fast (and its sessions take the existing
+    ring-successor failover path) instead of queueing every request behind
+    a connect timeout.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "AdmissionGuard",
+    "BreakerPolicy",
+    "BrownoutController",
+    "CircuitBreaker",
+    "LoopLagWatchdog",
+    "OverloadPolicy",
+    "TIER_NAMES",
+    "TIER_NORMAL",
+    "TIER_CAP_PREFETCH",
+    "TIER_DROP_LOGS",
+    "TIER_WIDEN_CHECKPOINTS",
+    "TIER_SHED",
+]
+
+TIER_NORMAL = 0
+TIER_CAP_PREFETCH = 1
+TIER_DROP_LOGS = 2
+TIER_WIDEN_CHECKPOINTS = 3
+TIER_SHED = 4
+
+#: Human-facing names for the brownout tiers, indexed by level.
+TIER_NAMES = (
+    "normal",
+    "cap_prefetch",
+    "drop_logs",
+    "widen_checkpoints",
+    "shed",
+)
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Tuning knobs for admission control and brownout serving.
+
+    ``max_inflight`` is the admission watermark: when that many requests
+    are already between decode and reply-drain, new OPENs are shed.
+    ``None`` disables admission control entirely.  ``brownout`` enables
+    the lag watchdog; the remaining fields tune its thresholds.
+    """
+
+    max_inflight: Optional[int] = None
+    shed_retry_after_s: float = 0.5
+    brownout: bool = False
+    probe_interval_s: float = 0.1
+    #: A probe this late (seconds) counts as a "hot" sample.
+    lag_enter_s: float = 0.05
+    #: A probe at most this late counts as a "cool" sample; between the
+    #: two thresholds is a dead band that resets neither streak.
+    lag_exit_s: float = 0.02
+    enter_consecutive: int = 3
+    exit_consecutive: int = 6
+    #: Prefetch batch depth served at brownout tier >= 1.
+    prefetch_cap: int = 2
+    #: Checkpoint interval multiplier at brownout tier >= 3.
+    checkpoint_widen: float = 4.0
+
+
+class BrownoutController:
+    """Hysteresis-guarded tier stepper driven by scheduling-lag samples.
+
+    Pure logic — no clocks, no tasks — so tests can feed synthetic lag
+    sequences and assert the exact transition points.
+    """
+
+    def __init__(self, policy: OverloadPolicy) -> None:
+        self.policy = policy
+        self.level = TIER_NORMAL
+        self.transitions = 0
+        self._hot = 0
+        self._cool = 0
+
+    def observe(self, lag_s: float) -> Optional[int]:
+        """Feed one lag sample; return the new level iff it changed."""
+        policy = self.policy
+        if lag_s >= policy.lag_enter_s:
+            self._hot += 1
+            self._cool = 0
+            if self._hot >= policy.enter_consecutive and self.level < TIER_SHED:
+                self._hot = 0
+                self.level += 1
+                self.transitions += 1
+                return self.level
+        elif lag_s <= policy.lag_exit_s:
+            self._cool += 1
+            self._hot = 0
+            if self._cool >= policy.exit_consecutive and self.level > TIER_NORMAL:
+                self._cool = 0
+                self.level -= 1
+                self.transitions += 1
+                return self.level
+        else:
+            # Dead band: neither streak advances, neither resets to the
+            # other side's benefit — this is what prevents flapping.
+            self._hot = 0
+            self._cool = 0
+        return None
+
+
+class AdmissionGuard:
+    """In-flight watermark tracking plus the brownout controller.
+
+    ``begin()``/``end()`` bracket each request from decode to drained
+    reply; ``shed_open()`` is consulted *before* ``begin()`` so the
+    request being admitted does not count against itself.
+    """
+
+    def __init__(self, policy: Optional[OverloadPolicy] = None) -> None:
+        self.policy = policy or OverloadPolicy()
+        self.brownout = BrownoutController(self.policy)
+        self.inflight = 0
+        self.peak_inflight = 0
+
+    def begin(self) -> None:
+        self.inflight += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+
+    def end(self) -> None:
+        self.inflight -= 1
+
+    @property
+    def level(self) -> int:
+        return self.brownout.level
+
+    def shed_open(self) -> bool:
+        """True when a brand-new OPEN arriving now should be refused."""
+        if self.brownout.level >= TIER_SHED:
+            return True
+        limit = self.policy.max_inflight
+        return limit is not None and self.inflight >= limit
+
+    @property
+    def prefetch_cap(self) -> Optional[int]:
+        """Batch-depth cap at tier >= 1, else ``None`` (uncapped)."""
+        if self.brownout.level >= TIER_CAP_PREFETCH:
+            return self.policy.prefetch_cap
+        return None
+
+    @property
+    def drop_logs(self) -> bool:
+        return self.brownout.level >= TIER_DROP_LOGS
+
+    def checkpoint_interval(self, base_s: float) -> float:
+        """The effective checkpoint interval at the current tier."""
+        if self.brownout.level >= TIER_WIDEN_CHECKPOINTS:
+            return base_s * self.policy.checkpoint_widen
+        return base_s
+
+
+class LoopLagWatchdog:
+    """Self-probe task measuring event-loop scheduling delay.
+
+    Sleeps ``probe_interval_s`` and measures how much later than requested
+    the loop actually woke it; each sample feeds the guard's brownout
+    controller.  ``on_transition(level, lag_s)`` fires on every tier
+    change (for log lines and metrics).
+    """
+
+    def __init__(
+        self,
+        guard: AdmissionGuard,
+        *,
+        on_transition: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.guard = guard
+        self.on_transition = on_transition
+        self.last_lag_s = 0.0
+        self.probes = 0
+
+    async def run(self) -> None:
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        interval = self.guard.policy.probe_interval_s
+        while True:
+            start = loop.time()
+            await asyncio.sleep(interval)
+            lag = max(0.0, loop.time() - start - interval)
+            self.last_lag_s = lag
+            self.probes += 1
+            changed = self.guard.brownout.observe(lag)
+            if changed is not None and self.on_transition is not None:
+                self.on_transition(changed, lag)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker tuning: trip after N consecutive failures, retry
+    one probe after ``cooldown_s``."""
+
+    failure_threshold: int = 5
+    cooldown_s: float = 1.0
+
+
+class CircuitBreaker:
+    """Closed → open → half-open → closed, with an injectable clock.
+
+    ``allow()`` must be paired with exactly one ``record_success()`` or
+    ``record_failure()`` when it returns True; in the half-open state it
+    admits a single probe at a time.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.times_opened = 0
+        self._probing = False
+
+    @property
+    def blocked(self) -> bool:
+        """True while open and still cooling down.  Read-only: unlike
+        :meth:`allow`, consumes no half-open probe slot, so placement
+        logic can skip a tripped upstream without racing the probe."""
+        return (
+            self.state == "open"
+            and self.opened_at is not None
+            and self.clock() - self.opened_at < self.policy.cooldown_s
+        )
+
+    def allow(self) -> bool:
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            assert self.opened_at is not None
+            if self.clock() - self.opened_at < self.policy.cooldown_s:
+                return False
+            self.state = "half-open"
+            self._probing = False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> bool:
+        """Mark one success; True iff this closed a non-closed breaker."""
+        self.failures = 0
+        self._probing = False
+        if self.state != "closed":
+            self.state = "closed"
+            self.opened_at = None
+            return True
+        return False
+
+    def record_failure(self) -> bool:
+        """Mark one failure; True iff this transition *opened* the breaker."""
+        self._probing = False
+        self.failures += 1
+        if self.state == "half-open":
+            tripped = True
+        elif self.state == "closed":
+            tripped = self.failures >= self.policy.failure_threshold
+        else:
+            return False
+        if tripped:
+            self.state = "open"
+            self.opened_at = self.clock()
+            self.times_opened += 1
+            self.failures = 0
+            return True
+        return False

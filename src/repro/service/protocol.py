@@ -62,6 +62,20 @@ fields, still within v3:
 * ``retry_after_s`` on error replies (quota rejections set it from the
   tenant's configured backoff hint) tells well-behaved clients when to
   try again; absent on all other errors.
+
+The overload-protection layer (:mod:`repro.service.overload`) adds one
+more additive error code, still within v3:
+
+* ``overloaded`` rejects a *new* OPEN when the server or gateway is past
+  its admission watermark (or deep in brownout).  The reply reuses the
+  quota shape — ``retry_after_s`` carries the backoff hint::
+
+      {"v": 3, "id": 1, "error": "overloaded",
+       "message": "server overloaded; retry in 0.5s", "retry_after_s": 0.5}
+
+  Unlike ``quota_exceeded`` this is never about *who* is asking, only
+  about *when*: already-admitted sessions keep full service, and
+  resilient clients treat the error as backoff-not-fault.
 """
 
 from __future__ import annotations
@@ -101,6 +115,7 @@ E_SESSION_ERROR = "session_error"
 E_LIMIT = "limit_exceeded"
 E_SEQ = "seq_mismatch"
 E_QUOTA = "quota_exceeded"
+E_OVERLOAD = "overloaded"
 
 
 class ProtocolError(Exception):

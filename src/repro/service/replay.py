@@ -57,6 +57,11 @@ class ReplayReport:
     # clients, quota_rejected the OPENs the server refused with E_QUOTA
     sessions: int = 0
     quota_rejected: int = 0
+    # overload telemetry; overload_rejections counts sessions the server
+    # shed with E_OVERLOAD (tolerate_overload mode), overload_backoffs the
+    # retry_after_s waits resilient clients honoured before admission
+    overload_rejections: int = 0
+    overload_backoffs: int = 0
 
     @property
     def advice_per_second(self) -> float:
@@ -86,6 +91,8 @@ class ReplayReport:
             "degraded_clients": self.degraded_clients,
             "sessions": self.sessions,
             "quota_rejected": self.quota_rejected,
+            "overload_rejections": self.overload_rejections,
+            "overload_backoffs": self.overload_backoffs,
         }
 
 
@@ -101,6 +108,8 @@ class _ClientResult:
     degraded: bool = False
     sessions: int = 0
     quota_rejected: int = 0
+    overload_rejections: int = 0
+    overload_backoffs: int = 0
 
 
 async def _replay_one(
@@ -117,6 +126,7 @@ async def _replay_one(
     tenant: Optional[str] = None,
     sessions: int = 1,
     tolerate_quota: bool = False,
+    tolerate_overload: bool = False,
     client_index: int = 0,
     start_delay_s: float = 0.0,
     on_session_event: Optional[SessionEventHook] = None,
@@ -158,6 +168,7 @@ async def _replay_one(
                 result.retries += client.retries
                 result.resumes += client.resumes
                 result.cold_restarts += client.cold_restarts
+                result.overload_backoffs += client.overload_backoffs
                 result.degraded = result.degraded or client.degraded
         else:
             async with await AsyncServiceClient.connect(
@@ -190,6 +201,11 @@ async def _replay_one(
             if tolerate_quota and exc.code == protocol.E_QUOTA:
                 result.quota_rejected += 1
                 continue
+            # Likewise for admission-watermark sheds under a deliberate
+            # flood: a refused OPEN is a counted outcome, not a failure.
+            if tolerate_overload and exc.code == protocol.E_OVERLOAD:
+                result.overload_rejections += 1
+                continue
             raise
     return result
 
@@ -209,6 +225,7 @@ async def replay_async(
     tenant: Optional[str] = None,
     sessions_per_client: int = 1,
     tolerate_quota: bool = False,
+    tolerate_overload: bool = False,
     client_blocks: Optional[Sequence[Sequence[int]]] = None,
     arrival_delays: Optional[Sequence[float]] = None,
     on_session_event: Optional[SessionEventHook] = None,
@@ -273,6 +290,7 @@ async def replay_async(
             tenant=tenant,
             sessions=sessions_per_client,
             tolerate_quota=tolerate_quota,
+            tolerate_overload=tolerate_overload,
             client_index=index,
             start_delay_s=(
                 0.0 if arrival_delays is None else float(arrival_delays[index])
@@ -307,6 +325,12 @@ async def replay_async(
         degraded_clients=sum(1 for result in results if result.degraded),
         sessions=sum(result.sessions for result in results),
         quota_rejected=sum(result.quota_rejected for result in results),
+        overload_rejections=sum(
+            result.overload_rejections for result in results
+        ),
+        overload_backoffs=sum(
+            result.overload_backoffs for result in results
+        ),
     )
 
 

@@ -35,6 +35,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> session)
 from repro.params import PAPER_PARAMS, SystemParams
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
+from repro.service.overload import (
+    AdmissionGuard,
+    LoopLagWatchdog,
+    OverloadPolicy,
+    TIER_NAMES,
+)
 from repro.service.protocol import (
     CloseReply,
     CloseRequest,
@@ -99,6 +105,7 @@ class PrefetchService:
         identity: Optional[str] = None,
         tenancy: Optional["TenancyManager"] = None,
         memory_budget_bytes: Optional[int] = None,
+        overload: Optional[OverloadPolicy] = None,
     ) -> None:
         self.default_params = (
             default_params if default_params is not None else PAPER_PARAMS
@@ -123,6 +130,10 @@ class PrefetchService:
         request.  Requires ``checkpoint_dir``; ``None`` disables eviction."""
         #: Ordered least-recently-observed first: OBSERVE moves its session
         #: to the end, so budget eviction pops from the front.
+        self.overload = AdmissionGuard(overload)
+        """Admission watermark + brownout state (see
+        :mod:`repro.service.overload`).  The default policy has no
+        watermark and no brownout, so overload protection is opt-in."""
         self.sessions: "OrderedDict[str, PrefetchSession]" = OrderedDict()
         self.detached: "OrderedDict[str, Snapshot]" = OrderedDict()
         #: Sessions evicted to disk under memory pressure: id -> tenant (or
@@ -153,8 +164,35 @@ class PrefetchService:
             reply = ErrorReply(request.id, protocol.E_SESSION_ERROR, str(exc))
         if isinstance(reply, ErrorReply):
             self.metrics.errors += 1
-        self.metrics.record_latency(request.cmd, time.perf_counter() - started)
+        if not self.overload.drop_logs:
+            # Brownout tier >= 2 sheds per-command accounting: the advice
+            # stream keeps flowing, the histograms go quiet.
+            self.metrics.record_latency(
+                request.cmd, time.perf_counter() - started
+            )
         return reply
+
+    def shed_reply(self, request: Request) -> Optional[ErrorReply]:
+        """The load-shedding decision for one decoded request.
+
+        Only *new* OPENs are sheddable — resumes recover work the server
+        already accepted, and OBSERVE/STATS/CLOSE act on admitted
+        sessions.  Returns the ``E_OVERLOAD`` reply to send (with the
+        policy's ``retry_after_s`` hint) or ``None`` to admit.  Shed
+        replies bypass :meth:`handle`, so they count as
+        ``overload_rejections``, not ``errors``: backoff, not fault.
+        """
+        if not isinstance(request, OpenRequest) or request.resume is not None:
+            return None
+        if not self.overload.shed_open():
+            return None
+        self.metrics.overload_rejections += 1
+        retry_after = self.overload.policy.shed_retry_after_s
+        return ErrorReply(
+            request.id, protocol.E_OVERLOAD,
+            f"server overloaded; retry in {retry_after:g}s",
+            retry_after_s=retry_after,
+        )
 
     def _handle_open(self, request: OpenRequest, owned: Set[str]) -> Reply:
         limits = self.limits
@@ -616,6 +654,13 @@ class PrefetchService:
                     f"{expected}",
                 )
         advice = session.observe(request.block)
+        cap = self.overload.prefetch_cap
+        if cap is not None and len(advice.prefetch) > cap:
+            # Brownout tier >= 1: serve the head of the batch (the
+            # cost-benefit rule orders it most-valuable-first), shedding
+            # the speculative tail.  The session's own modelled state is
+            # untouched — only the reported batch shrinks.
+            advice = replace(advice, prefetch=advice.prefetch[:cap])
         self.metrics.record_advice(advice.outcome, len(advice.prefetch))
         self.sessions.move_to_end(request.session)
         self._observes_since_budget_check += 1
@@ -639,6 +684,8 @@ class PrefetchService:
                 "model_bytes": self.accounted_model_bytes(),
                 "memory_budget_bytes": self.memory_budget_bytes,
                 "evicted_sessions": len(self.evicted),
+                "brownout_level": self.overload.level,
+                "inflight": self.overload.inflight,
                 "metrics": self.metrics.as_dict(),
                 "metrics_state": self.metrics.to_state(),
             }
@@ -666,7 +713,24 @@ class PrefetchService:
             self.tenancy.unbind(request.session)
         stats = session.close()
         self.metrics.sessions_closed += 1
+        self._delete_checkpoint(request.session)
         return CloseReply(id=request.id, session=request.session, stats=stats)
+
+    def _delete_checkpoint(self, session_id: str) -> None:
+        """GC ``<checkpoint-dir>/<id>.snap`` after a clean CLOSE.
+
+        A closed session can never be resumed, so its checkpoint is dead
+        weight; without this, long-running servers accumulate one orphan
+        file per session forever.  Detached/evicted sessions keep their
+        snapshots — those are still resumable.
+        """
+        if self.checkpoint_dir is None:
+            return
+        try:
+            os.unlink(os.path.join(self.checkpoint_dir, f"{session_id}.snap"))
+        except OSError:
+            return  # never checkpointed (common) or already gone
+        self.metrics.checkpoints_deleted += 1
 
     def _resolve_params(
         self, overrides: Optional[Dict[str, float]]
@@ -841,10 +905,21 @@ class PrefetchService:
                     ))
                     await _drain()
                     continue
-                writer.write(protocol.encode_reply(
-                    self.handle(request, owned)
-                ))
-                await _drain()
+                shed = self.shed_reply(request)
+                if shed is not None:
+                    writer.write(protocol.encode_reply(shed))
+                    await _drain()
+                    continue
+                # In-flight from decode to drained reply: the interval
+                # the admission watermark measures.
+                self.overload.begin()
+                try:
+                    writer.write(protocol.encode_reply(
+                        self.handle(request, owned)
+                    ))
+                    await _drain()
+                finally:
+                    self.overload.end()
         except (ConnectionResetError, BrokenPipeError):
             pass
         except (asyncio.TimeoutError, TimeoutError):
@@ -975,7 +1050,11 @@ async def serve_forever(
 
     async def _checkpoint_loop() -> None:
         while True:
-            await asyncio.sleep(checkpoint_every_s)
+            # Brownout tier >= 3 widens the interval: checkpoint I/O is
+            # deferrable work, and deferring it is cheaper than shedding.
+            await asyncio.sleep(
+                service.overload.checkpoint_interval(checkpoint_every_s)
+            )
             snaps = service.snapshot_live_sessions()
             if not snaps:
                 continue
@@ -994,6 +1073,22 @@ async def serve_forever(
     checkpointer: Optional[asyncio.Task] = None
     if checkpoint_dir is not None and checkpoint_every_s is not None:
         checkpointer = asyncio.ensure_future(_checkpoint_loop())
+
+    def _on_brownout(level: int, lag_s: float) -> None:
+        service.metrics.brownout_transitions += 1
+        if ready_message:
+            print(
+                f"brownout: level={level} ({TIER_NAMES[level]}) "
+                f"lag_ms={lag_s * 1000.0:.1f}",
+                flush=True,
+            )
+
+    watchdog_task: Optional[asyncio.Task] = None
+    if service.overload.policy.brownout:
+        watchdog = LoopLagWatchdog(
+            service.overload, on_transition=_on_brownout
+        )
+        watchdog_task = asyncio.ensure_future(watchdog.run())
 
     drain_requested = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -1027,7 +1122,7 @@ async def serve_forever(
             else:
                 await serve_task  # propagate cancellation / errors
     finally:
-        for task in (serve_task, drain_task, checkpointer):
+        for task in (serve_task, drain_task, checkpointer, watchdog_task):
             if task is not None and not task.done():
                 task.cancel()
         if sigterm_installed:

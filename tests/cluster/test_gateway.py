@@ -45,7 +45,8 @@ class _Fleet:
             self.workers[worker_id] = server
             self.directory.register(worker_id, "127.0.0.1", server.port)
         self.gateway = AdvisoryGateway(
-            self.directory, request_timeout_s=5.0, **gateway_kwargs
+            self.directory, request_timeout_s=5.0,
+            checkpoint_dir=checkpoint_dir, **gateway_kwargs
         )
 
     async def __aenter__(self):
@@ -408,3 +409,81 @@ class TestFleetStats:
         assert stats["server"] == "repro.service"
         assert stats["worker"] == "w0"
         assert "metrics_state" in stats
+
+
+class TestJournalCompaction:
+    def test_journal_is_bounded_by_durable_checkpoints(self, tmp_path):
+        """Once a checkpoint has proven a prefix durable, the gateway
+        drops that prefix from the per-session journal — and a later
+        failover still replays the tail decision-identically from the
+        compacted journal."""
+        blocks = _blocks(400)
+        ckpt = str(tmp_path / "ckpt")
+
+        async def scenario():
+            async with _Fleet(
+                2, checkpoint_dir=ckpt, journal_compact_after=64
+            ) as fleet:
+                async with await AsyncServiceClient.connect(
+                    port=fleet.gateway.port
+                ) as client:
+                    sid = await client.open(policy="tree", cache_size=CACHE)
+                    got = [
+                        (await client.observe(sid, block)).as_dict()
+                        for block in blocks[:200]
+                    ]
+                    victim = fleet.gateway.sessions[sid].worker_id
+                    # the periodic checkpoint tick, fired by hand
+                    fleet.workers[victim].service.checkpoint_sessions(ckpt)
+                    got += [
+                        (await client.observe(sid, block)).as_dict()
+                        for block in blocks[200:300]
+                    ]
+                    session = fleet.gateway.sessions[sid]
+                    offset = session.journal_offset
+                    kept = len(session.journal)
+                    compactions = fleet.gateway.stats.journal_compactions
+                    # Failover must work from the compacted journal: no
+                    # fresh checkpoint, so the tail comes from it alone.
+                    fleet.kill(victim)
+                    got += [
+                        (await client.observe(sid, block)).as_dict()
+                        for block in blocks[300:]
+                    ]
+                    final = await client.close_session(sid)
+                    stats = fleet.gateway.stats
+                return got, final, offset, kept, compactions, stats
+
+        got, final, offset, kept, compactions, stats = asyncio.run(scenario())
+        assert got == _fault_free_advice(blocks)
+        assert final["accesses"] == len(blocks)
+        # The checkpoint covered periods [0, 200): exactly that prefix
+        # was dropped, and only once — re-reads of the same snapshot are
+        # no-ops.
+        assert offset == 200
+        assert kept == 100
+        assert compactions == 1
+        assert stats.failovers_resumed == 1
+        assert stats.sessions_lost == 0
+
+    def test_uncheckpointed_journal_is_never_compacted(self):
+        """No checkpoint dir: the journal may grow past the threshold
+        but nothing is dropped — every entry might still be needed."""
+
+        async def scenario():
+            async with _Fleet(2, journal_compact_after=16) as fleet:
+                async with await AsyncServiceClient.connect(
+                    port=fleet.gateway.port
+                ) as client:
+                    sid = await client.open(policy="no-prefetch",
+                                            cache_size=8)
+                    for block in range(40):
+                        await client.observe(sid, block)
+                    session = fleet.gateway.sessions[sid]
+                    return (session.journal_offset, len(session.journal),
+                            fleet.gateway.stats.journal_compactions)
+
+        offset, kept, compactions = asyncio.run(scenario())
+        assert offset == 0
+        assert kept == 40
+        assert compactions == 0

@@ -123,6 +123,33 @@ class TestCheckpointing:
         service = PrefetchService()
         assert service.checkpoint_sessions(str(tmp_path / "empty")) == 0
 
+    def test_clean_close_deletes_the_checkpoint(self, tmp_path):
+        """A closed session can never be resumed, so its snapshot is
+        garbage-collected on CLOSE (and counted)."""
+        ckpt_dir = tmp_path / "ckpts"
+        service = PrefetchService(checkpoint_dir=str(ckpt_dir))
+        with BackgroundServer(service=service) as server:
+            with ServiceClient.connect(port=server.port) as client:
+                session_id = client.open(policy="tree", cache_size=64)
+                for block in REFS[:40]:
+                    client.observe(session_id, block)
+                assert service.checkpoint_sessions(str(ckpt_dir)) == 1
+                path = ckpt_dir / f"{session_id}.snap"
+                assert path.exists()
+                client.close_session(session_id)
+                assert not path.exists()
+        assert service.metrics.checkpoints_deleted == 1
+        assert service.metrics.as_dict()["checkpoints_deleted"] == 1
+
+    def test_close_without_checkpoint_deletes_nothing(self, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        service = PrefetchService(checkpoint_dir=str(ckpt_dir))
+        with BackgroundServer(service=service) as server:
+            with ServiceClient.connect(port=server.port) as client:
+                session_id = client.open(policy="no-prefetch", cache_size=8)
+                client.close_session(session_id)
+        assert service.metrics.checkpoints_deleted == 0
+
     def test_metrics_expose_checkpoint_counter(self):
         assert PrefetchService().metrics.as_dict()["checkpoints_written"] == 0
 
