@@ -124,12 +124,15 @@ def write_bundle(
     *,
     fleet_metrics: Optional[Dict[str, Any]] = None,
     environment: Optional[Dict[str, Any]] = None,
+    trace_summary: Optional[Dict[str, Any]] = None,
 ) -> "Bundle":
     """Write one run's bundle directory; returns the loaded :class:`Bundle`.
 
     Re-running the same scenario overwrites the same directory — that is
     the point: the contents (minus ``results.json`` wall-clock fields)
-    must come out identical.
+    must come out identical.  ``trace_summary`` (span accounting from a
+    traced run) is wall-clock territory: it lives in ``results.json``
+    only and never enters the bundle hash.
     """
     snapshot = scenario.as_dict()
     s_hash = scenario_hash(scenario)
@@ -145,6 +148,7 @@ def write_bundle(
         "phases": phase_results,
         "fleet_metrics": fleet_metrics,
         "environment": environment or {},
+        "trace_summary": trace_summary,
     })
     _write_json(root / "bundle.json", {
         **payload,

@@ -80,6 +80,10 @@ class _Target:
     async def metrics(self) -> Optional[Dict[str, Any]]:
         return None
 
+    def trace_summary(self) -> Optional[Dict[str, Any]]:
+        """Span accounting for the run (results.json only, never hashed)."""
+        return None
+
     async def aclose(self) -> None:
         raise NotImplementedError
 
@@ -100,10 +104,18 @@ class _ServerTarget(_Target):
     async def metrics(self) -> Optional[Dict[str, Any]]:
         return self.service.metrics.as_dict()
 
+    def trace_summary(self) -> Optional[Dict[str, Any]]:
+        if self.service.tracer is None:
+            return None
+        self.service.tracer.flush()
+        return self.service.tracer.summary()
+
     async def aclose(self) -> None:
         self._server.close()
         await self._server.wait_closed()
         self.service.close_connections()
+        if self.service.tracer is not None:
+            self.service.tracer.close()
 
 
 class _FleetTarget(_Target):
@@ -138,12 +150,22 @@ class _FleetTarget(_Target):
             "gateway": self.fleet.gateway.stats.as_dict(),
         }
 
+    def trace_summary(self) -> Optional[Dict[str, Any]]:
+        # Worker spans land in the shared trace dir via each worker's own
+        # tracer; only the gateway's accounting is reachable in-process.
+        tracer = self.fleet.gateway.tracer
+        if tracer is None:
+            return None
+        tracer.flush()
+        return tracer.summary()
+
     async def aclose(self) -> None:
         await self.fleet.aclose()
 
 
 async def _start_target(
-    scenario: ScenarioSpec, workers: int, workdir: Path, echo: Echo
+    scenario: ScenarioSpec, workers: int, workdir: Path, echo: Echo,
+    trace_dir: Optional[str] = None,
 ) -> _Target:
     tenancy = scenario.tenancy
     tenant_config_path: Optional[str] = None
@@ -171,6 +193,8 @@ async def _start_target(
                 store=(None if tenancy is None else tenancy.store),
                 tenant_config=tenant_config_path,
                 max_inflight=scenario.max_inflight,
+                trace_dir=trace_dir,
+                trace_seed=scenario.seed,
                 echo=echo,
             )
         except Exception as exc:
@@ -197,6 +221,14 @@ async def _start_target(
         service_kwargs["tenancy"] = TenancyManager(store, tenancy.config)
         service_kwargs["memory_budget_bytes"] = (
             tenancy.config.memory_budget_bytes
+        )
+    if trace_dir is not None:
+        from repro.obs.trace import Tracer
+
+        # Head-sample against the scenario seed so which sessions are
+        # traced is itself reproducible run to run.
+        service_kwargs["tracer"] = Tracer(
+            "campaign", trace_dir=trace_dir, seed=scenario.seed
         )
     service = PrefetchService(**service_kwargs)
     server = await service.start("127.0.0.1", 0)
@@ -345,6 +377,7 @@ async def run_scenario_async(
     *,
     out_dir: str,
     workdir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
     echo: Echo = None,
 ) -> List[Tuple[Bundle, Dict[str, Any]]]:
     """Run every fleet size on the scenario's axis; one bundle per size.
@@ -352,6 +385,9 @@ async def run_scenario_async(
     Returns ``[(bundle, run_record), ...]`` in axis order.  ``workdir``
     holds scratch state (worker checkpoints, the materialised tenancy
     config); it defaults to ``<out_dir>/<bundle-dir>/work``.
+    ``trace_dir`` switches on distributed tracing for the target; span
+    accounting lands in ``results.json`` only, so bundle hashes are
+    byte-identical with tracing on or off.
     """
     out: List[Tuple[Bundle, Dict[str, Any]]] = []
     axis = scenario.workers if scenario.mode == "fleet" else (1,)
@@ -370,7 +406,9 @@ async def run_scenario_async(
                 f"mode={scenario.mode} workers={workers} "
                 f"phases={len(scenario.phases)}"
             )
-        target = await _start_target(scenario, workers, scratch, echo)
+        target = await _start_target(
+            scenario, workers, scratch, echo, trace_dir
+        )
         phase_results: List[Dict[str, Any]] = []
         try:
             for phase in scenario.phases:
@@ -378,6 +416,7 @@ async def run_scenario_async(
                     await _run_phase(scenario, phase, target, echo)
                 )
             metrics = await target.metrics()
+            trace_summary = target.trace_summary()
         finally:
             await target.aclose()
         record = {
@@ -391,6 +430,7 @@ async def run_scenario_async(
         bundle = write_bundle(
             out_dir, scenario, workers, phase_results,
             fleet_metrics=metrics,
+            trace_summary=trace_summary,
             environment={
                 "python": platform.python_version(),
                 "platform": sys.platform,

@@ -16,6 +16,10 @@ Commands
 ``chaos``     Replay through a fault-injecting proxy (resets, delays,
               corrupt lines) with retrying clients, and report what the
               resilience layer absorbed.
+``metrics``   One Prometheus-text-format scrape of a live daemon or
+              fleet gateway (the STATS exposition, printed to stdout).
+``top``       Live terminal view over server-level STATS: sessions,
+              advice rates, latency percentiles, per-worker rows.
 ``campaign``  The scenario lab (:mod:`repro.campaign`): ``run`` drives a
               declarative scenario file end-to-end against a real fleet
               and writes a content-hashed result bundle; ``compare``
@@ -51,6 +55,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import zipfile
@@ -193,6 +198,39 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """Distributed-tracing knobs shared by serve/fleet/replay."""
+    parser.add_argument(
+        "--trace-dir", default=None, dest="trace_dir",
+        help="write NDJSON span files here (enables distributed tracing)",
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0, dest="trace_sample",
+        help="fraction of sessions to trace, sampled deterministically "
+             "by trace id (default 1.0)",
+    )
+    parser.add_argument(
+        "--trace-seed", type=int, default=0, dest="trace_seed",
+        help="seed for trace-id derivation and sampling (default 0)",
+    )
+
+
+def _build_tracer(args, component: str):
+    """A :class:`~repro.obs.trace.Tracer` from the --trace-* flags, or
+    ``None`` when tracing is off."""
+    if args.trace_dir is None:
+        return None
+    from repro.obs.trace import Tracer
+
+    try:
+        return Tracer(
+            component, trace_dir=args.trace_dir,
+            sample=args.trace_sample, seed=args.trace_seed,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -475,6 +513,11 @@ def cmd_serve(args) -> int:
         overload = OverloadPolicy(
             max_inflight=args.max_inflight, brownout=args.brownout,
         )
+    tracer = _build_tracer(args, args.worker_id or "worker")
+    if args.profile:
+        from repro.obs import profile as profile_hooks
+
+        profile_hooks.enable()
     service = PrefetchService(
         default_params=_params(args),
         limits=ServiceLimits(
@@ -490,6 +533,7 @@ def cmd_serve(args) -> int:
         tenancy=tenancy,
         memory_budget_bytes=memory_budget_bytes,
         overload=overload,
+        tracer=tracer,
     )
     try:
         asyncio.run(serve_forever(
@@ -502,14 +546,24 @@ def cmd_serve(args) -> int:
         metrics.pop("command_latency", None)
         metrics.pop("outcomes", None)
         print(render_dict(metrics, title="service metrics at shutdown"))
+    if args.profile:
+        from repro.obs import profile as profile_hooks
+
+        print(profile_hooks.format_report("serve profile"), flush=True)
+    from repro.service import protocol as service_protocol
+
     # One greppable line mirroring the fleet summary's tenancy pair, on
-    # both the SIGTERM and the Ctrl-C shutdown paths.
+    # both the SIGTERM and the Ctrl-C shutdown paths.  New fields append
+    # at the end: CI greps match on the leading pairs' order.
     print(
         f"serve: sessions_evicted={service.metrics.sessions_evicted} "
         f"tenants_rejected={service.metrics.tenants_rejected} "
         f"overload_rejections={service.metrics.overload_rejections} "
         f"brownout_transitions={service.metrics.brownout_transitions} "
-        f"checkpoints_deleted={service.metrics.checkpoints_deleted}",
+        f"checkpoints_deleted={service.metrics.checkpoints_deleted} "
+        f"uptime_s={time.monotonic() - service.started_at:.3f} "
+        f"proto_version={service_protocol.PROTOCOL_VERSION} "
+        f"pid={os.getpid()}",
         flush=True,
     )
     return 0
@@ -546,6 +600,9 @@ def cmd_fleet(args) -> int:
             brownout=args.brownout,
             vnodes=args.vnodes,
             probe_interval_s=args.probe_interval_s,
+            trace_dir=args.trace_dir,
+            trace_sample=args.trace_sample,
+            trace_seed=args.trace_seed,
         ))
     except KeyboardInterrupt:
         pass  # serve_fleet's finally already printed the summary
@@ -628,6 +685,11 @@ def cmd_replay(args) -> int:
 
     blocks = _load_workload(args)
     overrides = _param_overrides(args)
+    tracer = _build_tracer(args, "client")
+    if args.profile:
+        from repro.obs import profile as profile_hooks
+
+        profile_hooks.enable()
     try:
         report = replay(
             blocks,
@@ -643,6 +705,7 @@ def cmd_replay(args) -> int:
             sessions_per_client=args.sessions_per_client,
             tolerate_quota=args.tolerate_quota,
             tolerate_overload=args.tolerate_overload,
+            tracer=tracer,
         )
     except ConnectionRefusedError:
         raise CLIError(
@@ -651,6 +714,9 @@ def cmd_replay(args) -> int:
         ) from None
     except (ServiceError, ProtocolError) as exc:
         raise CLIError(f"replay failed: {exc}") from None
+    finally:
+        if tracer is not None:
+            tracer.close()
     if args.json:
         import json
 
@@ -674,6 +740,63 @@ def cmd_replay(args) -> int:
         print(f"replay: sessions={report.sessions} "
               f"overload_rejections={report.overload_rejections} "
               f"overload_backoffs={report.overload_backoffs}", flush=True)
+    if args.profile:
+        from repro.obs import profile as profile_hooks
+
+        print(profile_hooks.format_report("replay profile"), flush=True)
+    if tracer is not None:
+        # Greppable for the observability smoke: where the spans went.
+        print(f"replay: trace_dir={args.trace_dir} "
+              f"spans_recorded={tracer.spans_recorded}", flush=True)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import ProtocolError
+
+    try:
+        with ServiceClient.connect(args.host, args.port) as client:
+            stats = client.server_stats(format="prometheus")
+    except ConnectionRefusedError:
+        raise CLIError(
+            f"no server at {args.host}:{args.port} "
+            "(start one with: python -m repro serve)"
+        ) from None
+    except (ServiceError, ProtocolError, TimeoutError, OSError) as exc:
+        raise CLIError(f"metrics scrape failed: {exc}") from None
+    exposition = stats.get("exposition")
+    if not exposition:
+        raise CLIError(
+            "server answered STATS without an exposition "
+            "(pre-observability server?)"
+        )
+    # The exposition already ends with a newline; print adds nothing.
+    sys.stdout.write(exposition)
+    sys.stdout.flush()
+    return 0
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import run_top
+    from repro.service.client import ServiceError
+    from repro.service.protocol import ProtocolError
+
+    try:
+        run_top(
+            args.host, args.port,
+            interval_s=args.interval_s,
+            iterations=1 if args.once else args.iterations,
+        )
+    except ConnectionRefusedError:
+        raise CLIError(
+            f"no server at {args.host}:{args.port} "
+            "(start one with: python -m repro serve)"
+        ) from None
+    except KeyboardInterrupt:
+        pass
+    except (ServiceError, ProtocolError, TimeoutError, OSError) as exc:
+        raise CLIError(f"top failed: {exc}") from None
     return 0
 
 
@@ -696,6 +819,7 @@ def cmd_campaign_run(args) -> int:
             scenario,
             out_dir=args.out,
             workdir=args.workdir,
+            trace_dir=args.trace_dir,
             echo=echo,
         )
     except ResumeParityError as exc:
@@ -904,6 +1028,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable the event-loop-lag watchdog that "
                               "degrades service tier by tier under "
                               "sustained overload")
+    _add_trace_flags(p_serve)
+    p_serve.add_argument("--profile", action="store_true",
+                         help="time engine hot-path stages and print a "
+                              "per-stage report at shutdown")
     _add_param_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -953,6 +1081,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--probe-interval-s", type=float, default=1.0,
                          dest="probe_interval_s",
                          help="seconds between worker liveness probes")
+    _add_trace_flags(p_fleet)
     p_fleet.set_defaults(func=cmd_fleet)
 
     p_replay = sub.add_parser(
@@ -986,6 +1115,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--json", action="store_true",
                           help="print the full report as JSON on stdout "
                                "(machine-readable; suppresses the tables)")
+    _add_trace_flags(p_replay)
+    p_replay.add_argument("--profile", action="store_true",
+                          help="time client-side stages and print a "
+                               "per-stage report after the replay")
     p_replay.set_defaults(func=cmd_replay)
 
     p_chaos = sub.add_parser(
@@ -1022,6 +1155,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client retry budget per observation")
     p_chaos.set_defaults(func=cmd_chaos)
 
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="scrape a live server's Prometheus text exposition to stdout",
+    )
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, default=7199)
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal view of a server or fleet (rates, latency, "
+             "brownout, per-worker health)",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7199)
+    p_top.add_argument("--interval-s", type=float, default=2.0,
+                       dest="interval_s",
+                       help="seconds between refreshes (default 2)")
+    p_top.add_argument("--iterations", type=_positive_int, default=None,
+                       help="stop after N frames (default: run until ^C)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit "
+                            "(shorthand for --iterations 1)")
+    p_top.set_defaults(func=cmd_top)
+
     p_camp = sub.add_parser(
         "campaign",
         help="declarative scenario lab: run campaigns, compare bundles",
@@ -1041,6 +1199,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: inside the bundle directory)")
     p_crun.add_argument("--quiet", action="store_true",
                         help="suppress per-phase progress lines")
+    p_crun.add_argument("--trace-dir", default=None, dest="trace_dir",
+                        help="write distributed-tracing spans here; span "
+                             "accounting lands in results.json only, so "
+                             "bundle hashes are unchanged")
     p_crun.set_defaults(func=cmd_campaign_run)
 
     p_ccmp = camp_sub.add_parser(

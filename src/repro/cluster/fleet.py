@@ -27,7 +27,9 @@ rejections).
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.gateway import AdvisoryGateway
@@ -61,6 +63,7 @@ class Fleet:
     ) -> None:
         self.gateway = gateway
         self.supervisor = supervisor
+        self.started_at = time.monotonic()
         self.sessions_evicted = 0
         self.worker_tenants_rejected = 0
         self.worker_overload_rejections = 0
@@ -95,7 +98,10 @@ class Fleet:
             f"tenants_rejected={rejected} "
             f"overload_rejections={shed} "
             f"breakers_opened={stats.breakers_opened} "
-            f"journal_compactions={stats.journal_compactions}"
+            f"journal_compactions={stats.journal_compactions} "
+            f"uptime_s={time.monotonic() - self.started_at:.3f} "
+            f"proto_version={protocol.PROTOCOL_VERSION} "
+            f"pid={os.getpid()}"
         )
 
     async def aclose(self) -> None:
@@ -134,13 +140,21 @@ async def start_fleet(
     brownout: bool = False,
     vnodes: int = DEFAULT_VNODES,
     probe_interval_s: float = 1.0,
+    trace_dir: Optional[str] = None,
+    trace_sample: float = 1.0,
+    trace_seed: int = 0,
     echo=None,
 ) -> Fleet:
     """Spawn the workers, start the gateway, return a live :class:`Fleet`.
 
     ``port=0`` binds the gateway to an ephemeral port (read it back from
     ``fleet.port``).  ``echo`` is an optional ``callable(str)`` receiving
-    the same progress lines ``repro fleet`` prints.
+    the same progress lines ``repro fleet`` prints.  ``trace_dir``
+    switches on distributed tracing: the gateway head-samples
+    ``trace_sample`` of sessions (deterministically, from
+    ``trace_seed``) and every component appends its spans to
+    ``<trace_dir>/<component>.ndjson`` — workers included, via their
+    serve argv.
     """
     quotas = None
     if tenant_config is not None:
@@ -162,8 +176,19 @@ async def start_fleet(
         max_inflight=max_inflight,
         brownout=brownout,
         probe_interval_s=probe_interval_s,
+        trace_dir=trace_dir,
+        trace_sample=trace_sample if trace_dir is not None else None,
+        trace_seed=trace_seed if trace_dir is not None else None,
         echo=echo,
     )
+    tracer = None
+    if trace_dir is not None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(
+            "gateway", trace_dir=trace_dir,
+            sample=trace_sample, seed=trace_seed,
+        )
     await supervisor.start()
     gateway = AdvisoryGateway(
         supervisor,
@@ -180,6 +205,7 @@ async def start_fleet(
             if max_inflight is not None else None
         ),
         checkpoint_dir=checkpoint_dir,
+        tracer=tracer,
     )
     try:
         await gateway.start(host, port)
@@ -206,6 +232,9 @@ async def serve_fleet(
     brownout: bool = False,
     vnodes: int = DEFAULT_VNODES,
     probe_interval_s: float = 1.0,
+    trace_dir: Optional[str] = None,
+    trace_sample: float = 1.0,
+    trace_seed: int = 0,
     ready_message: bool = True,
 ) -> None:
     """Run gateway + supervised workers until SIGTERM/SIGINT/cancel."""
@@ -228,6 +257,9 @@ async def serve_fleet(
         brownout=brownout,
         vnodes=vnodes,
         probe_interval_s=probe_interval_s,
+        trace_dir=trace_dir,
+        trace_sample=trace_sample,
+        trace_seed=trace_seed,
         echo=_say if ready_message else None,
     )
     try:

@@ -44,12 +44,13 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Tracer
     from repro.tenancy.config import TenancyConfig
 
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.worker import WorkerDirectory
 from repro.service import protocol
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import _COUNTER_FIELDS, ServiceMetrics
 from repro.service.overload import (
     AdmissionGuard,
     BreakerPolicy,
@@ -259,7 +260,7 @@ class _GatewaySession:
     __slots__ = (
         "sid", "worker_id", "open_request", "policy_name", "cache_size",
         "journal", "journal_offset", "degraded", "orphaned", "closed",
-        "lock", "tenant",
+        "lock", "tenant", "trace",
     )
 
     def __init__(
@@ -285,6 +286,10 @@ class _GatewaySession:
         self.degraded = False
         self.orphaned = False
         self.closed = False
+        #: Trace id riding the session's OPEN (None when unsampled); the
+        #: failover resume reuses ``open_request`` verbatim, so lineage
+        #: survives worker moves for free.
+        self.trace: Optional[str] = open_request.trace
         self.lock = asyncio.Lock()
 
     @property
@@ -322,10 +327,19 @@ class AdvisoryGateway:
         breaker_clock=time.monotonic,
         checkpoint_dir: Optional[str] = None,
         journal_compact_after: int = 4096,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.directory = directory
         self.ring = HashRing(directory.endpoints(), vnodes=vnodes)
         self.stats = GatewayStats()
+        self.tracer = tracer
+        """Span recorder for the gateway stages (admission, ring lookup,
+        journal append, worker RPC, reply relay).  The gateway is the
+        head-based sampler: it mints a deterministic trace id per OPEN,
+        keeps it iff sampled, and injects it into the forwarded OPEN so
+        the worker's spans join the same trace.  ``None`` = one falsy
+        check per request."""
+        self.started_at = time.monotonic()
         self.tenant_config = tenant_config
         """Fleet-wide tenant quotas; the same config's per-tenant limits are
         also enforced per worker, but the gateway sees the whole fleet and
@@ -505,6 +519,8 @@ class AdvisoryGateway:
         for link in self._links.values():
             await link.aclose()
         self._links.clear()
+        if self.tracer is not None:
+            self.tracer.close()
 
     # ------------------------------------------------------------ upstream
 
@@ -555,6 +571,8 @@ class AdvisoryGateway:
         is possible; the session is then removed and counted.
         """
         sid = session.sid
+        prior_worker = session.worker_id
+        started_s = time.perf_counter()
         resume = replace(
             session.open_request, id=0, resume=sid, session_id=sid,
         )
@@ -583,6 +601,7 @@ class AdvisoryGateway:
                 if await self._replay_tail(link, session, period):
                     session.worker_id = worker_id
                     self.stats.failovers_resumed += 1
+                    self._trace_failover(session, started_s, prior_worker)
                     # Note the resume period is NOT compaction evidence:
                     # it may come from a worker's in-memory detached
                     # table, not a durable checkpoint, and truncating to
@@ -606,6 +625,7 @@ class AdvisoryGateway:
                         self.stats.failovers_resumed += 1
                     else:
                         self.stats.failovers_degraded += 1
+                    self._trace_failover(session, started_s, prior_worker)
                     return
                 break
             continue  # worker-specific refusal (limits): try the next
@@ -614,6 +634,23 @@ class AdvisoryGateway:
         self.sessions.pop(sid, None)
         self._orphans.pop(sid, None)
         raise SessionLost(f"session {sid} lost: no resumable state")
+
+    def _trace_failover(
+        self, session: _GatewaySession, started_s: float, prior: str
+    ) -> None:
+        """Record that a sampled session survived a worker move.
+
+        ``failover=1`` lets trace tooling count lineage breaks; the span
+        rides the session's original trace id, which the resume carried
+        over in ``open_request``."""
+        if self.tracer is None or session.trace is None:
+            return
+        self.tracer.record(
+            session.trace, "gateway.failover",
+            started_s, time.perf_counter() - started_s,
+            session=session.sid, failover=1,
+            from_worker=prior, to_worker=session.worker_id,
+        )
 
     async def _replay_tail(
         self, link: _WorkerLink, session: _GatewaySession, period: int
@@ -777,6 +814,23 @@ class AdvisoryGateway:
         self._tenant_bytes_cache = (now, totals)
         return totals
 
+    def _trace_for_open(
+        self, request: OpenRequest, sid: str
+    ) -> Optional[str]:
+        """Trace id for the session named ``sid``, or ``None`` (unsampled).
+
+        A client-supplied id is adopted verbatim — the client already made
+        the sampling decision.  Otherwise the gateway mints a deterministic
+        id from the session id it just assigned, so a resume of the same
+        session re-derives the same id and failover lineage is free.
+        """
+        if self.tracer is None:
+            return None
+        if request.trace is not None:
+            return request.trace
+        trace_id = self.tracer.new_trace_id(sid)
+        return trace_id if self.tracer.sampled(trace_id) else None
+
     async def _handle_open(
         self, request: OpenRequest, owned: Set[str]
     ) -> Tuple[Optional[bytes], Reply]:
@@ -795,12 +849,20 @@ class AdvisoryGateway:
                 "session_id is reserved for gateway-to-worker use",
             )
         sid = f"g{next(self._ids)}"
+        trace_id = self._trace_for_open(request, sid)
+        t0 = time.perf_counter() if trace_id is not None else 0.0
         worker_id = self.ring.owner(sid, exclude=self._tripped())
+        if trace_id is not None:
+            self.tracer.record(
+                trace_id, "gateway.ring_lookup",
+                t0, time.perf_counter() - t0,
+                session=sid, worker=worker_id,
+            )
         if worker_id is None:
             return None, ErrorReply(
                 request.id, protocol.E_LIMIT, "no live workers"
             )
-        forward = replace(request, session_id=sid)
+        forward = replace(request, session_id=sid, trace=trace_id)
         try:
             raw, reply = await self._forward_on(worker_id, forward)
         except (ConnectionError, OSError):
@@ -861,7 +923,12 @@ class AdvisoryGateway:
             return None, ErrorReply(
                 request.id, protocol.E_LIMIT, "no live workers"
             )
-        forward = replace(request, session_id=sid)
+        # A resume re-derives the same deterministic trace id the session
+        # was minted with, so its spans join the original trace.
+        forward = replace(
+            request, session_id=sid,
+            trace=self._trace_for_open(request, sid),
+        )
         raw, reply = await self._forward_on(worker_id, forward)
         if isinstance(reply, OpenReply):
             session = _GatewaySession(
@@ -899,11 +966,26 @@ class AdvisoryGateway:
                 forward = replace(request, seq=expected)
             else:
                 forward = request
+            trace_id = session.trace if self.tracer is not None else None
+            t0 = time.perf_counter() if trace_id is not None else 0.0
             raw, reply = await self._forward(session, forward)
+            if trace_id is not None:
+                self.tracer.record(
+                    trace_id, "gateway.worker_rpc",
+                    t0, time.perf_counter() - t0,
+                    session=session.sid, worker=session.worker_id,
+                )
             if isinstance(reply, ObserveReply) and forward.seq == expected:
+                t1 = time.perf_counter() if trace_id is not None else 0.0
                 session.journal.append(request.block)
                 if len(session.journal) >= self.journal_compact_after:
                     await self._compact_journal(session)
+                if trace_id is not None:
+                    self.tracer.record(
+                        trace_id, "gateway.journal_append",
+                        t1, time.perf_counter() - t1,
+                        session=session.sid,
+                    )
             return raw, reply
 
     async def _handle_stats(
@@ -937,8 +1019,22 @@ class AdvisoryGateway:
         Public so the fleet runner can fold worker counters (evictions,
         tenant rejections) into its shutdown summary.
         """
+        fleet, per_worker, _ = await self._collect_worker_stats()
+        return fleet, per_worker
+
+    async def _collect_worker_stats(
+        self,
+    ) -> Tuple[ServiceMetrics, Dict[str, Any], Dict[str, Any]]:
+        """One STATS poll of every worker.
+
+        Returns ``(merged fleet metrics, per-worker metric dicts, raw
+        per-worker stats replies)``; the raw replies carry the gauges
+        (brownout level, inflight, live sessions) that the Prometheus
+        exposition labels per worker.
+        """
         fleet = ServiceMetrics()
         per_worker: Dict[str, Any] = {}
+        worker_stats: Dict[str, Any] = {}
         for worker_id in sorted(self.directory.endpoints()):
             try:
                 reply = await self._rpc(
@@ -950,25 +1046,75 @@ class AdvisoryGateway:
             if not isinstance(reply, StatsReply):
                 per_worker[worker_id] = None
                 continue
+            worker_stats[worker_id] = reply.stats
             per_worker[worker_id] = reply.stats.get("metrics")
             state = reply.stats.get("metrics_state")
             if state:
                 fleet.merge(ServiceMetrics.from_state(state))
-        return fleet, per_worker
+        return fleet, per_worker, worker_stats
 
     async def _fleet_stats(self, request: StatsRequest) -> Reply:
         """Aggregate every worker's metrics into fleet totals."""
-        fleet, per_worker = await self.fleet_metrics()
-        return StatsReply(
-            id=request.id, session="",
-            stats={
-                "server": "repro.gateway",
-                "protocol": protocol.PROTOCOL_VERSION,
-                "workers": len(per_worker),
-                "fleet": fleet.as_dict(),
-                "per_worker": per_worker,
-                "gateway": self.stats.as_dict(),
-            },
+        if request.format is not None and request.format != "prometheus":
+            return ErrorReply(
+                request.id, protocol.E_BAD_REQUEST,
+                f"unknown stats format {request.format!r} "
+                "(only 'prometheus' is defined)",
+            )
+        fleet, per_worker, worker_stats = await self._collect_worker_stats()
+        stats: Dict[str, Any] = {
+            "server": "repro.gateway",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "proto_version": protocol.PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "pid": os.getpid(),
+            "workers": len(per_worker),
+            "fleet": fleet.as_dict(),
+            "per_worker": per_worker,
+            "gateway": self.stats.as_dict(),
+        }
+        if request.format == "prometheus":
+            stats["exposition"] = self._render_exposition(
+                fleet.to_state(), worker_stats
+            )
+        return StatsReply(id=request.id, session="", stats=stats)
+
+    def _render_exposition(
+        self, fleet_state: Dict[str, Any], worker_stats: Dict[str, Any]
+    ) -> str:
+        """Prometheus text format over the merged fleet state.
+
+        Gateway counters that collide with worker counter names (both
+        sides count ``sessions_opened``, ``overload_rejections``, ...)
+        get a ``gateway_`` prefix so the fleet-summed family keeps its
+        bare name; gateway-only counters such as ``breakers_opened``
+        stay bare.
+        """
+        from repro.obs.prom import render_exposition
+
+        reserved = set(_COUNTER_FIELDS)
+        extra: Dict[str, int] = {}
+        for name, value in self.stats.as_dict().items():
+            key = f"gateway_{name}" if name in reserved else name
+            extra[key] = value
+        gauges: List[Tuple[str, Optional[Dict[str, str]], Any]] = [
+            ("workers_live", None, len(self.directory.endpoints())),
+            ("inflight", {"component": "gateway"}, self.overload.inflight),
+            ("uptime_s", {"component": "gateway"},
+             round(time.monotonic() - self.started_at, 3)),
+        ]
+        for worker_id, stats in sorted(worker_stats.items()):
+            labels = {"worker": worker_id}
+            for gauge in ("brownout_level", "inflight", "live_sessions"):
+                value = stats.get(gauge)
+                if value is not None:
+                    gauges.append((gauge, labels, value))
+        for worker_id, breaker in sorted(self._breakers.items()):
+            gauges.append(
+                ("breaker_open", {"worker": worker_id}, int(breaker.blocked))
+            )
+        return render_exposition(
+            fleet_state, extra_counters=extra, gauges=gauges
         )
 
     async def _handle_close(
@@ -1086,6 +1232,9 @@ class AdvisoryGateway:
                     ))
                     await _drain()
                     continue
+                t_admit = (
+                    time.perf_counter() if self.tracer is not None else 0.0
+                )
                 shed = self._shed_reply(request)
                 if shed is not None:
                     writer.write(protocol.encode_reply(shed))
@@ -1093,12 +1242,33 @@ class AdvisoryGateway:
                     continue
                 self.overload.begin()
                 try:
+                    t_begin = (
+                        time.perf_counter()
+                        if self.tracer is not None else 0.0
+                    )
                     raw, reply = await self._dispatch(request, owned)
+                    # For an OPEN the trace id only exists after dispatch
+                    # (the gateway mints it with the session id), so both
+                    # connection-level spans resolve it here.
+                    trace_id = self._request_trace(request, reply)
+                    if trace_id is not None:
+                        self.tracer.record(
+                            trace_id, "gateway.admission",
+                            t_admit, t_begin - t_admit,
+                        )
+                    t_relay = (
+                        time.perf_counter() if trace_id is not None else 0.0
+                    )
                     if raw is not None:
                         writer.write(raw)  # worker reply, byte-for-byte
                     else:
                         writer.write(protocol.encode_reply(reply))
                     await _drain()
+                    if trace_id is not None:
+                        self.tracer.record(
+                            trace_id, "gateway.reply_relay",
+                            t_relay, time.perf_counter() - t_relay,
+                        )
                 finally:
                     self.overload.end()
         except (ConnectionResetError, BrokenPipeError):
@@ -1116,6 +1286,21 @@ class AdvisoryGateway:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    def _request_trace(
+        self, request: Request, reply: Optional[Reply]
+    ) -> Optional[str]:
+        """Resolve the trace id a finished request belongs to, if any."""
+        if self.tracer is None:
+            return None
+        if isinstance(request, OpenRequest):
+            sid = reply.session if isinstance(reply, OpenReply) else None
+        else:
+            sid = getattr(request, "session", None)
+        if not sid:
+            return None
+        session = self.sessions.get(sid)
+        return session.trace if session is not None else None
 
     def _orphan_sessions(self, owned: Set[str]) -> None:
         """Client vanished without CLOSE: keep its sessions resumable.

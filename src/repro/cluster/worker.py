@@ -123,6 +123,9 @@ class WorkerSupervisor(WorkerDirectory):
         max_sessions: int = 1024,
         max_inflight: Optional[int] = None,
         brownout: bool = False,
+        trace_dir: Optional[str] = None,
+        trace_sample: Optional[float] = None,
+        trace_seed: Optional[int] = None,
         probe_interval_s: float = 1.0,
         probe_timeout_s: float = 5.0,
         restart_backoff_s: float = 0.1,
@@ -144,6 +147,12 @@ class WorkerSupervisor(WorkerDirectory):
         self.max_sessions = max_sessions
         self.max_inflight = max_inflight
         self.brownout = brownout
+        #: Tracing flags forwarded to every worker's serve argv; workers
+        #: write per-component NDJSON span files into ``trace_dir`` (the
+        #: gateway, sharing the directory, is the head-based sampler).
+        self.trace_dir = trace_dir
+        self.trace_sample = trace_sample
+        self.trace_seed = trace_seed
         self.probe_interval_s = probe_interval_s
         self.probe_timeout_s = probe_timeout_s
         self.restart_backoff_s = restart_backoff_s
@@ -195,6 +204,12 @@ class WorkerSupervisor(WorkerDirectory):
             argv += ["--max-inflight", str(self.max_inflight)]
         if self.brownout:
             argv += ["--brownout"]
+        if self.trace_dir is not None:
+            argv += ["--trace-dir", self.trace_dir]
+            if self.trace_sample is not None:
+                argv += ["--trace-sample", str(self.trace_sample)]
+            if self.trace_seed is not None:
+                argv += ["--trace-seed", str(self.trace_seed)]
         return argv
 
     async def _spawn(self, worker: _Worker) -> None:

@@ -1,0 +1,118 @@
+"""Opt-in hot-path profiling: a module-level guard, per-stage timers.
+
+The engine's inner loop runs hundreds of thousands of steps a second; a
+profiler that costs anything while disabled would show up in every
+benchmark it was meant to explain.  The contract:
+
+* callers read the module-level :data:`ENABLED` flag **once per step**
+  into a local, and only when it is true call ``perf_counter`` and
+  :func:`add` — disabled cost is one attribute load and a falsy branch;
+* :func:`add` is allocation-free on the steady path (the stage record
+  exists after its first hit) and must never change what the caller
+  computes — timers observe the hot path, they are not part of it.
+
+Stage names are dotted: ``engine.step``, ``engine.tree_walk``,
+``engine.candidate_selection`` on the simulator; ``client.open`` /
+``client.observe`` on the replay side.  ``repro serve --profile`` and
+``repro replay --profile`` flip the guard and print
+:func:`format_report` on the way out.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = [
+    "ENABLED", "enable", "disable", "reset", "add", "report",
+    "format_report",
+]
+
+#: The no-op guard.  Read it into a local at the top of a hot section;
+#: everything else in this module is off the hot path.
+ENABLED = False
+
+
+class _Stage:
+    __slots__ = ("calls", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+
+_stages: Dict[str, _Stage] = {}
+_lock = threading.Lock()
+
+
+def enable() -> None:
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    global ENABLED
+    ENABLED = False
+
+
+def reset() -> None:
+    """Drop accumulated stages (the guard state is left alone)."""
+    with _lock:
+        _stages.clear()
+
+
+def add(stage: str, duration_s: float) -> None:
+    """Fold one timed interval into ``stage``.
+
+    Only called behind the guard; the GIL makes the individual updates
+    safe enough for a profiler (a racing increment can shave a count,
+    never corrupt the dict — creation takes the lock).
+    """
+    record = _stages.get(stage)
+    if record is None:
+        with _lock:
+            record = _stages.setdefault(stage, _Stage())
+    record.calls += 1
+    record.total_s += duration_s
+    if duration_s > record.max_s:
+        record.max_s = duration_s
+
+
+def report() -> Dict[str, Dict[str, float]]:
+    """Snapshot ``{stage: {calls, total_s, avg_us, max_us}}``."""
+    with _lock:
+        stages = dict(_stages)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, record in stages.items():
+        calls = record.calls
+        out[name] = {
+            "calls": calls,
+            "total_s": round(record.total_s, 6),
+            "avg_us": round(record.total_s / calls * 1e6, 3) if calls else 0.0,
+            "max_us": round(record.max_s * 1e6, 3),
+        }
+    return out
+
+
+def format_report(title: str = "profile") -> str:
+    """An aligned per-stage table, heaviest total first."""
+    stages = report()
+    if not stages:
+        return f"{title}: no stages recorded (was --profile on?)"
+    order = sorted(
+        stages.items(), key=lambda item: item[1]["total_s"], reverse=True
+    )
+    width = max(len(name) for name in stages)
+    lines = [
+        f"{title}: per-stage breakdown",
+        f"  {'stage'.ljust(width)}  {'calls':>9}  {'total_s':>10}  "
+        f"{'avg_us':>10}  {'max_us':>10}",
+    ]
+    for name, row in order:
+        lines.append(
+            f"  {name.ljust(width)}  {int(row['calls']):>9}  "
+            f"{row['total_s']:>10.4f}  {row['avg_us']:>10.2f}  "
+            f"{row['max_us']:>10.2f}"
+        )
+    return "\n".join(lines)

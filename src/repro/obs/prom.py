@@ -1,0 +1,187 @@
+"""Prometheus text exposition over ``ServiceMetrics`` state.
+
+One renderer serves both shapes: a bare server's own
+``ServiceMetrics.to_state()`` and a gateway's fleet-merged state with
+the gateway's counters layered on top.  The output is the Prometheus
+text format, version 0.0.4 — ``# TYPE`` headers, cumulative histogram
+buckets with ``le`` labels, escaped label values, final newline — so a
+scrape of the STATS path (``format="prometheus"``) or of ``repro
+metrics`` drops straight into promtool, a test grep, or a real scraper.
+
+The load-bearing families:
+
+* ``advice_latency`` — histogram of OBSERVE service time in seconds,
+  rebuilt from the log-bucketed :class:`~repro.service.metrics.\
+LatencyHistogram` (bucket upper bound ``1e-6 * 2**((i+1)/4)`` s).
+* every ``ServiceMetrics`` counter under its own name
+  (``overload_rejections``, ``sessions_opened``, ...), plus any caller
+  extras (the gateway contributes ``breakers_opened`` et al.).
+* caller-supplied gauges: ``brownout_level``, ``inflight``,
+  ``breaker_open``, ``tenant_model_bytes``...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["render_exposition", "bucket_upper_s"]
+
+#: A gauge sample: (family, labels-or-None, value).
+Gauge = Tuple[str, Optional[Mapping[str, Any]], float]
+
+_HISTOGRAM_BASE_S = 1e-6
+_HISTOGRAM_STEPS_PER_OCTAVE = 4
+
+
+def bucket_upper_s(index: int) -> float:
+    """Upper bound (seconds) of ``LatencyHistogram`` bucket ``index``."""
+    return _HISTOGRAM_BASE_S * (
+        2.0 ** ((index + 1) / _HISTOGRAM_STEPS_PER_OCTAVE)
+    )
+
+
+def _escape(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: Optional[Mapping[str, Any]]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(labels[key])}"' for key in sorted(labels)
+    )
+    return "{" + body + "}"
+
+
+def _num(value: Any) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _histogram_lines(
+    family: str,
+    state: Optional[Dict[str, Any]],
+    labels: Optional[Mapping[str, Any]] = None,
+    help_text: Optional[str] = None,
+) -> List[str]:
+    """Cumulative-bucket rendering of one ``LatencyHistogram.to_state()``."""
+    state = state or {}
+    # bucket keys are ints fresh out of to_state() and strings after a
+    # JSON wire hop; normalise once
+    buckets = {
+        int(key): int(value)
+        for key, value in (state.get("buckets", {}) or {}).items()
+    }
+    lines: List[str] = []
+    if help_text:
+        lines.append(f"# HELP {family} {help_text}")
+    lines.append(f"# TYPE {family} histogram")
+    cumulative = 0
+    for index in sorted(buckets):
+        cumulative += buckets[index]
+        le = {"le": f"{bucket_upper_s(index):.6e}"}
+        if labels:
+            le.update(labels)
+        lines.append(f"{family}_bucket{_labels(le)} {cumulative}")
+    inf = {"le": "+Inf"}
+    if labels:
+        inf.update(labels)
+    count = int(state.get("count", 0) or 0)
+    lines.append(f"{family}_bucket{_labels(inf)} {count}")
+    lines.append(
+        f"{family}_sum{_labels(labels)} "
+        f"{_num(state.get('total_s', 0.0) or 0.0)}"
+    )
+    lines.append(f"{family}_count{_labels(labels)} {count}")
+    return lines
+
+
+def render_exposition(
+    metrics_state: Optional[Dict[str, Any]] = None,
+    *,
+    extra_counters: Optional[Mapping[str, Any]] = None,
+    gauges: Optional[Iterable[Gauge]] = None,
+    advice_family: str = "advice_latency",
+    advice_command: str = "observe",
+) -> str:
+    """Render one scrape of the Prometheus text format.
+
+    ``metrics_state`` is ``ServiceMetrics.to_state()`` (a bare server's
+    own, or the gateway's fleet merge).  ``extra_counters`` layer on
+    counters the metrics object does not own (gateway failovers, breaker
+    trips); the caller is responsible for prefixing any name that would
+    collide.  ``gauges`` are ``(family, labels, value)`` samples —
+    repeated families are grouped under one ``# TYPE`` header.
+    """
+    state = metrics_state or {}
+    counters: Dict[str, Any] = dict(state.get("counters", {}) or {})
+    for name, value in (extra_counters or {}).items():
+        counters[name] = value
+    lines: List[str] = []
+
+    command_latency: Dict[str, Any] = state.get("command_latency", {}) or {}
+    lines += _histogram_lines(
+        advice_family,
+        command_latency.get(advice_command),
+        help_text="OBSERVE (advice) service latency in seconds.",
+    )
+
+    for name in sorted(counters):
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_num(counters[name])}")
+
+    outcomes: Dict[str, Any] = state.get("outcomes", {}) or {}
+    if outcomes:
+        lines.append("# TYPE advice_outcomes counter")
+        for outcome in sorted(outcomes):
+            lines.append(
+                f"advice_outcomes{_labels({'outcome': outcome})} "
+                f"{_num(outcomes[outcome])}"
+            )
+
+    others = sorted(
+        command for command in command_latency if command != advice_command
+    )
+    if others:
+        lines.append("# TYPE command_calls counter")
+        for command in others:
+            hist = command_latency[command] or {}
+            lines.append(
+                f"command_calls{_labels({'command': command})} "
+                f"{_num(hist.get('count', 0) or 0)}"
+            )
+        lines.append("# TYPE command_seconds counter")
+        for command in others:
+            hist = command_latency[command] or {}
+            lines.append(
+                f"command_seconds{_labels({'command': command})} "
+                f"{_num(hist.get('total_s', 0.0) or 0.0)}"
+            )
+
+    per_tenant: Dict[str, Any] = state.get("per_tenant", {}) or {}
+    if per_tenant:
+        lines.append("# TYPE tenant_counter counter")
+        for tenant in sorted(per_tenant):
+            for counter in sorted(per_tenant[tenant]):
+                labels = {"tenant": tenant, "counter": counter}
+                lines.append(
+                    f"tenant_counter{_labels(labels)} "
+                    f"{_num(per_tenant[tenant][counter])}"
+                )
+
+    grouped: Dict[str, List[Tuple[Optional[Mapping[str, Any]], float]]] = {}
+    for family, labels, value in gauges or ():
+        grouped.setdefault(family, []).append((labels, value))
+    for family in sorted(grouped):
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in grouped[family]:
+            lines.append(f"{family}{_labels(labels)} {_num(value)}")
+
+    return "\n".join(lines) + "\n"

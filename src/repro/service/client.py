@@ -155,6 +155,7 @@ class AsyncServiceClient:
         model: Optional[str] = None,
         resume: Optional[str] = None,
         tenant: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> OpenReply:
         """Create (or resume) a session; returns the full OPEN reply.
 
@@ -163,7 +164,10 @@ class AsyncServiceClient:
         to re-open from the server's detached table or checkpoint
         directory.  ``tenant`` opens the session under a configured tenant
         (shared base model, per-tenant quotas); quota rejections surface
-        as :class:`ServiceError` with code ``quota_exceeded``.  The reply
+        as :class:`ServiceError` with code ``quota_exceeded``.  ``trace``
+        rides a client-minted trace id on the OPEN so server-side spans
+        join the caller's trace; the reply echoes the id the server bound
+        (its own, head-sampled, when the client sent none).  The reply
         carries ``period`` (how many observations the session already
         holds), ``resumed``, and ``degraded``.
         """
@@ -171,7 +175,7 @@ class AsyncServiceClient:
             OpenRequest(
                 id=self._take_id(), policy=policy, cache_size=cache_size,
                 params=params, policy_kwargs=dict(policy_kwargs or {}),
-                model=model, resume=resume, tenant=tenant,
+                model=model, resume=resume, tenant=tenant, trace=trace,
             ),
             OpenReply,
         )
@@ -203,14 +207,19 @@ class AsyncServiceClient:
         )
         return reply.stats
 
-    async def server_stats(self) -> Dict[str, Any]:
+    async def server_stats(
+        self, *, format: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Server-level snapshot: worker identity plus full metrics.
 
         Against a fleet gateway the same call returns fleet totals with a
-        ``per_worker`` breakdown.
+        ``per_worker`` breakdown.  ``format="prometheus"`` adds an
+        ``exposition`` key holding the metrics rendered in Prometheus
+        text format.
         """
         reply = await self._rpc(
-            StatsRequest(id=self._take_id(), session=None), StatsReply
+            StatsRequest(id=self._take_id(), session=None, format=format),
+            StatsReply,
         )
         return reply.stats
 
@@ -312,10 +321,13 @@ class ServiceClient:
         )
         return reply.stats
 
-    def server_stats(self) -> Dict[str, Any]:
+    def server_stats(
+        self, *, format: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Server-level snapshot (see ``AsyncServiceClient.server_stats``)."""
         reply = self._rpc(
-            StatsRequest(id=self._take_id(), session=None), StatsReply
+            StatsRequest(id=self._take_id(), session=None, format=format),
+            StatsReply,
         )
         return reply.stats
 
@@ -435,6 +447,10 @@ class ResilientAsyncClient:
         self._advices: List[PrefetchAdvice] = []
         self._force_cold = False
         self.degraded = False
+        #: Trace id the server bound to this session (None = unsampled).
+        #: Carried on every resume / cold restart so the session's spans
+        #: keep one lineage across reconnects and gateway failovers.
+        self.trace: Optional[str] = None
         # resilience telemetry, summed into the replay report
         self.retries = 0
         self.resumes = 0
@@ -482,6 +498,7 @@ class ResilientAsyncClient:
                     client.open_session(
                         resume=self._session_id,
                         tenant=(self._open_kwargs or {}).get("tenant"),
+                        trace=self.trace,
                     ),
                     timeout,
                 )
@@ -489,13 +506,20 @@ class ResilientAsyncClient:
             except ServiceError:
                 reply = None  # nothing to resume from; fall back to cold
         if reply is None:
+            kwargs = dict(self._open_kwargs)
+            if self.trace is not None:
+                # Keep the original lineage even across a cold restart:
+                # the rebuilt session is the same logical request path.
+                kwargs["trace"] = self.trace
             reply = await asyncio.wait_for(
-                client.open_session(**self._open_kwargs), timeout
+                client.open_session(**kwargs), timeout
             )
             if self._journal:
                 self.cold_restarts += 1
         self._force_cold = False
         self._session_id = reply.session
+        if reply.trace is not None:
+            self.trace = reply.trace
         self.degraded = self.degraded or reply.degraded
         folded = len(self._journal)
         if reply.period > folded + 1:

@@ -210,20 +210,34 @@ class ServiceMetrics:
         bucket-by-bucket via :meth:`LatencyHistogram.merge`, so percentiles
         of the merged histogram reflect every worker's samples rather than
         an average of averages.  Merging is associative and commutative,
-        which is what lets a gateway fold workers in any order.
+        which is what lets a gateway fold workers in any order — and a
+        fresh operand is a two-sided identity: empty histograms, empty
+        tenant maps, and zero-valued novel outcome keys in ``other`` must
+        not materialise entries here, or merging an idle worker would
+        change the fleet's ``to_state`` form.
         """
         for name in _COUNTER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for outcome, count in other.outcomes.items():
+            if count == 0 and outcome not in self.outcomes:
+                continue
             self.outcomes[outcome] = self.outcomes.get(outcome, 0) + count
         for command, histogram in other.command_latency.items():
+            if histogram.count == 0 and command not in self.command_latency:
+                continue
             mine = self.command_latency.get(command)
             if mine is None:
                 mine = self.command_latency[command] = LatencyHistogram()
             mine.merge(histogram)
         for tenant, counters in other.per_tenant.items():
+            live = {
+                counter: amount for counter, amount in counters.items()
+                if amount != 0 or counter in self.per_tenant.get(tenant, ())
+            }
+            if not live and tenant not in self.per_tenant:
+                continue
             mine_t = self.per_tenant.setdefault(tenant, {})
-            for counter, amount in counters.items():
+            for counter, amount in live.items():
                 mine_t[counter] = mine_t.get(counter, 0) + amount
         return self
 

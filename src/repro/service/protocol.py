@@ -76,6 +76,21 @@ more additive error code, still within v3:
   Unlike ``quota_exceeded`` this is never about *who* is asking, only
   about *when*: already-admitted sessions keep full service, and
   resilient clients treat the error as backoff-not-fault.
+
+The observability layer (:mod:`repro.obs`) adds two more additive
+fields, still within v3:
+
+* ``trace`` on OPEN (request and reply) carries a distributed-tracing
+  trace id for the session.  A client that wants its session traced
+  sends one; a gateway running with tracing assigns one to sampled
+  sessions it opens (and echoes back whichever id ends up bound), so
+  client, gateway, and worker spans share a single id.  The field is
+  pure metadata: it never changes advice, placement, or scheduling,
+  and a server without tracing simply ignores it.
+* ``format`` on server-level STATS selects an alternate rendering of
+  the snapshot.  The only defined value is ``"prometheus"``: the reply
+  payload gains an ``exposition`` key holding the Prometheus text
+  format over the server's (or the gateway's fleet-merged) metrics.
 """
 
 from __future__ import annotations
@@ -153,6 +168,11 @@ class OpenRequest:
     tenant: Optional[str] = None
     """Tenant whose shared base model and quotas this session runs under
     (v3, additive); requires a server-side tenant config."""
+    trace: Optional[str] = None
+    """Distributed-tracing trace id for the session (v3, additive): the
+    gateway injects one for sampled sessions so worker spans join the
+    gateway's, and clients may supply their own.  Ignored by servers
+    that run without tracing; never influences advice or placement."""
 
     cmd = "open"
 
@@ -173,6 +193,8 @@ class OpenRequest:
             out["session_id"] = self.session_id
         if self.tenant is not None:
             out["tenant"] = self.tenant
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     @classmethod
@@ -181,6 +203,7 @@ class OpenRequest:
         resume = payload.get("resume")
         session_id = payload.get("session_id")
         tenant = payload.get("tenant")
+        trace = payload.get("trace")
         return cls(
             id=id,
             policy=str(payload.get("policy", "tree")),
@@ -191,6 +214,7 @@ class OpenRequest:
             resume=str(resume) if resume is not None else None,
             session_id=str(session_id) if session_id is not None else None,
             tenant=str(tenant) if tenant is not None else None,
+            trace=str(trace) if trace is not None else None,
         )
 
 
@@ -237,18 +261,28 @@ class StatsRequest:
 
     id: int
     session: Optional[str] = None
+    format: Optional[str] = None
+    """Alternate rendering of a *server-level* snapshot (v3, additive).
+    ``"prometheus"`` adds an ``exposition`` key — the Prometheus text
+    format over the server's (or fleet-merged) metrics — to the reply."""
 
     cmd = "stats"
 
     def payload(self) -> Dict[str, Any]:
-        if self.session is None:
-            return {}
-        return {"session": self.session}
+        out: Dict[str, Any] = {}
+        if self.session is not None:
+            out["session"] = self.session
+        if self.format is not None:
+            out["format"] = self.format
+        return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "StatsRequest":
         session = payload.get("session")
-        return cls(id=id, session=str(session) if session is not None else None)
+        fmt = payload.get("format")
+        return cls(id=id,
+                   session=str(session) if session is not None else None,
+                   format=str(fmt) if fmt is not None else None)
 
 
 @dataclass(frozen=True)
@@ -323,12 +357,16 @@ class OpenReply:
     degraded: bool = False
     """True when a failed model restore fell back to no-prefetch advice
     instead of rejecting the session (v3)."""
+    trace: Optional[str] = None
+    """Trace id bound to the session, echoed so the client can label its
+    own spans with the id the serving side settled on (v3, additive;
+    absent when the session is unsampled or tracing is off)."""
 
     cmd = "open"
     ok = True
 
     def payload(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "session": self.session,
             "policy": self.policy,
             "cache_size": self.cache_size,
@@ -336,9 +374,13 @@ class OpenReply:
             "resumed": self.resumed,
             "degraded": self.degraded,
         }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
     @classmethod
     def from_payload(cls, id: int, payload: Dict[str, Any]) -> "OpenReply":
+        trace = payload.get("trace")
         return cls(
             id=id,
             session=str(payload["session"]),
@@ -347,6 +389,7 @@ class OpenReply:
             period=int(payload.get("period", 0)),
             resumed=bool(payload.get("resumed", False)),
             degraded=bool(payload.get("degraded", False)),
+            trace=str(trace) if trace is not None else None,
         )
 
 

@@ -18,8 +18,20 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+)
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Tracer
+
+from repro.obs import profile as _profile
 from repro.service import protocol
 from repro.service.client import (
     AsyncServiceClient,
@@ -130,6 +142,7 @@ async def _replay_one(
     client_index: int = 0,
     start_delay_s: float = 0.0,
     on_session_event: Optional[SessionEventHook] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> _ClientResult:
     result = _ClientResult(
         samples=[],
@@ -144,7 +157,36 @@ async def _replay_one(
         if on_session_event is not None:
             on_session_event(client_index, event)
 
-    async def _one_session() -> None:
+    def _session_trace(session_index: int) -> Optional[str]:
+        """Client-minted trace id for one logical session (or None).
+
+        The key is positional (client, session ordinal), so reruns of the
+        same seeded replay mint the same ids and sample the same subset.
+        """
+        if tracer is None:
+            return None
+        candidate = tracer.new_trace_id(
+            f"c{client_index}:s{session_index}"
+        )
+        return candidate if tracer.sampled(candidate) else None
+
+    async def _one_session(session_index: int) -> None:
+        trace_id = _session_trace(session_index)
+        prof = _profile.ENABLED
+
+        def _observed(started: float, advice: Any) -> None:
+            elapsed = time.perf_counter() - started
+            result.samples.append(elapsed)
+            if trace_id is not None:
+                tracer.record(
+                    trace_id, "client.rpc", started, elapsed,
+                    client=client_index,
+                )
+            if prof:
+                _profile.add("client.observe", elapsed)
+            result.outcomes[advice.outcome] += 1
+            result.prefetches += len(advice.prefetch)
+
         if retry is not None:
             # Resilient path: the client journals every reference and
             # transparently reconnects/resumes across injected faults, so
@@ -152,17 +194,33 @@ async def _replay_one(
             async with ResilientAsyncClient(
                 host, port, retry=retry
             ) as client:
+                t_open = time.perf_counter()
                 await client.open(
                     policy=policy, cache_size=cache_size, params=params,
                     policy_kwargs=policy_kwargs, tenant=tenant,
+                    trace=trace_id,
                 )
+                open_dur = time.perf_counter() - t_open
+                if (
+                    tracer is not None
+                    and trace_id is None
+                    and client.trace is not None
+                ):
+                    # The gateway/worker head-sampled this session on its
+                    # own; adopt its id so client spans join the trace.
+                    trace_id = client.trace
+                if trace_id is not None:
+                    tracer.record(
+                        trace_id, "client.open", t_open, open_dur,
+                        client=client_index,
+                    )
+                if prof:
+                    _profile.add("client.open", open_dur)
                 _event("open")
                 for block in blocks:
                     started = time.perf_counter()
                     advice = await client.observe(int(block) + offset)
-                    result.samples.append(time.perf_counter() - started)
-                    result.outcomes[advice.outcome] += 1
-                    result.prefetches += len(advice.prefetch)
+                    _observed(started, advice)
                 final = await client.close_session()
                 _event("close")
                 result.retries += client.retries
@@ -174,27 +232,42 @@ async def _replay_one(
             async with await AsyncServiceClient.connect(
                 host, port
             ) as client:
-                session = await client.open(
+                t_open = time.perf_counter()
+                reply = await client.open_session(
                     policy=policy, cache_size=cache_size, params=params,
                     policy_kwargs=policy_kwargs, tenant=tenant,
+                    trace=trace_id,
                 )
+                session = reply.session
+                open_dur = time.perf_counter() - t_open
+                if (
+                    tracer is not None
+                    and trace_id is None
+                    and reply.trace is not None
+                ):
+                    trace_id = reply.trace
+                if trace_id is not None:
+                    tracer.record(
+                        trace_id, "client.open", t_open, open_dur,
+                        client=client_index,
+                    )
+                if prof:
+                    _profile.add("client.open", open_dur)
                 _event("open")
                 for block in blocks:
                     started = time.perf_counter()
                     advice = await client.observe(
                         session, int(block) + offset
                     )
-                    result.samples.append(time.perf_counter() - started)
-                    result.outcomes[advice.outcome] += 1
-                    result.prefetches += len(advice.prefetch)
+                    _observed(started, advice)
                 final = await client.close_session(session)
                 _event("close")
         result.sessions += 1
         result.miss_rate = float(final.get("miss_rate", 0.0))
 
-    for _ in range(sessions):
+    for session_index in range(sessions):
         try:
-            await _one_session()
+            await _one_session(session_index)
         except ServiceError as exc:
             # Over-quota tenants are expected to be refused at OPEN; the
             # smoke harness replays past them and counts the rejections.
@@ -229,6 +302,7 @@ async def replay_async(
     client_blocks: Optional[Sequence[Sequence[int]]] = None,
     arrival_delays: Optional[Sequence[float]] = None,
     on_session_event: Optional[SessionEventHook] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ReplayReport:
     """Replay ``blocks`` from ``clients`` concurrent sessions.
 
@@ -249,6 +323,13 @@ async def replay_async(
     stream), ``arrival_delays`` staggers client connects (seconds, one
     entry per client), and ``on_session_event`` observes open/close churn
     as it happens.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`, component
+    ``"client"``) records ``client.open`` / ``client.rpc`` spans for the
+    sessions its deterministic head-based sampling selects, and rides
+    each sampled session's trace id on the OPEN so gateway and worker
+    spans join the same trace.  The caller owns the tracer's lifecycle;
+    the replay flushes it before returning.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients!r}")
@@ -296,10 +377,13 @@ async def replay_async(
                 0.0 if arrival_delays is None else float(arrival_delays[index])
             ),
             on_session_event=on_session_event,
+            tracer=tracer,
         )
         for index in range(clients)
     ))
     wall = time.perf_counter() - started
+    if tracer is not None:
+        tracer.flush()
 
     samples: List[float] = []
     outcomes = {"demand_hit": 0, "prefetch_hit": 0, "miss": 0}

@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> session)
+    from repro.obs.trace import Tracer
     from repro.store.codec import Snapshot
     from repro.store.registry import ModelStore
     from repro.tenancy.manager import TenancyManager
@@ -106,6 +107,7 @@ class PrefetchService:
         tenancy: Optional["TenancyManager"] = None,
         memory_budget_bytes: Optional[int] = None,
         overload: Optional[OverloadPolicy] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.default_params = (
             default_params if default_params is not None else PAPER_PARAMS
@@ -134,6 +136,16 @@ class PrefetchService:
         """Admission watermark + brownout state (see
         :mod:`repro.service.overload`).  The default policy has no
         watermark and no brownout, so overload protection is opt-in."""
+        self.tracer = tracer
+        """Span recorder (:class:`repro.obs.trace.Tracer`); ``None`` runs
+        the whole dispatch path with a single falsy check per request.
+        Sessions opened with a ``trace`` field inherit that id (the
+        gateway/client already made the sampling call); locally-opened
+        sessions are head-sampled against the tracer's own seed."""
+        self.started_at = time.monotonic()
+        #: Trace id per traced live session (a sparse subset of
+        #: ``self.sessions`` under sampling).
+        self._traces: Dict[str, str] = {}
         self.sessions: "OrderedDict[str, PrefetchSession]" = OrderedDict()
         self.detached: "OrderedDict[str, Snapshot]" = OrderedDict()
         #: Sessions evicted to disk under memory pressure: id -> tenant (or
@@ -327,6 +339,7 @@ class PrefetchService:
             self.metrics.record_tenant(tenant, "sessions_opened")
         self.metrics.sessions_opened += 1
         self.enforce_memory_budget(keep=session_id)
+        trace_id = self._bind_trace(session_id, request, resumed=resumed)
         return OpenReply(
             id=request.id,
             session=session_id,
@@ -335,7 +348,34 @@ class PrefetchService:
             period=session.observations,
             resumed=resumed,
             degraded=session.degraded,
+            trace=trace_id,
         )
+
+    def _bind_trace(
+        self, session_id: str, request: OpenRequest, *, resumed: bool
+    ) -> Optional[str]:
+        """Bind the session to a trace id (and span its open), or None.
+
+        A ``trace`` field on the request wins — the gateway or client
+        upstream already made the sampling decision and every hop must
+        agree.  Locally-opened sessions are head-sampled against this
+        server's own tracer seed.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        trace_id = request.trace
+        if trace_id is None:
+            trace_id = tracer.new_trace_id(session_id)
+            if not tracer.sampled(trace_id):
+                return None
+        self._traces[session_id] = trace_id
+        now = time.perf_counter()
+        tracer.record(
+            trace_id, "worker.open", now, 0.0,
+            session=session_id, resumed=int(resumed),
+        )
+        return trace_id
 
     def _handle_resume(self, request: OpenRequest, owned: Set[str]) -> Reply:
         """Re-open a detached or checkpointed session decision-identically.
@@ -653,7 +693,17 @@ class PrefetchService:
                     f"seq {request.seq} does not match session period "
                     f"{expected}",
                 )
-        advice = session.observe(request.block)
+        trace_id = self._traces.get(request.session) if self.tracer else None
+        if trace_id is not None:
+            t0 = time.perf_counter()
+            advice = session.observe(request.block)
+            self.tracer.record(
+                trace_id, "worker.predictor_step",
+                t0, time.perf_counter() - t0,
+                session=request.session, period=advice.period,
+            )
+        else:
+            advice = session.observe(request.block)
         cap = self.overload.prefetch_cap
         if cap is not None and len(advice.prefetch) > cap:
             # Brownout tier >= 1: serve the head of the batch (the
@@ -676,10 +726,19 @@ class PrefetchService:
             # doubles as a supervisor liveness probe and as the feed a
             # fleet gateway merges into fleet totals (``metrics_state`` is
             # the lossless form; ``metrics`` the human summary).
+            if request.format is not None and request.format != "prometheus":
+                return ErrorReply(
+                    request.id, protocol.E_BAD_REQUEST,
+                    f"unknown stats format {request.format!r} "
+                    "(only 'prometheus' is defined)",
+                )
             stats: Dict[str, Any] = {
                 "server": "repro.service",
                 "worker": self.identity,
                 "protocol": protocol.PROTOCOL_VERSION,
+                "proto_version": protocol.PROTOCOL_VERSION,
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "pid": os.getpid(),
                 "live_sessions": self.metrics.live_sessions,
                 "model_bytes": self.accounted_model_bytes(),
                 "memory_budget_bytes": self.memory_budget_bytes,
@@ -691,13 +750,47 @@ class PrefetchService:
             }
             if self.tenancy is not None:
                 stats["tenants"] = self.tenancy.gauges(self.sessions)
+            if request.format == "prometheus":
+                stats["exposition"] = self._render_exposition(stats)
             return StatsReply(id=request.id, session="", stats=stats)
+        if request.format is not None:
+            return ErrorReply(
+                request.id, protocol.E_BAD_REQUEST,
+                "stats 'format' applies only to server-level snapshots",
+            )
         session = self._live_session(request.session)
         if session is None:
             return ErrorReply(request.id, protocol.E_UNKNOWN_SESSION,
                               f"unknown session {request.session!r}")
         return StatsReply(id=request.id, session=request.session,
                           stats=session.stats_snapshot())
+
+    def _render_exposition(self, stats: Dict[str, Any]) -> str:
+        """Prometheus text format over this server's own metrics state."""
+        from repro.obs.prom import render_exposition
+
+        gauges = [
+            ("brownout_level", None, stats["brownout_level"]),
+            ("inflight", None, stats["inflight"]),
+            ("live_sessions", None, stats["live_sessions"]),
+            ("model_bytes", None, stats["model_bytes"]),
+            ("evicted_sessions", None, stats["evicted_sessions"]),
+            ("uptime_s", None, stats["uptime_s"]),
+        ]
+        if stats["memory_budget_bytes"] is not None:
+            gauges.append(
+                ("memory_budget_bytes", None, stats["memory_budget_bytes"])
+            )
+        for tenant, tenant_gauges in sorted(stats.get("tenants", {}).items()):
+            gauges.append(
+                ("tenant_sessions", {"tenant": tenant},
+                 tenant_gauges.get("sessions", 0))
+            )
+            gauges.append(
+                ("tenant_model_bytes", {"tenant": tenant},
+                 tenant_gauges.get("model_bytes", 0))
+            )
+        return render_exposition(stats["metrics_state"], gauges=gauges)
 
     def _handle_close(self, request: CloseRequest, owned: Set[str]) -> Reply:
         session = self._live_session(request.session)
@@ -706,6 +799,7 @@ class PrefetchService:
                               f"unknown session {request.session!r}")
         self.sessions.pop(request.session, None)
         owned.discard(request.session)
+        self._traces.pop(request.session, None)
         if self.tenancy is not None:
             tenant = self.tenancy.tenant_of(request.session)
             if tenant is not None:
@@ -823,6 +917,7 @@ class PrefetchService:
 
         for session_id in owned:
             session = self.sessions.pop(session_id, None)
+            self._traces.pop(session_id, None)
             if session is None:
                 # A budget-evicted session dies with its connection; the
                 # checkpoint stays on disk for an explicit resume.
@@ -1023,6 +1118,8 @@ async def drain_service(
         )
     service.metrics.drained_sessions += len(snaps)
     service.close_connections()
+    if service.tracer is not None:
+        service.tracer.flush()
     return drained
 
 
@@ -1127,6 +1224,8 @@ async def serve_forever(
                 task.cancel()
         if sigterm_installed:
             loop.remove_signal_handler(signal.SIGTERM)
+        if service.tracer is not None:
+            service.tracer.close()
 
 
 class BackgroundServer:
@@ -1188,6 +1287,8 @@ class BackgroundServer:
         finally:
             server.close()
             loop.run_until_complete(server.wait_closed())
+            if self.service.tracer is not None:
+                self.service.tracer.close()
             loop.close()
 
     def stop(self) -> None:

@@ -1,0 +1,216 @@
+"""Trace propagation through the gateway: full paths, failover lineage.
+
+The acceptance criterion for the tracing layer: spans written by three
+separate components (replay client, gateway, worker) into one trace
+directory must reassemble into a complete
+client -> gateway -> worker -> predictor timing breakdown for a sampled
+request, and a gateway failover must keep the session's trace lineage —
+the resumed session's spans ride the original trace id and the break
+itself is recorded as a ``gateway.failover`` span with ``failover=1``.
+"""
+
+import asyncio
+
+from repro.cluster import AdvisoryGateway, StaticWorkerDirectory
+from repro.obs.trace import Tracer, derive_trace_id, read_spans
+from repro.service.client import AsyncServiceClient
+from repro.service.replay import replay_async
+from repro.service.server import BackgroundServer, PrefetchService
+from repro.traces.synthetic import make_trace
+
+CACHE = 64
+
+
+def _blocks(refs):
+    return make_trace("cad", num_references=refs, seed=1999).as_list()
+
+
+class _TracedFleet:
+    """Workers + gateway, every component tracing into one directory."""
+
+    def __init__(self, count, trace_dir, *, seed=0, checkpoint_dir=None):
+        self.trace_dir = trace_dir
+        self.checkpoint_dir = checkpoint_dir
+        self.directory = StaticWorkerDirectory()
+        self.workers = {}
+        for i in range(count):
+            worker_id = f"w{i}"
+            server = BackgroundServer(service=PrefetchService(
+                identity=worker_id, checkpoint_dir=checkpoint_dir,
+                tracer=Tracer(
+                    worker_id, trace_dir=trace_dir, sample=1.0, seed=seed,
+                ),
+            )).start().wait_ready()
+            self.workers[worker_id] = server
+            self.directory.register(worker_id, "127.0.0.1", server.port)
+        self.gateway = AdvisoryGateway(
+            self.directory, request_timeout_s=5.0,
+            checkpoint_dir=checkpoint_dir,
+            tracer=Tracer(
+                "gateway", trace_dir=trace_dir, sample=1.0, seed=seed,
+            ),
+        )
+
+    async def __aenter__(self):
+        await self.gateway.start(port=0)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.gateway.aclose()
+        for server in self.workers.values():
+            await asyncio.to_thread(server.stop)
+
+    def kill(self, worker_id, *, checkpoint_first=False):
+        server = self.workers[worker_id]
+        if checkpoint_first:
+            server.service.checkpoint_sessions(self.checkpoint_dir)
+        server.stop()
+        self.directory.mark_down(worker_id)
+
+
+def _by_trace(trace_dir):
+    grouped = {}
+    for span in read_spans(str(trace_dir)):
+        grouped.setdefault(span["trace"], []).append(span)
+    return grouped
+
+
+class TestFullPath:
+    def test_spans_reconstruct_client_gateway_worker_path(self, tmp_path):
+        """One traced replay session yields every hop's spans under one
+        trace id — the complete per-request timing breakdown."""
+        blocks = _blocks(60)
+
+        async def scenario():
+            client_tracer = Tracer(
+                "client", trace_dir=str(tmp_path), sample=1.0, seed=7,
+            )
+            async with _TracedFleet(2, str(tmp_path)) as fleet:
+                report = await replay_async(
+                    blocks, port=fleet.gateway.port, clients=1,
+                    policy="tree", cache_size=CACHE, tracer=client_tracer,
+                )
+            client_tracer.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.requests == len(blocks)
+
+        # The client minted the id: deterministic from (seed, c0:s0).
+        trace_id = derive_trace_id(7, "c0:s0")
+        grouped = _by_trace(tmp_path)
+        assert trace_id in grouped, sorted(grouped)
+        spans = grouped[trace_id]
+
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["span"], []).append(span)
+
+        # every hop of the path, client -> gateway -> worker -> predictor
+        for stage in (
+            "client.open", "gateway.admission", "gateway.ring_lookup",
+            "gateway.worker_rpc", "gateway.reply_relay",
+            "worker.open", "worker.predictor_step", "client.rpc",
+        ):
+            assert stage in by_name, f"missing {stage}: {sorted(by_name)}"
+
+        # the worker's spans name the component that served the session
+        worker_components = {
+            span["component"] for span in by_name["worker.predictor_step"]
+        }
+        assert len(worker_components) == 1
+        assert worker_components < set(f"w{i}" for i in range(2))
+
+        # per-request coverage: each of the 60 observes produced a client
+        # rpc span, a gateway relay span, and a predictor step
+        assert len(by_name["client.rpc"]) == len(blocks)
+        assert len(by_name["worker.predictor_step"]) == len(blocks)
+        assert len(by_name["gateway.worker_rpc"]) >= len(blocks)
+
+        # timing nests: the predictor step is a fraction of the client's
+        # end-to-end rpc time for the same request count
+        predictor_s = sum(
+            span["dur_us"] for span in by_name["worker.predictor_step"]
+        )
+        rpc_s = sum(span["dur_us"] for span in by_name["client.rpc"])
+        assert 0 < predictor_s < rpc_s
+
+    def test_unsampled_sessions_leave_no_spans(self, tmp_path):
+        blocks = _blocks(20)
+
+        async def scenario():
+            client_tracer = Tracer(
+                "client", trace_dir=str(tmp_path), sample=0.0, seed=7,
+            )
+            async with _TracedFleet(1, str(tmp_path)) as fleet:
+                # gateway/worker sample at 1.0 but follow the client's
+                # head decision: no trace field on OPEN means the
+                # gateway mints its own id instead — so force the
+                # whole-path-off case via gateway sample 0 too
+                fleet.gateway.tracer.sample = 0.0
+                fleet.workers["w0"].service.tracer.sample = 0.0
+                await replay_async(
+                    blocks, port=fleet.gateway.port, clients=1,
+                    policy="tree", cache_size=CACHE, tracer=client_tracer,
+                )
+            client_tracer.close()
+
+        asyncio.run(scenario())
+        assert list(read_spans(str(tmp_path))) == []
+
+
+class TestFailoverLineage:
+    def test_resumed_session_keeps_trace_id_and_records_failover(
+        self, tmp_path
+    ):
+        """A mid-stream worker kill must not fork the trace: the
+        successor worker's spans join the original id, and the gateway
+        records the break as ``gateway.failover`` with ``failover=1``."""
+        blocks = _blocks(120)
+        trace_dir = tmp_path / "traces"
+        ckpt = str(tmp_path / "ckpt")
+        trace_id = "feedfacecafe0001"
+
+        async def scenario():
+            async with _TracedFleet(
+                2, str(trace_dir), checkpoint_dir=ckpt
+            ) as fleet:
+                async with await AsyncServiceClient.connect(
+                    port=fleet.gateway.port
+                ) as client:
+                    reply = await client.open_session(
+                        policy="tree", cache_size=CACHE, trace=trace_id,
+                    )
+                    assert reply.trace == trace_id  # echo: spans join
+                    sid = reply.session
+                    for block in blocks[:60]:
+                        await client.observe(sid, block)
+                    victim = fleet.gateway.sessions[sid].worker_id
+                    fleet.kill(victim, checkpoint_first=True)
+                    for block in blocks[60:]:
+                        await client.observe(sid, block)
+                    await client.close_session(sid)
+                    return victim, fleet.gateway.stats
+
+        victim, stats = asyncio.run(scenario())
+        assert stats.failovers_resumed == 1
+
+        spans = _by_trace(trace_dir).get(trace_id, [])
+        assert spans, "no spans recorded for the session's trace id"
+
+        failover = [s for s in spans if s["span"] == "gateway.failover"]
+        assert len(failover) == 1
+        assert failover[0]["failover"] == 1
+        assert failover[0]["component"] == "gateway"
+
+        # both the victim and its successor served under the SAME trace
+        steps = [s for s in spans if s["span"] == "worker.predictor_step"]
+        served_by = {s["component"] for s in steps}
+        assert victim in served_by
+        assert len(served_by) == 2, served_by
+        assert len(steps) == len(blocks)
+
+        # the successor's resume shows up as a worker.open with resumed=1
+        opens = [s for s in spans if s["span"] == "worker.open"]
+        assert {s["component"] for s in opens} == served_by
+        assert any(s["resumed"] == 1 for s in opens)

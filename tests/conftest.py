@@ -1,0 +1,14 @@
+"""Import hypothesis while the stack is shallow.
+
+The hypothesis pytest plugin defers ``import hypothesis`` until its
+``pytest_terminal_summary`` hook.  When bytecode caching is off
+(``PYTHONDONTWRITEBYTECODE=1``) pytest assertion-rewrites the whole
+hypothesis package at that point — dozens of ``ast.parse`` calls at the
+bottom of a deep hook stack, where CPython 3.11's parser can fail with
+``SystemError: AST constructor recursion depth mismatch``.  Test runs
+that happen to collect a hypothesis-using module never see it (the
+import lands early, at shallow depth); subset runs do.  Importing here
+makes every run look like the former.
+"""
+
+import hypothesis  # noqa: F401

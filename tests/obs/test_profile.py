@@ -1,0 +1,94 @@
+"""Profiling hooks: guarded cost, stage math, engine integration."""
+
+import pytest
+
+from repro.obs import profile
+from repro.service.session import PrefetchSession
+from repro.traces.synthetic import make_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_profile_state():
+    profile.disable()
+    profile.reset()
+    yield
+    profile.disable()
+    profile.reset()
+
+
+class TestStageMath:
+    def test_add_accumulates(self):
+        profile.enable()
+        profile.add("x.y", 0.002)
+        profile.add("x.y", 0.004)
+        profile.add("x.y", 0.003)
+        report = profile.report()["x.y"]
+        assert report["calls"] == 3
+        assert abs(report["total_s"] - 0.009) < 1e-9
+        assert abs(report["avg_us"] - 3000.0) < 0.01
+        assert abs(report["max_us"] - 4000.0) < 0.01
+
+    def test_reset_drops_stages_keeps_guard(self):
+        profile.enable()
+        profile.add("x.y", 0.001)
+        profile.reset()
+        assert profile.report() == {}
+        assert profile.ENABLED  # reset does not flip the guard
+
+    def test_report_is_a_snapshot(self):
+        profile.enable()
+        profile.add("x.y", 0.001)
+        snapshot = profile.report()
+        profile.add("x.y", 0.001)
+        assert snapshot["x.y"]["calls"] == 1
+
+
+class TestFormatReport:
+    def test_empty_report_says_so(self):
+        assert "no stages recorded" in profile.format_report()
+
+    def test_table_orders_by_total_and_includes_stages(self):
+        profile.enable()
+        profile.add("engine.step", 0.5)
+        profile.add("engine.tree_walk", 0.1)
+        text = profile.format_report("serve profile")
+        lines = text.split("\n")
+        assert lines[0] == "serve profile: per-stage breakdown"
+        assert lines.index(
+            next(line for line in lines if "engine.step" in line)
+        ) < lines.index(
+            next(line for line in lines if "engine.tree_walk" in line)
+        )
+
+
+class TestEngineIntegration:
+    def _run(self, refs=40):
+        blocks = make_trace("cad", num_references=refs, seed=1).as_list()
+        session = PrefetchSession(policy="tree", cache_size=64)
+        advice = [session.observe(block) for block in blocks]
+        return blocks, advice
+
+    def test_disabled_guard_records_nothing(self):
+        self._run()
+        assert profile.report() == {}
+
+    def test_enabled_guard_times_every_engine_stage(self):
+        profile.enable()
+        blocks, _ = self._run()
+        report = profile.report()
+        for stage in (
+            "engine.step", "engine.tree_walk", "engine.candidate_selection"
+        ):
+            assert report[stage]["calls"] == len(blocks), stage
+        # step encloses the other stages
+        assert report["engine.step"]["total_s"] >= (
+            report["engine.tree_walk"]["total_s"]
+        )
+
+    def test_profiling_does_not_perturb_advice(self):
+        _, plain = self._run()
+        profile.enable()
+        _, profiled = self._run()
+        assert [a.as_dict() for a in plain] == [
+            a.as_dict() for a in profiled
+        ]

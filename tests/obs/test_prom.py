@@ -1,0 +1,125 @@
+"""Prometheus text exposition: families, cumulative buckets, escaping.
+
+The renderer's output is consumed by greps in CI and by real scrapers,
+so these tests pin the text-format contract: ``# TYPE`` headers,
+monotone cumulative ``le`` buckets that end at ``+Inf == count``,
+escaped label values, and a trailing newline.
+"""
+
+from repro.obs.prom import bucket_upper_s, render_exposition
+from repro.service.metrics import ServiceMetrics
+
+
+def _metrics_state():
+    metrics = ServiceMetrics()
+    metrics.sessions_opened = 4
+    metrics.overload_rejections = 2
+    metrics.record_advice("prefetch_hit", 1)
+    metrics.record_advice("miss", 0)
+    for latency_s in (0.0001, 0.0002, 0.0004, 0.01):
+        metrics.record_latency("observe", latency_s)
+    metrics.record_latency("open", 0.002)
+    metrics.record_tenant("acme", "sessions_opened", 3)
+    return metrics.to_state()
+
+
+def _lines(text):
+    assert text.endswith("\n")
+    return text[:-1].split("\n")
+
+
+class TestHistogram:
+    def test_bucket_upper_bounds_are_monotone(self):
+        uppers = [bucket_upper_s(i) for i in range(40)]
+        assert uppers == sorted(uppers)
+        assert uppers[0] > 1e-6  # first bound sits above the 1us base
+
+    def test_advice_latency_family(self):
+        text = render_exposition(_metrics_state())
+        lines = _lines(text)
+        assert "# TYPE advice_latency histogram" in lines
+        bucket_lines = [
+            line for line in lines
+            if line.startswith("advice_latency_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert bucket_lines[-1].startswith('advice_latency_bucket{le="+Inf"}')
+        assert counts[-1] == 4
+        assert "advice_latency_count 4" in lines
+        (sum_line,) = [
+            line for line in lines if line.startswith("advice_latency_sum ")
+        ]
+        assert abs(float(sum_line.split(" ")[1]) - 0.0107) < 1e-9
+
+    def test_empty_state_still_exposes_the_family(self):
+        lines = _lines(render_exposition(None))
+        assert "# TYPE advice_latency histogram" in lines
+        assert 'advice_latency_bucket{le="+Inf"} 0' in lines
+        assert "advice_latency_count 0" in lines
+
+
+class TestCountersAndLabels:
+    def test_every_counter_is_a_family(self):
+        lines = _lines(render_exposition(_metrics_state()))
+        assert "# TYPE overload_rejections counter" in lines
+        assert "overload_rejections 2" in lines
+        assert "sessions_opened 4" in lines
+
+    def test_extra_counters_layer_on(self):
+        lines = _lines(render_exposition(
+            _metrics_state(),
+            extra_counters={"breakers_opened": 7},
+        ))
+        assert "# TYPE breakers_opened counter" in lines
+        assert "breakers_opened 7" in lines
+
+    def test_outcomes_are_labelled(self):
+        lines = _lines(render_exposition(_metrics_state()))
+        assert 'advice_outcomes{outcome="prefetch_hit"} 1' in lines
+        assert 'advice_outcomes{outcome="miss"} 1' in lines
+
+    def test_non_advice_commands_get_call_counters(self):
+        lines = _lines(render_exposition(_metrics_state()))
+        assert 'command_calls{command="open"} 1' in lines
+        assert any(
+            line.startswith('command_seconds{command="open"}')
+            for line in lines
+        )
+
+    def test_tenant_counters_are_labelled(self):
+        lines = _lines(render_exposition(_metrics_state()))
+        assert (
+            'tenant_counter{counter="sessions_opened",tenant="acme"} 3'
+            in lines
+        )
+
+
+class TestGauges:
+    def test_gauges_group_under_one_type_header(self):
+        text = render_exposition(gauges=[
+            ("breaker_open", {"worker": "w0"}, 1),
+            ("breaker_open", {"worker": "w1"}, 0),
+            ("brownout_level", None, 2),
+        ])
+        lines = _lines(text)
+        assert lines.count("# TYPE breaker_open gauge") == 1
+        assert 'breaker_open{worker="w0"} 1' in lines
+        assert 'breaker_open{worker="w1"} 0' in lines
+        assert "brownout_level 2" in lines
+
+    def test_label_values_are_escaped(self):
+        text = render_exposition(gauges=[
+            ("tenant_model_bytes", {"tenant": 'a"b\\c\nd'}, 5),
+        ])
+        assert (
+            'tenant_model_bytes{tenant="a\\"b\\\\c\\nd"} 5' in text
+        )
+
+    def test_float_values_render_exactly(self):
+        lines = _lines(render_exposition(gauges=[
+            ("uptime_s", None, 12.5),
+            ("inflight", None, 3.0),
+        ]))
+        assert "uptime_s 12.5" in lines
+        assert "inflight 3" in lines  # integral floats render as ints

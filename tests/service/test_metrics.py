@@ -150,3 +150,64 @@ class TestHistogramState:
             assert shard_a.percentile_ms(p) == whole.percentile_ms(p)
         assert shard_a.count == whole.count
         assert shard_a.max_ms == whole.max_ms
+
+
+class TestFreshOperandIdentity:
+    """Regression: merging an idle worker must be a byte-level no-op.
+
+    A fresh worker answering STATS ships zero-count histograms, empty
+    tenant maps, and (after a wire hop) possibly zero-valued outcome
+    keys.  ``merge`` used to materialise those as empty entries on the
+    gateway side, so a fleet with one idle worker produced a different
+    ``to_state`` form — and a different exposition — than the same
+    fleet without it.
+    """
+
+    def test_zero_count_histogram_operand_adds_no_command(self):
+        a = _sample_metrics(11, commands=("observe",))
+        before = _canon(a)
+        idle = ServiceMetrics()
+        idle.command_latency["close"] = LatencyHistogram()  # count == 0
+        a.merge(idle)
+        assert _canon(a) == before
+        assert "close" not in a.command_latency
+
+    def test_zero_valued_novel_outcome_adds_no_key(self):
+        a = _sample_metrics(12)
+        before = _canon(a)
+        other = ServiceMetrics()
+        other.outcomes["exotic_outcome"] = 0
+        a.merge(other)
+        assert _canon(a) == before
+
+    def test_empty_tenant_map_entry_adds_no_tenant(self):
+        a = _sample_metrics(13)
+        before = _canon(a)
+        other = ServiceMetrics()
+        other.per_tenant["ghost"] = {}
+        other.per_tenant["ghost2"] = {"sessions_opened": 0}
+        a.merge(other)
+        assert _canon(a) == before
+        assert "ghost" not in a.per_tenant
+        assert "ghost2" not in a.per_tenant
+
+    def test_wire_round_tripped_fresh_state_is_identity(self):
+        """The exact gateway path: a fresh worker's to_state through
+        JSON, from_state'd, then merged into live fleet totals."""
+        a = _sample_metrics(14)
+        before = _canon(a)
+        fresh = ServiceMetrics.from_state(
+            json.loads(json.dumps(ServiceMetrics().to_state()))
+        )
+        a.merge(fresh)
+        assert _canon(a) == before
+
+    def test_zero_count_merge_still_sums_into_existing_command(self):
+        """The skip only applies to commands the target does not track:
+        an existing histogram still absorbs the (empty) operand."""
+        a = ServiceMetrics()
+        a.record_latency("observe", 0.001)
+        idle = ServiceMetrics()
+        idle.command_latency["observe"] = LatencyHistogram()
+        a.merge(idle)
+        assert a.command_latency["observe"].count == 1
